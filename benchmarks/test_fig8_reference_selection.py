@@ -1,0 +1,76 @@
+"""Figure 8 / §4.4.2: robustness to the choice of reference attributes.
+
+Regenerates the five leave-n-out series over the United States pool and
+prints the NRMSE table plus the correlation rankings that drive it.
+The benchmarked kernel is one reduced-reference GeoAlign fold.
+
+Paper expectations (shape): leaving out poorly related references is
+harmless; leaving out the top references hurts exactly the datasets
+with no well-related reference left (area, uninhabited places); a
+mutually redundant top pair (the ~96 %-correlated USPS datasets) covers
+for a single removal on the business-address dataset.
+"""
+
+from repro.core.geoalign import GeoAlign
+from repro.experiments.reference_selection import run_reference_selection
+
+
+def test_fig8_reference_selection(benchmark, us_world, bench_scale, report):
+    result = run_reference_selection(world=us_world)
+
+    lines = [result.to_text(), "", "correlation rankings (top 3):"]
+    for dataset, names in result.rankings.items():
+        corrs = result.correlations[dataset]
+        top = ", ".join(
+            f"{name} ({corr:+.2f})"
+            for name, corr in zip(names[:3], corrs[:3])
+        )
+        lines.append(f"  {dataset:28s} {top}")
+    report("\n".join(lines))
+
+    slack = 1.0 if bench_scale >= 0.5 else 1.8
+
+    # Leaving out the least related references changes (almost) nothing.
+    # One systematic exception survives at paper scale: Accidents has a
+    # uniform road component that the *Area* reference serves despite a
+    # near-zero Pearson correlation, so dropping it registers -- see
+    # EXPERIMENTS.md.  We assert the paper's claim for the bulk and
+    # bound the outlier.
+    for series in (
+        "leave 1 least related out",
+        "leave 2 least related out",
+    ):
+        degradations = [
+            result.degradation(dataset, series)
+            for dataset in result.nrmse
+        ]
+        within = sum(d < 1.25 * slack for d in degradations)
+        assert within >= len(degradations) - 1, (series, degradations)
+        assert max(degradations) < 2.0 * slack, (series, degradations)
+
+    # Leaving out the two most related references hurts the datasets the
+    # paper names (nothing well-related remains for them).
+    hurt = {
+        d: result.degradation(d, "leave 2 most related out")
+        for d in result.nrmse
+    }
+    assert max(hurt.values()) > 1.5
+    for dataset in ("Area (Sq. Miles)", "USA Uninhabited Places"):
+        assert hurt[dataset] > 1.2 / slack, (dataset, hurt[dataset])
+
+    # Redundant top pair: one removal is far less damaging than two for
+    # the business-address dataset (its residential twin covers).
+    one = result.degradation(
+        "USPS Business Address", "leave 1 most related out"
+    )
+    two = result.degradation(
+        "USPS Business Address", "leave 2 most related out"
+    )
+    if bench_scale >= 0.5:
+        assert two > one
+
+    references = us_world.references()
+    test, pool = references[0], references[1:]
+    benchmark(
+        lambda: GeoAlign().fit_predict(pool[:4], test.source_vector)
+    )

@@ -1,0 +1,98 @@
+"""1-D aggregate interpolation: the paper's Figure 3 histogram example.
+
+Two agencies bin the same population by age, one in narrow 5-year bins,
+one in irregular wide bins.  Realigning the narrow histogram to the wide
+bins is the 1-D instance of the aggregate interpolation problem; the
+same GeoAlign estimator runs unchanged because it only ever sees
+aggregate vectors and disaggregation matrices (paper §3.4: "applicable
+to any dimension").
+
+References here are other attributes whose fine-grained age distribution
+is known (school enrolment, labour-force participation), each with its
+own age profile.
+
+Run:  python examples/age_histogram.py
+"""
+
+import numpy as np
+
+from repro import Dasymetric, GeoAlign, Reference, build_intersection, nrmse
+from repro.intervals import IntervalUnitSystem
+from repro.utils.rng import as_rng
+
+
+def age_profile(ages, peak, width, floor=0.05):
+    """A bump-shaped intensity over ages (people per year of age)."""
+    return floor + np.exp(-0.5 * ((ages - peak) / width) ** 2)
+
+
+def main():
+    rng = as_rng(42)
+    # Source: twenty 5-year bins; target: four irregular wide bins.
+    narrow = IntervalUnitSystem.uniform(0, 100, 20)
+    wide = IntervalUnitSystem(
+        [0, 18, 35, 65, 100], labels=["minor", "young", "middle", "senior"]
+    )
+    overlay = build_intersection(narrow, wide)
+
+    # Ground truth: a population with a young-adult bulge, sampled at
+    # 1-year resolution and aggregated exactly to both binnings.
+    years = np.arange(100) + 0.5
+    population_density = 1_000 * age_profile(years, peak=32, width=18)
+    population_density *= rng.lognormal(0.0, 0.05, 100)
+
+    def aggregate(system, density):
+        totals = np.zeros(len(system))
+        idx = system.locate_points(years)
+        np.add.at(totals, idx[idx >= 0], density[idx >= 0])
+        return totals
+
+    objective_narrow = aggregate(narrow, population_density)
+    objective_wide_truth = aggregate(wide, population_density)
+
+    # References with known fine-grained (intersection-level) splits.
+    profiles = {
+        "school enrolment": age_profile(years, peak=12, width=8),
+        "labour force": age_profile(years, peak=40, width=15),
+        "medicare claims": age_profile(years, peak=75, width=12),
+    }
+    references = []
+    for name, profile in profiles.items():
+        # Exact per-intersection integral of the reference profile.
+        values = []
+        for k in range(len(overlay)):
+            src = overlay.src_idx[k]
+            tgt = overlay.tgt_idx[k]
+            lo = max(narrow.edges[src], wide.edges[tgt])
+            hi = min(narrow.edges[src + 1], wide.edges[tgt + 1])
+            inside = (years >= lo) & (years < hi)
+            values.append(float(profile[inside].sum()))
+        references.append(
+            Reference.from_dm(name, overlay.dm_from_unit_values(values))
+        )
+
+    estimator = GeoAlign()
+    estimate = estimator.fit_predict(references, objective_narrow)
+
+    print("Wide-bin estimates vs truth:")
+    print(f"{'bin':8s}{'estimate':>12s}{'truth':>12s}")
+    for label, est, true in zip(
+        wide.labels, estimate, objective_wide_truth
+    ):
+        print(f"{label:8s}{est:12.0f}{true:12.0f}")
+    print("\nGeoAlign weights:", estimator.weight_report())
+    print(f"GeoAlign NRMSE: {nrmse(estimate, objective_wide_truth):.4f}")
+
+    # Baseline: interval weighting (the 1-D analogue of areal weighting)
+    # assumes people are uniform within each narrow bin.
+    interval_weighting = Dasymetric(
+        Reference("bin width", overlay.area_dm().row_sums(), overlay.area_dm())
+    )
+    baseline = interval_weighting.fit_predict(objective_narrow)
+    print(
+        f"Interval-weighting NRMSE: {nrmse(baseline, objective_wide_truth):.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

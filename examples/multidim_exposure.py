@@ -1,0 +1,85 @@
+"""4-D space-time crosswalk: the paper's higher-dimensional claim (§2.2).
+
+Environmental exposure measurements are aggregated over one 4-D unit
+system -- coarse spatial blocks x monitoring epochs -- and must be
+realigned to a different system, incongruent in *both* space and time
+(finer blocks, shifted reporting quarters).  Units are axis-aligned
+hyperboxes; GeoAlign runs unchanged because the box backend produces the
+same aggregate vectors and disaggregation matrices as the 2-D map
+backends (paper §3.4: the algorithm involves no dimension-dependent
+information).
+
+Run:  python examples/multidim_exposure.py
+"""
+
+import numpy as np
+
+from repro import Dasymetric, GeoAlign, Reference, build_intersection, nrmse
+from repro.boxes import BoxUnitSystem
+from repro.utils.rng import as_rng
+
+
+def main():
+    rng = as_rng(3)
+
+    # Universe: (x, y, z, t) in [0, 10)^3 x [0, 8) -- space plus two
+    # years of observation in month-ish units.
+    lows, highs = [0, 0, 0, 0], [10, 10, 10, 8]
+    source = BoxUnitSystem.regular_grid(
+        lows, highs, (4, 4, 2, 4), label_prefix="src"
+    )
+    # Target: finer in space, differently phased in time (3 periods).
+    target = BoxUnitSystem.regular_grid(
+        lows, highs, (5, 5, 2, 3), label_prefix="tgt"
+    )
+    overlay = build_intersection(source, target)
+    print(
+        f"source units: {len(source)}, target units: {len(target)}, "
+        f"intersection units: {len(overlay)}"
+    )
+
+    # Latent events: pollution concentrates near an industrial corner and
+    # decays over time.  References are two monitored co-pollutants with
+    # related but distinct profiles.
+    def sample_events(n, space_pull, decay, seed):
+        r = as_rng(seed)
+        xyz = 10 * r.beta(1.0, space_pull, size=(n, 3))
+        t = 8 * r.beta(1.0, decay, size=(n, 1))
+        return np.hstack((xyz, t))
+
+    exposure_points = sample_events(60_000, 2.2, 1.6, seed=10)
+    references = []
+    for name, (pull, decay, count) in {
+        "NO2 monitors": (2.0, 1.5, 80_000),
+        "particulates": (2.6, 1.2, 50_000),
+        "ozone": (1.2, 2.5, 40_000),
+    }.items():
+        pts = sample_events(count, pull, decay, seed=hash(name) % 2**32)
+        values = []
+        for k in range(len(overlay)):
+            box_s = source.boxes[overlay.src_idx[k]]
+            box_t = target.boxes[overlay.tgt_idx[k]]
+            inside = box_s.contains_points(pts) & box_t.contains_points(pts)
+            values.append(float(inside.sum()))
+        references.append(
+            Reference.from_dm(name, overlay.dm_from_unit_values(values))
+        )
+
+    objective_source = source.aggregate_points(exposure_points)
+    truth_target = target.aggregate_points(exposure_points)
+
+    estimator = GeoAlign()
+    estimate = estimator.fit_predict(references, objective_source)
+    print("\nGeoAlign weights:", estimator.weight_report())
+    print(f"GeoAlign NRMSE over 4-D target units: {nrmse(estimate, truth_target):.4f}")
+
+    # Volume weighting = the homogeneity assumption in 4-D.
+    volume_ref = Reference(
+        "volume", overlay.area_dm().row_sums(), overlay.area_dm()
+    )
+    baseline = Dasymetric(volume_ref).fit_predict(objective_source)
+    print(f"Volume-weighting NRMSE:             {nrmse(baseline, truth_target):.4f}")
+
+
+if __name__ == "__main__":
+    main()

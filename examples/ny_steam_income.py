@@ -1,0 +1,98 @@
+"""The paper's motivating example (Figure 1), end to end.
+
+A sociologist has steam consumption by *zip code* and per-capita income
+by *county* and wants them in one table.  We reproduce the scenario on
+the synthetic New York State world:
+
+1. synthesise a "steam consumption" attribute (it tracks residential and
+   business addresses, as utility demand does) known only by zip code;
+2. realign it to counties with GeoAlign using the public reference
+   datasets, via the automatic table-integration pipeline
+   (:func:`repro.tabular.align_and_join` -- the paper's §6 future work);
+3. compare the realignment error against the dasymetric and areal
+   weighting baselines, since here we know the ground truth.
+
+Run:  python examples/ny_steam_income.py [scale]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ArealWeighting, Dasymetric, nrmse
+from repro.tabular import Table, align_and_join
+from repro.synth.universes import build_new_york_world
+from repro.utils.rng import as_rng
+
+
+def synthesize_steam(world, seed=7):
+    """A steam-consumption attribute over the world's cells.
+
+    Utility demand follows built floor space: a blend of residential and
+    business address mass, with multiplicative log-normal metering noise.
+    Returns (zip_vector, county_truth).
+    """
+    rng = as_rng(seed)
+    cells = (
+        0.6 * world.dataset_cell_values["USPS Residential Address"]
+        + 0.4 * world.dataset_cell_values["USPS Business Address"]
+    )
+    cells = cells * rng.lognormal(0.0, 0.05, len(cells))
+    by_zip = world.zips.aggregate_cells(cells)
+    by_county = world.counties.aggregate_cells(cells)
+    return by_zip, by_county
+
+
+def main(scale=0.25):
+    world = build_new_york_world(scale=scale)
+    references = world.references()
+    steam_by_zip, steam_truth = synthesize_steam(world)
+
+    # The two incompatible aggregate tables of Figure 1.
+    steam_table = Table(
+        {"zip code": world.zips.labels, "steam consumption (mg)": steam_by_zip}
+    )
+    rng = as_rng(11)
+    income_table = Table(
+        {
+            "county": world.counties.labels,
+            "per capita income ($)": rng.normal(
+                55_000, 9_000, len(world.counties)
+            ).round(0),
+        }
+    )
+
+    joined, weights = align_and_join(
+        steam_table,
+        income_table,
+        left_unit_column="zip code",
+        right_unit_column="county",
+        references=references,
+    )
+    print("Joined table (head):")
+    print(joined.to_text(max_rows=8))
+
+    print("\nGeoAlign weights for 'steam consumption (mg)':")
+    for name, weight in sorted(
+        weights["steam consumption (mg)"].items(), key=lambda kv: -kv[1]
+    ):
+        if weight > 1e-9:
+            print(f"  {name:28s} {weight:.3f}")
+
+    estimate = np.asarray(joined.column("steam consumption (mg)"))
+    print(f"\nGeoAlign        NRMSE vs truth: {nrmse(estimate, steam_truth):.4f}")
+
+    dasy = Dasymetric(world.reference_for("Population"))
+    print(
+        "Dasymetric(pop) NRMSE vs truth: "
+        f"{nrmse(dasy.fit_predict(steam_by_zip), steam_truth):.4f}"
+    )
+    areal = ArealWeighting(world.intersections())
+    print(
+        "Areal weighting NRMSE vs truth: "
+        f"{nrmse(areal.fit_predict(steam_by_zip), steam_truth):.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.25)

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs where the `wheel` package
+is unavailable (pip's PEP 660 path needs bdist_wheel)."""
+from setuptools import setup
+
+setup()

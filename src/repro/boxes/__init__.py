@@ -1,0 +1,11 @@
+"""n-dimensional axis-aligned box unit systems (paper §2.2).
+
+Covers the paper's higher-dimensional examples: 3-D cubic units of
+different size scales (e.g. disease distribution) and 4-D space-time
+systems (environmental exposures crosswalked between grids incongruent
+in both space and time).
+"""
+
+from repro.boxes.boxes import BoxUnitSystem, HyperBox
+
+__all__ = ["BoxUnitSystem", "HyperBox"]

@@ -1,0 +1,147 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+``geoalign-repro`` (or ``python -m repro.cli``) exposes one subcommand
+per evaluation artefact, so the experiments are reproducible without
+pytest::
+
+    geoalign-repro fig5a --scale 0.25
+    geoalign-repro fig6 --trials 10
+    geoalign-repro fig7 --replicates 20 --scale 1.0
+    geoalign-repro fig8
+    geoalign-repro all --scale 0.25 --out results/
+
+Scale 1.0 (the default) is paper scale: 30,238 zip units at the top
+rung.  Reports print to stdout and, with ``--out``, are also written as
+text files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.errors import ReproError
+
+from repro.experiments.effectiveness import run_figure5a, run_figure5b
+from repro.experiments.noise import PAPER_NOISE_LEVELS, run_noise_robustness
+from repro.experiments.reference_selection import run_reference_selection
+from repro.experiments.scalability import run_scalability
+
+
+def _add_common(parser):
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="world scale in (0, 1]; 1.0 = paper scale (default)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the world seed"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write the report into DIR as <figure>.txt",
+    )
+
+
+def build_parser():
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="geoalign-repro",
+        description="Regenerate the GeoAlign (EDBT 2018) evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, blurb in (
+        ("fig5a", "effectiveness, New York State (8 datasets)"),
+        ("fig5b", "effectiveness, United States (10 datasets)"),
+        ("fig6", "runtime scalability over the six-universe ladder"),
+        ("fig7", "robustness to noisy reference source vectors"),
+        ("fig8", "robustness to reference selection (leave-n-out)"),
+        ("all", "run every figure in sequence"),
+    ):
+        cmd = sub.add_parser(name, help=blurb)
+        _add_common(cmd)
+        if name in ("fig6", "all"):
+            cmd.add_argument(
+                "--trials",
+                type=int,
+                default=10,
+                help="runtime trials per fold (paper: 10)",
+            )
+        if name in ("fig7", "all"):
+            cmd.add_argument(
+                "--replicates",
+                type=int,
+                default=20,
+                help="noise replicates per level (paper: 20)",
+            )
+    return parser
+
+
+def _seed_kwargs(args):
+    return {} if args.seed is None else {"seed": args.seed}
+
+
+def _run_figure(name, args):
+    """Dispatch one figure run; returns its report text."""
+    if name == "fig5a":
+        return run_figure5a(scale=args.scale, **_seed_kwargs(args)).to_text()
+    if name == "fig5b":
+        return run_figure5b(scale=args.scale, **_seed_kwargs(args)).to_text()
+    if name == "fig6":
+        return run_scalability(
+            scale=args.scale, trials=args.trials, **_seed_kwargs(args)
+        ).to_text()
+    if name == "fig7":
+        return run_noise_robustness(
+            scale=args.scale,
+            levels=PAPER_NOISE_LEVELS,
+            replicates=args.replicates,
+            **_seed_kwargs(args),
+        ).to_text()
+    if name == "fig8":
+        return run_reference_selection(
+            scale=args.scale, **_seed_kwargs(args)
+        ).to_text()
+    raise ValueError(f"unknown figure {name!r}")
+
+
+def _emit(name, text, out_dir, stream):
+    print(text, file=stream)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text.rstrip() + "\n")
+        print(f"[written {path}]", file=stream)
+
+
+def main(argv=None, stream=None):
+    """Entry point; returns a process exit code (0 ok, 2 bad input)."""
+    stream = stream or sys.stdout
+    args = build_parser().parse_args(argv)
+    figures = (
+        ["fig5a", "fig5b", "fig6", "fig7", "fig8"]
+        if args.command == "all"
+        else [args.command]
+    )
+    for name in figures:
+        start = time.perf_counter()
+        try:
+            text = _run_figure(name, args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        _emit(name, text, args.out, stream)
+        print(f"[{name} completed in {elapsed:.1f}s]", file=stream)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

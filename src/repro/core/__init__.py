@@ -1,0 +1,44 @@
+"""The paper's primary contribution: GeoAlign and its baselines.
+
+``solver``
+    Simplex-constrained least squares (paper Eq. 15) with three
+    independent from-scratch solvers plus a scipy cross-check.
+``geoalign``
+    The three-step GeoAlign estimator (Algorithm 1).
+``baselines``
+    Areal weighting, the single-reference dasymetric method, and a
+    target-level regression baseline from the related-work taxonomy.
+``pycnophylactic``
+    Tobler's (1979) smooth volume-preserving raster interpolation, the
+    classic intensive method, included as a related-work extension.
+"""
+
+from repro.core.reference import Reference
+from repro.core.solver import (
+    project_to_simplex,
+    simplex_lstsq,
+    SimplexLstsqResult,
+)
+from repro.core.geoalign import GeoAlign
+from repro.core.baselines import ArealWeighting, Dasymetric, RegressionCrosswalk
+from repro.core.diagnostics import (
+    BootstrapResult,
+    bootstrap_weights,
+    weight_stability_report,
+)
+from repro.core.pycnophylactic import Pycnophylactic
+
+__all__ = [
+    "Reference",
+    "project_to_simplex",
+    "simplex_lstsq",
+    "SimplexLstsqResult",
+    "GeoAlign",
+    "ArealWeighting",
+    "Dasymetric",
+    "RegressionCrosswalk",
+    "BootstrapResult",
+    "bootstrap_weights",
+    "weight_stability_report",
+    "Pycnophylactic",
+]

@@ -1,0 +1,247 @@
+"""The GeoAlign estimator: Algorithm 1 of the paper.
+
+GeoAlign realigns an objective attribute's aggregates from source units
+to target units in three steps:
+
+1. **Weight learning** (Eq. 15) -- regress the max-normalised objective
+   source vector on the max-normalised reference source vectors under a
+   probability-simplex constraint.
+2. **Disaggregation** (Eq. 14) -- blend the reference disaggregation
+   matrices with the learned weights and rescale each row so it carries
+   exactly the objective's source aggregate (volume preservation, Eq. 16).
+3. **Re-aggregation** (Eq. 17) -- column sums of the estimated matrix are
+   the target-unit estimates.
+
+The estimator is deliberately dimension-agnostic: it consumes aggregate
+vectors and disaggregation matrices only, never geometry, so the same
+class realigns 2-D maps, 1-D histograms and n-D box systems (paper §3.4,
+"applicable to any dimension").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import (
+    NotFittedError,
+    ShapeMismatchError,
+    ValidationError,
+)
+from repro.core.reference import Reference
+from repro.core.solver import simplex_lstsq
+from repro.partitions.dm import DisaggregationMatrix
+from repro.utils.arrays import as_nonnegative_vector
+from repro.utils.timer import StageTimer
+
+#: Valid choices for the Eq. 14 denominator (see ``GeoAlign`` docs).
+_DENOMINATORS = ("source-vectors", "row-sums")
+
+
+class GeoAlign:
+    """Adaptive multi-reference crosswalk estimator.
+
+    Parameters
+    ----------
+    solver_method:
+        Which simplex least-squares solver to use for weight learning:
+        ``"active-set"`` (default), ``"projected-gradient"`` or
+        ``"frank-wolfe"``.
+    normalize:
+        Max-normalise the objective and reference source vectors before
+        weight learning (paper §3.4).  Turning this off is an ablation,
+        not a recommended mode.
+    denominator:
+        What divides each blended DM row in Eq. 14.  ``"row-sums"``
+        (default) divides by the blended matrix's actual row sums, which
+        keeps volume preservation exact even when reference source
+        vectors disagree with their DMs.  ``"source-vectors"`` is the
+        literal Eq. 14 denominator ``sum_k beta_k a^s_rk[i]``; the two
+        coincide on self-consistent references, but only "row-sums"
+        reproduces the paper's observed robustness to noisy reference
+        vectors (Fig. 7) -- see EXPERIMENTS.md and the ablation bench.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    weights_:
+        Learned simplex weights, one per reference.
+    references_:
+        The fitted references, in input order.
+    objective_source_:
+        The objective's source aggregate vector.
+    solver_result_:
+        Full :class:`~repro.core.solver.SimplexLstsqResult`.
+    timer_:
+        :class:`~repro.utils.timer.StageTimer` with per-stage runtime
+        ("weights", "disaggregation", "reaggregation"); reproduces the
+        paper's §4.3 claim that DM construction dominates.
+    """
+
+    def __init__(
+        self,
+        solver_method="active-set",
+        normalize=True,
+        denominator="row-sums",
+    ):
+        if denominator not in _DENOMINATORS:
+            raise ValidationError(
+                f"denominator must be one of {_DENOMINATORS}, "
+                f"got {denominator!r}"
+            )
+        self.solver_method = solver_method
+        self.normalize = normalize
+        self.denominator = denominator
+        self.weights_ = None
+        self.blend_weights_ = None
+        self.references_ = None
+        self.objective_source_ = None
+        self.solver_result_ = None
+        self.timer_ = StageTimer()
+        self._estimated_dm = None
+
+    # ------------------------------------------------------------------
+    def fit(self, references, objective_source):
+        """Learn reference weights (Algorithm 1, step 1).
+
+        Parameters
+        ----------
+        references:
+            Sequence of :class:`~repro.core.reference.Reference` sharing
+            one source/target labelling.
+        objective_source:
+            ``a^s_o`` -- the objective attribute's aggregates in source
+            units.
+
+        Returns
+        -------
+        self
+        """
+        references = list(references)
+        if not references:
+            raise ValidationError("GeoAlign needs at least one reference")
+        for ref in references:
+            if not isinstance(ref, Reference):
+                raise ValidationError(
+                    "references must be Reference instances, got "
+                    f"{type(ref).__name__}"
+                )
+        first = references[0].dm
+        for ref in references[1:]:
+            if (
+                ref.dm.source_labels != first.source_labels
+                or ref.dm.target_labels != first.target_labels
+            ):
+                raise ShapeMismatchError(
+                    f"reference {ref.name!r} is labelled over different "
+                    "units than the others"
+                )
+        objective = as_nonnegative_vector(
+            objective_source, name="objective_source"
+        )
+        if objective.shape[0] != first.shape[0]:
+            raise ShapeMismatchError(
+                f"objective_source has {objective.shape[0]} entries but the "
+                f"references cover {first.shape[0]} source units"
+            )
+        if objective.sum() <= 0:
+            raise ValidationError("objective_source is identically zero")
+
+        self.timer_.reset()
+        with self.timer_.stage("weights"):
+            design = np.column_stack(
+                [
+                    ref.normalized_source()
+                    if self.normalize
+                    else ref.source_vector
+                    for ref in references
+                ]
+            )
+            if self.normalize:
+                rhs = objective / float(objective.max())
+            else:
+                rhs = objective
+            self.solver_result_ = simplex_lstsq(
+                design, rhs, method=self.solver_method
+            )
+        self.weights_ = self.solver_result_.weights
+        self.references_ = references
+        self.objective_source_ = objective
+        self._estimated_dm = None
+        return self
+
+    def _require_fitted(self):
+        if self.weights_ is None:
+            raise NotFittedError(
+                "this GeoAlign instance is not fitted; call fit() first"
+            )
+
+    # ------------------------------------------------------------------
+    def predict_dm(self):
+        """Estimated disaggregation matrix of the objective (Eq. 14).
+
+        The result is cached; volume preservation (Eq. 16) holds exactly
+        under ``denominator="row-sums"`` and up to reference-data
+        consistency under the paper's ``"source-vectors"``.
+        """
+        self._require_fitted()
+        if self._estimated_dm is not None:
+            return self._estimated_dm
+        with self.timer_.stage("disaggregation"):
+            # The weights were learned on max-normalised vectors; to
+            # blend the *raw* disaggregation matrices they must be taken
+            # back to each reference's own scale (the paper's "adapt it
+            # to the scale of reference attributes and insert back the
+            # weights").  Without this, the largest-scale reference
+            # dominates the blend regardless of its learned weight.
+            if self.normalize:
+                scales = np.array(
+                    [
+                        float(ref.source_vector.max())
+                        for ref in self.references_
+                    ]
+                )
+                blend_weights = self.weights_ / scales
+            else:
+                blend_weights = self.weights_
+            self.blend_weights_ = blend_weights
+            blended = DisaggregationMatrix.blend(
+                [ref.dm for ref in self.references_], blend_weights
+            )
+            if self.denominator == "source-vectors":
+                denom = np.zeros(len(self.objective_source_))
+                for ref, weight in zip(self.references_, blend_weights):
+                    if weight != 0.0:
+                        denom += weight * ref.source_vector
+            else:
+                denom = blended.row_sums()
+            self._estimated_dm = blended.rescale_rows(
+                self.objective_source_, denominators=denom
+            )
+        return self._estimated_dm
+
+    def predict(self):
+        """Estimated target-unit aggregates ``â^t_o`` (Eq. 17)."""
+        dm = self.predict_dm()
+        with self.timer_.stage("reaggregation"):
+            estimates = dm.col_sums()
+        return estimates
+
+    def fit_predict(self, references, objective_source):
+        """Convenience: ``fit(...)`` then ``predict()``."""
+        return self.fit(references, objective_source).predict()
+
+    # ------------------------------------------------------------------
+    def weight_report(self):
+        """Mapping of reference name to learned weight (fitted only)."""
+        self._require_fitted()
+        return {
+            ref.name: float(w)
+            for ref, w in zip(self.references_, self.weights_)
+        }
+
+    def __repr__(self):
+        status = "fitted" if self.weights_ is not None else "unfitted"
+        return (
+            f"GeoAlign(solver={self.solver_method!r}, "
+            f"normalize={self.normalize}, denominator={self.denominator!r}, "
+            f"{status})"
+        )

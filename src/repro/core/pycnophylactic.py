@@ -1,0 +1,135 @@
+"""Tobler's pycnophylactic interpolation (related-work extension).
+
+Tobler (1979), cited by the paper as the classic *intensive*,
+volume-preserving areal interpolation method: estimate a smooth density
+surface that (a) has no sharp discontinuities and (b) preserves each
+source zone's total mass (the "pycnophylactic" property).  GeoAlign's
+related-work section contrasts this family -- which needs zone geometry
+and a smoothness assumption -- against extensive, reference-driven
+crosswalks; implementing it makes that comparison runnable.
+
+This implementation works on the raster backend: iterative 4-neighbour
+smoothing of a per-cell density, with per-zone mass re-imposition and a
+non-negativity clamp after every pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, ValidationError
+from repro.raster.zones import RasterUnitSystem
+
+
+class Pycnophylactic:
+    """Smooth volume-preserving raster interpolation.
+
+    Parameters
+    ----------
+    source_system, target_system:
+        :class:`~repro.raster.zones.RasterUnitSystem` objects sharing a
+        grid.
+    iterations:
+        Smoothing passes (Tobler used on the order of tens).
+    relaxation:
+        Blend factor towards the smoothed surface per pass, in (0, 1].
+    """
+
+    def __init__(
+        self,
+        source_system,
+        target_system,
+        iterations=30,
+        relaxation=0.5,
+    ):
+        if not isinstance(source_system, RasterUnitSystem) or not isinstance(
+            target_system, RasterUnitSystem
+        ):
+            raise ValidationError(
+                "pycnophylactic interpolation requires raster unit systems"
+            )
+        if source_system.grid is not target_system.grid and (
+            source_system.grid.nx != target_system.grid.nx
+            or source_system.grid.ny != target_system.grid.ny
+        ):
+            raise ShapeMismatchError(
+                "source and target systems must share one raster grid"
+            )
+        if not 0.0 < relaxation <= 1.0:
+            raise ValidationError(
+                f"relaxation must be in (0, 1], got {relaxation}"
+            )
+        if iterations < 0:
+            raise ValidationError("iterations must be non-negative")
+        self.source = source_system
+        self.target = target_system
+        self.iterations = iterations
+        self.relaxation = relaxation
+        self.density_ = None
+
+    def fit(self, source_vector):
+        """Estimate the smooth per-cell density for ``source_vector``."""
+        source_vector = np.asarray(source_vector, dtype=float)
+        if source_vector.shape != (len(self.source),):
+            raise ShapeMismatchError(
+                f"source_vector must have shape ({len(self.source)},), got "
+                f"{source_vector.shape}"
+            )
+        if np.any(source_vector < 0):
+            raise ValidationError("source_vector must be non-negative")
+        grid = self.source.grid
+        zones = self.source.zone_of_cell
+        inside = zones >= 0
+        counts = self.source.cell_counts()
+
+        density = np.zeros(grid.n_cells)
+        density[inside] = (source_vector / counts)[zones[inside]]
+        field = density.reshape(grid.ny, grid.nx)
+        inside_2d = inside.reshape(grid.ny, grid.nx)
+
+        for _ in range(self.iterations):
+            smoothed = _neighbour_mean(field)
+            field = (
+                1.0 - self.relaxation
+            ) * field + self.relaxation * smoothed
+            field = np.maximum(field, 0.0)
+            field[~inside_2d] = 0.0
+            # Re-impose the pycnophylactic constraint: zone sums match.
+            flat = field.ravel()
+            zone_sums = np.bincount(
+                zones[inside], weights=flat[inside], minlength=len(self.source)
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(
+                    zone_sums > 0, source_vector / zone_sums, 0.0
+                )
+            flat[inside] *= factors[zones[inside]]
+            # Zones whose mass smoothed away entirely get it back uniformly.
+            lost = np.flatnonzero((zone_sums == 0) & (source_vector > 0))
+            for zone in lost:
+                cells = np.flatnonzero(zones == zone)
+                flat[cells] = source_vector[zone] / len(cells)
+            field = flat.reshape(grid.ny, grid.nx)
+
+        self.density_ = field.ravel()
+        return self
+
+    def predict(self):
+        """Target-zone totals of the fitted density."""
+        if self.density_ is None:
+            raise ValidationError("call fit() before predict()")
+        return self.target.aggregate_cells(self.density_)
+
+    def fit_predict(self, source_vector):
+        return self.fit(source_vector).predict()
+
+
+def _neighbour_mean(field):
+    """Mean of the 4-neighbourhood with reflecting borders."""
+    padded = np.pad(field, 1, mode="edge")
+    return 0.25 * (
+        padded[:-2, 1:-1]
+        + padded[2:, 1:-1]
+        + padded[1:-1, :-2]
+        + padded[1:-1, 2:]
+    )

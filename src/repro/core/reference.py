@@ -1,0 +1,107 @@
+"""Reference attributes: the ancillary data GeoAlign learns from.
+
+A :class:`Reference` bundles what the paper assumes is available for each
+reference attribute (section 3.4): its aggregate vector in source units
+and its disaggregation matrix between source and target units.  The
+target-level aggregate vector is implied by the DM's column sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, ValidationError
+from repro.partitions.dm import DisaggregationMatrix
+from repro.utils.arrays import as_nonnegative_vector
+
+
+class Reference:
+    """One reference attribute: source aggregates + disaggregation matrix.
+
+    Parameters
+    ----------
+    name:
+        Human-readable attribute name ("Population", "USPS Residential
+        Address", ...), used in reports and error messages.
+    source_vector:
+        Aggregates of the reference in source units, ``a^s_r``.  May
+        disagree slightly with the DM's row sums (that is exactly the
+        situation of the paper's noise-robustness experiment, §4.4.1).
+    dm:
+        The reference's :class:`DisaggregationMatrix` between the source
+        and target unit systems.
+    """
+
+    __slots__ = ("name", "source_vector", "dm")
+
+    def __init__(self, name, source_vector, dm):
+        if not isinstance(dm, DisaggregationMatrix):
+            raise ValidationError(
+                f"reference {name!r}: dm must be a DisaggregationMatrix, "
+                f"got {type(dm).__name__}"
+            )
+        vector = as_nonnegative_vector(
+            source_vector, name=f"reference {name!r} source_vector"
+        )
+        if vector.shape[0] != dm.shape[0]:
+            raise ShapeMismatchError(
+                f"reference {name!r}: source vector has {vector.shape[0]} "
+                f"entries but the DM has {dm.shape[0]} source rows"
+            )
+        if vector.sum() <= 0:
+            raise ValidationError(
+                f"reference {name!r}: source vector is identically zero"
+            )
+        self.name = str(name)
+        self.source_vector = vector
+        self.dm = dm
+
+    @classmethod
+    def from_dm(cls, name, dm):
+        """Build a reference whose source vector is the DM's row sums.
+
+        This is the self-consistent case: the aggregate vector and the
+        crosswalk file describe the same underlying data.
+        """
+        return cls(name, dm.row_sums(), dm)
+
+    @property
+    def target_vector(self):
+        """Aggregates of the reference in target units (DM column sums)."""
+        return self.dm.col_sums()
+
+    def with_source_vector(self, new_vector):
+        """Copy with a replaced source vector (used by noise injection)."""
+        return Reference(self.name, new_vector, self.dm)
+
+    def normalized_source(self):
+        """Max-normalised source vector ``a'^s_r`` (paper §3.4)."""
+        peak = float(self.source_vector.max())
+        if peak <= 0:
+            raise ValidationError(
+                f"reference {self.name!r} cannot be normalised: max is 0"
+            )
+        return self.source_vector / peak
+
+    def correlation_with(self, other_vector):
+        """Pearson correlation with another source-level vector.
+
+        Used by the reference-selection experiment (§4.4.2) to rank
+        references by their relationship with the objective attribute.
+        Returns 0.0 when either vector is constant.
+        """
+        other = np.asarray(other_vector, dtype=float)
+        if other.shape != self.source_vector.shape:
+            raise ShapeMismatchError(
+                "correlation requires vectors over the same source units"
+            )
+        mine = self.source_vector
+        if mine.std() == 0.0 or other.std() == 0.0:
+            return 0.0
+        return float(np.corrcoef(mine, other)[0, 1])
+
+    def __repr__(self):
+        return (
+            f"Reference({self.name!r}, |Us|={len(self.source_vector)}, "
+            f"dm_nnz={self.dm.nnz})"
+        )

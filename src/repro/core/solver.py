@@ -1,0 +1,332 @@
+"""Simplex-constrained least squares: paper Eq. 15.
+
+GeoAlign's weight-learning step solves
+
+    minimise    0.5 * || A beta - b ||^2
+    subject to  sum(beta) = 1,  beta >= 0
+
+i.e. least squares over the probability simplex.  This module provides
+three independent solvers (so the test suite can cross-validate them
+against each other and against ``scipy.optimize``):
+
+``active-set``
+    Exact finite-termination method: an NNLS-style active-set iteration
+    with the single equality constraint folded into the KKT system.  The
+    default.
+``projected-gradient``
+    Accelerated projected gradient with exact Euclidean projection onto
+    the simplex (Duchi et al. 2008).  Robust, iterative.
+``frank-wolfe``
+    Classic conditional-gradient with exact line search, whose iterates
+    are always feasible.  Slowest to converge but entirely division-free.
+
+All three accept the same inputs and return a :class:`SimplexLstsqResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError, ValidationError
+
+_METHODS = ("active-set", "projected-gradient", "frank-wolfe")
+
+
+@dataclass(frozen=True)
+class SimplexLstsqResult:
+    """Solution of one simplex-constrained least-squares problem.
+
+    Attributes
+    ----------
+    weights:
+        The optimal simplex vector (non-negative, sums to one).
+    objective:
+        ``0.5 * ||A w - b||^2`` at the solution.
+    iterations:
+        Solver iterations used.
+    method:
+        Which solver produced the result.
+    """
+
+    weights: np.ndarray
+    objective: float
+    iterations: int
+    method: str
+
+
+def _validate_inputs(A, b):
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if A.ndim != 2:
+        raise ValidationError(f"A must be 2-D, got shape {A.shape}")
+    if b.ndim != 1:
+        raise ValidationError(f"b must be 1-D, got shape {b.shape}")
+    if A.shape[0] != b.shape[0]:
+        raise ValidationError(
+            f"A has {A.shape[0]} rows but b has {b.shape[0]} entries"
+        )
+    if A.shape[1] == 0:
+        raise ValidationError("A must have at least one column (reference)")
+    if not np.all(np.isfinite(A)):
+        raise ValidationError("A contains non-finite entries")
+    if not np.all(np.isfinite(b)):
+        raise ValidationError("b contains non-finite entries")
+    return A, b
+
+
+def _objective(A, b, w):
+    r = A @ w - b
+    return 0.5 * float(r @ r)
+
+
+def simplex_lstsq(A, b, method="active-set", max_iter=None, tol=1e-12):
+    """Solve ``min 0.5||A w - b||^2  s.t.  sum(w)=1, w>=0``.
+
+    Parameters
+    ----------
+    A:
+        ``(m, k)`` design matrix; columns are (normalised) reference
+        aggregate vectors at the source level.
+    b:
+        ``(m,)`` right-hand side; the (normalised) objective attribute at
+        the source level.
+    method:
+        One of ``"active-set"`` (default, exact), ``"projected-gradient"``
+        or ``"frank-wolfe"``.
+    max_iter:
+        Iteration cap; defaults per method.
+    tol:
+        Convergence / KKT tolerance.
+
+    Returns
+    -------
+    SimplexLstsqResult
+    """
+    A, b = _validate_inputs(A, b)
+    if method not in _METHODS:
+        raise ValidationError(
+            f"unknown method {method!r}; choose from {_METHODS}"
+        )
+    if A.shape[1] == 1:
+        # One reference: the constraint pins the answer.
+        return SimplexLstsqResult(
+            np.ones(1), _objective(A, b, np.ones(1)), 0, method
+        )
+    if method == "active-set":
+        return _active_set(A, b, max_iter or 50 * A.shape[1], tol)
+    if method == "projected-gradient":
+        return _projected_gradient(A, b, max_iter or 5000, tol)
+    return _frank_wolfe(A, b, max_iter or 20000, tol)
+
+
+# ----------------------------------------------------------------------
+# Simplex projection (Duchi, Shalev-Shwartz, Singer, Chandra 2008)
+# ----------------------------------------------------------------------
+def project_to_simplex(v):
+    """Euclidean projection of a vector onto the probability simplex."""
+    v = np.asarray(v, dtype=float)
+    if v.ndim != 1:
+        raise ValidationError(f"can only project vectors, got shape {v.shape}")
+    n = len(v)
+    u = np.sort(v)[::-1]
+    css = np.cumsum(u) - 1.0
+    rho_candidates = u - css / np.arange(1, n + 1) > 0
+    rho = int(np.nonzero(rho_candidates)[0][-1])
+    theta = css[rho] / (rho + 1)
+    return np.maximum(v - theta, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Active set
+# ----------------------------------------------------------------------
+def _equality_solve(gram, atb, free):
+    """Solve the KKT system of min ||A_F w - b||^2 s.t. sum(w_F) = 1.
+
+    Returns ``(w_free, lam)`` where ``lam`` is the equality multiplier,
+    using least-squares on the KKT matrix so rank-deficient reference
+    sets (perfectly collinear references) still yield a solution.
+    """
+    idx = np.flatnonzero(free)
+    k = len(idx)
+    kkt = np.zeros((k + 1, k + 1))
+    kkt[:k, :k] = 2.0 * gram[np.ix_(idx, idx)]
+    kkt[:k, k] = -1.0
+    kkt[k, :k] = 1.0
+    rhs = np.zeros(k + 1)
+    rhs[:k] = 2.0 * atb[idx]
+    rhs[k] = 1.0
+    solution, *_ = np.linalg.lstsq(kkt, rhs, rcond=None)
+    return solution[:k], float(solution[k])
+
+
+def _active_set(A, b, max_iter, tol):
+    n = A.shape[1]
+    gram = A.T @ A
+    atb = A.T @ b
+    scale = max(float(np.abs(gram).max()), 1.0)
+    kkt_tol = tol * scale + 1e-12
+
+    # Start from the uniform feasible point with all variables free.
+    free = np.ones(n, dtype=bool)
+    w = np.full(n, 1.0 / n)
+    iterations = 0
+    stalls = 0
+    while iterations < max_iter:
+        iterations += 1
+        w_free, lam = _equality_solve(gram, atb, free)
+        idx = np.flatnonzero(free)
+        if np.all(w_free >= -tol):
+            candidate = np.zeros(n)
+            candidate[idx] = np.maximum(w_free, 0.0)
+            total = candidate.sum()
+            if total <= 0:
+                raise SolverError("active-set produced a zero weight vector")
+            candidate /= total
+            # KKT check on zeroed variables: reduced gradient must be >= lam.
+            gradient = 2.0 * (gram @ candidate - atb)
+            zero = ~free
+            violations = lam - gradient[zero]
+            if not np.any(violations > kkt_tol):
+                return SimplexLstsqResult(
+                    candidate, _objective(A, b, candidate), iterations,
+                    "active-set",
+                )
+            worst = np.flatnonzero(zero)[int(np.argmax(violations))]
+            free[worst] = True
+            w = candidate
+            stalls += 1
+            if stalls > 2 * n:
+                # Degenerate cycling (ties in a rank-deficient Gram matrix):
+                # hand off to the always-convergent iterative solver.
+                return _projected_gradient(A, b, 5000, tol)
+        else:
+            # Infeasible equality solution: step from w toward it until the
+            # first free variable hits zero, then pin that variable.
+            direction = np.zeros(n)
+            direction[idx] = w_free
+            moving = free & (direction < w)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                alphas = np.where(
+                    moving, w / (w - direction), np.inf
+                )
+            alpha = float(np.min(alphas))
+            alpha = min(max(alpha, 0.0), 1.0)
+            w = w + alpha * (direction - w)
+            hit = np.flatnonzero(moving & (alphas <= alpha + 1e-15))
+            if len(hit) == 0:
+                return _projected_gradient(A, b, 5000, tol)
+            for j in hit:
+                free[j] = False
+                w[j] = 0.0
+            if not np.any(free):
+                # Numerical corner: restart from the best single column.
+                best = int(np.argmin([_objective(A, b, _unit(n, j)) for j in range(n)]))
+                w = _unit(n, best)
+                free[best] = True
+    return _projected_gradient(A, b, 5000, tol)
+
+
+def _unit(n, j):
+    e = np.zeros(n)
+    e[j] = 1.0
+    return e
+
+
+# ----------------------------------------------------------------------
+# Projected gradient (FISTA-style acceleration)
+# ----------------------------------------------------------------------
+def _projected_gradient(A, b, max_iter, tol):
+    n = A.shape[1]
+    gram = A.T @ A
+    atb = A.T @ b
+    # Lipschitz constant of the gradient = largest eigenvalue of Gram.
+    lipschitz = float(np.linalg.eigvalsh(gram)[-1])
+    if lipschitz <= 0.0:
+        # A is the zero matrix: every simplex point is optimal.
+        w = np.full(n, 1.0 / n)
+        return SimplexLstsqResult(
+            w, _objective(A, b, w), 0, "projected-gradient"
+        )
+    step = 1.0 / lipschitz
+    w = np.full(n, 1.0 / n)
+    y = w.copy()
+    t = 1.0
+    previous_obj = _objective(A, b, w)
+    for iteration in range(1, max_iter + 1):
+        gradient = gram @ y - atb
+        w_next = project_to_simplex(y - step * gradient)
+        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        y = w_next + ((t - 1.0) / t_next) * (w_next - w)
+        w, t = w_next, t_next
+        if iteration % 10 == 0:
+            obj = _objective(A, b, w)
+            if abs(previous_obj - obj) <= tol * max(1.0, obj):
+                return SimplexLstsqResult(
+                    w, obj, iteration, "projected-gradient"
+                )
+            previous_obj = obj
+    return SimplexLstsqResult(
+        w, _objective(A, b, w), max_iter, "projected-gradient"
+    )
+
+
+# ----------------------------------------------------------------------
+# Frank-Wolfe
+# ----------------------------------------------------------------------
+def _frank_wolfe(A, b, max_iter, tol):
+    n = A.shape[1]
+    gram = A.T @ A
+    atb = A.T @ b
+    w = np.full(n, 1.0 / n)
+    for iteration in range(1, max_iter + 1):
+        gradient = gram @ w - atb
+        target = int(np.argmin(gradient))
+        direction = _unit(n, target) - w
+        # Duality gap <= -gradient . direction; standard FW certificate.
+        gap = float(-gradient @ direction)
+        if gap <= tol * max(1.0, _objective(A, b, w)):
+            return SimplexLstsqResult(
+                w, _objective(A, b, w), iteration, "frank-wolfe"
+            )
+        # Exact line search for the quadratic objective.
+        ad = A @ direction
+        denom = float(ad @ ad)
+        if denom <= 0.0:
+            gamma = 0.0
+        else:
+            gamma = min(max(gap / denom, 0.0), 1.0)
+        if gamma == 0.0:
+            return SimplexLstsqResult(
+                w, _objective(A, b, w), iteration, "frank-wolfe"
+            )
+        w = w + gamma * direction
+    return SimplexLstsqResult(
+        w, _objective(A, b, w), max_iter, "frank-wolfe"
+    )
+
+
+def scipy_reference_solution(A, b):
+    """Cross-check solver built on ``scipy.optimize.minimize`` (SLSQP).
+
+    Used by tests and the solver ablation benchmark to validate the
+    from-scratch solvers; not on the GeoAlign hot path.
+    """
+    from scipy import optimize
+
+    A, b = _validate_inputs(A, b)
+    n = A.shape[1]
+    result = optimize.minimize(
+        lambda w: _objective(A, b, w),
+        np.full(n, 1.0 / n),
+        jac=lambda w: (A.T @ (A @ w - b)),
+        method="SLSQP",
+        bounds=[(0.0, 1.0)] * n,
+        constraints=[{"type": "eq", "fun": lambda w: w.sum() - 1.0}],
+        options={"maxiter": 500, "ftol": 1e-14},
+    )
+    if not result.success and result.status != 8:
+        raise SolverError(f"SLSQP reference failed: {result.message}")
+    w = project_to_simplex(result.x)
+    return SimplexLstsqResult(w, _objective(A, b, w), result.nit, "slsqp")

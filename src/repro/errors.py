@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an integration boundary.  Subclasses encode
+*what* went wrong rather than *where*, following the convention that the
+module raising the error is visible in the traceback anyway.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed a structural or numerical validity check."""
+
+
+class PartitionError(ValidationError):
+    """A unit system is not a valid partition of its universe.
+
+    Raised for overlapping units, units escaping the universe, or a unit
+    system whose labels are not unique.
+    """
+
+
+class ShapeMismatchError(ValidationError):
+    """Two inputs that must agree in shape or labelling do not."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive or operation received degenerate input."""
+
+
+class SolverError(ReproError):
+    """The weight-learning solver failed to converge or received bad data."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """``predict`` was called on an estimator before ``fit``."""
+
+
+class CrosswalkError(ReproError):
+    """A crosswalk file or specification is malformed."""

@@ -1,0 +1,46 @@
+"""The paper's evaluation (§4), one module per figure.
+
+* :mod:`repro.experiments.effectiveness` -- Fig. 5a/5b, NRMSE of
+  GeoAlign vs dasymetric methods and areal weighting.
+* :mod:`repro.experiments.scalability` -- Fig. 6, runtime vs unit counts
+  over the six-universe ladder, plus the §4.3 runtime decomposition.
+* :mod:`repro.experiments.noise` -- Fig. 7, robustness to noisy
+  reference source vectors.
+* :mod:`repro.experiments.reference_selection` -- Fig. 8, leave-n
+  most/least correlated references out.
+
+Every module exposes a ``run_*`` function returning a structured result
+object with a ``to_text()`` report mirroring the paper's rows/series.
+"""
+
+from repro.experiments.effectiveness import (
+    EffectivenessResult,
+    run_effectiveness,
+    run_figure5a,
+    run_figure5b,
+)
+from repro.experiments.scalability import (
+    ScalabilityResult,
+    run_scalability,
+)
+from repro.experiments.noise import NoiseResult, run_noise_robustness
+from repro.experiments.reference_selection import (
+    ReferenceSelectionResult,
+    run_reference_selection,
+)
+from repro.experiments.reporting import save_report, load_report
+
+__all__ = [
+    "EffectivenessResult",
+    "run_effectiveness",
+    "run_figure5a",
+    "run_figure5b",
+    "ScalabilityResult",
+    "run_scalability",
+    "NoiseResult",
+    "run_noise_robustness",
+    "ReferenceSelectionResult",
+    "run_reference_selection",
+    "save_report",
+    "load_report",
+]

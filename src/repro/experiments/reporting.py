@@ -1,0 +1,47 @@
+"""Report persistence for the benchmark harness.
+
+Each figure benchmark both prints its paper-style table and saves it
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference stable
+artefacts.  File names are slugified report titles; reruns overwrite.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.errors import ValidationError
+
+#: Default directory, relative to the current working directory, where
+#: benchmark reports are written.  Overridable via REPRO_RESULTS_DIR.
+DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+
+
+def slugify(title):
+    """File-name-safe slug of a report title."""
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    if not slug:
+        raise ValidationError(f"cannot slugify title {title!r}")
+    return slug
+
+
+def results_dir():
+    """The directory reports are saved into (created on demand)."""
+    path = os.environ.get("REPRO_RESULTS_DIR", DEFAULT_RESULTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_report(title, text):
+    """Persist one report; returns the file path."""
+    path = os.path.join(results_dir(), slugify(title) + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text.rstrip() + "\n")
+    return path
+
+
+def load_report(title):
+    """Read a previously saved report (raises FileNotFoundError)."""
+    path = os.path.join(results_dir(), slugify(title) + ".txt")
+    with open(path) as handle:
+        return handle.read()

@@ -1,0 +1,63 @@
+"""From-scratch 2-D computational geometry substrate.
+
+The paper's evaluation pipeline needs polygon overlay (zip-code x county
+intersections), areas, point-in-polygon tests, and Voronoi-style partition
+generation.  Neither shapely nor geopandas is available in this
+environment, so this subpackage implements the required geometry directly:
+
+``primitives``
+    Scalar/vector predicates: orientation, segment intersection, shoelace
+    area, centroids, bounding boxes.
+``polygon``
+    Simple polygons with validation, point containment and ear-clipping
+    triangulation.
+``clip``
+    Half-plane and Sutherland--Hodgman convex clipping.
+``region``
+    ``Region`` -- a convex decomposition of an arbitrary (multi)polygonal
+    area.  All overlay in the library happens on regions: intersection of
+    two regions reduces to convex-convex clips, which is robust and exact
+    up to floating point.
+``boolean``
+    Exact difference / union / symmetric difference on regions, for
+    building merged or hole-punched unit systems.
+``sindex``
+    A uniform-grid spatial index over bounding boxes for candidate-pair
+    pruning during overlay.
+``voronoi``
+    Bounded Voronoi partitions via nearest-neighbour half-plane clipping,
+    used by the synthetic geography generator.
+"""
+
+from repro.geometry.primitives import (
+    BoundingBox,
+    orientation,
+    polygon_area,
+    polygon_centroid,
+    segments_intersect,
+    segment_intersection_point,
+)
+from repro.geometry.polygon import Polygon
+from repro.geometry.clip import clip_to_half_plane, sutherland_hodgman
+from repro.geometry.region import Region
+from repro.geometry.boolean import difference, symmetric_difference, union
+from repro.geometry.sindex import GridIndex
+from repro.geometry.voronoi import voronoi_partition
+
+__all__ = [
+    "BoundingBox",
+    "orientation",
+    "polygon_area",
+    "polygon_centroid",
+    "segments_intersect",
+    "segment_intersection_point",
+    "Polygon",
+    "clip_to_half_plane",
+    "sutherland_hodgman",
+    "Region",
+    "difference",
+    "union",
+    "symmetric_difference",
+    "GridIndex",
+    "voronoi_partition",
+]

@@ -1,0 +1,90 @@
+"""Boolean algebra on regions: difference, union, symmetric difference.
+
+:class:`~repro.geometry.region.Region` already provides intersection
+(the operation overlay needs).  This module completes the algebra using
+the same exact convex-decomposition strategy:
+
+* ``convex minus convex`` decomposes exactly into at most ``m`` convex
+  pieces (``m`` = clip edges): walking the clipper's edges, everything
+  on the *outside* of the current edge is peeled off as one convex
+  piece, and the walk continues inside.  No approximation is involved —
+  the peeled pieces partition ``P \\ Q``.
+* ``region minus region`` folds that over the subtrahend's pieces.
+* union and symmetric difference reduce to difference:
+  ``A | B = A + (B \\ A)`` and ``A ^ B = (A \\ B) + (B \\ A)`` — valid
+  because the summands are interior-disjoint by construction.
+
+These operations let callers build non-Voronoi unit systems (merged
+districts, hole-punched study areas) on the exact vector backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.clip import clip_to_half_plane
+from repro.geometry.primitives import EPSILON, signed_polygon_area
+from repro.geometry.region import Region
+
+
+def _convex_minus_convex(piece, clipper):
+    """Exact decomposition of ``piece \\ clipper`` into convex rings.
+
+    Both inputs are CCW convex rings.  Walk the clipper's edges: at each
+    edge, the part of the remaining polygon strictly *outside* that
+    edge's half-plane cannot intersect the clipper, so it is emitted
+    whole; the walk continues with the inside part.  What remains after
+    all edges is ``piece & clipper`` and is discarded.
+    """
+    out = []
+    remaining = np.asarray(piece, dtype=float)
+    m = len(clipper)
+    for i in range(m):
+        if len(remaining) < 3:
+            break
+        x1, y1 = clipper[i]
+        x2, y2 = clipper[(i + 1) % m]
+        # Inside of a CCW edge is a*x + b*y <= c with a=y2-y1, b=x1-x2.
+        a = y2 - y1
+        b = x1 - x2
+        c = a * x1 + b * y1
+        outside = clip_to_half_plane(remaining, -a, -b, -c)
+        if len(outside) >= 3 and abs(signed_polygon_area(outside)) > EPSILON:
+            out.append(outside)
+        remaining = clip_to_half_plane(remaining, a, b, c)
+    return out
+
+
+def difference(region_a, region_b):
+    """Region of points in ``region_a`` but not ``region_b`` (exact)."""
+    if not isinstance(region_a, Region) or not isinstance(region_b, Region):
+        raise GeometryError("difference operates on Region instances")
+    if region_a.is_empty or region_b.is_empty:
+        return Region(list(region_a.pieces))
+    if not region_a.bbox.intersects(region_b.bbox):
+        return Region(list(region_a.pieces))
+    pieces = list(region_a.pieces)
+    for clipper in region_b.pieces:
+        next_pieces = []
+        for piece in pieces:
+            next_pieces.extend(_convex_minus_convex(piece, clipper))
+        pieces = next_pieces
+        if not pieces:
+            break
+    return Region(pieces)
+
+
+def union(region_a, region_b):
+    """Region covering either operand (exact, interior-disjoint pieces)."""
+    if not isinstance(region_a, Region) or not isinstance(region_b, Region):
+        raise GeometryError("union operates on Region instances")
+    extra = difference(region_b, region_a)
+    return Region(list(region_a.pieces) + list(extra.pieces))
+
+
+def symmetric_difference(region_a, region_b):
+    """Region of points in exactly one operand."""
+    only_a = difference(region_a, region_b)
+    only_b = difference(region_b, region_a)
+    return Region(list(only_a.pieces) + list(only_b.pieces))

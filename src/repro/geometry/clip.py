@@ -1,0 +1,135 @@
+"""Convex clipping: half-plane and Sutherland--Hodgman polygon clipping.
+
+These two clippers are the workhorses of the whole overlay pipeline:
+
+* The Voronoi builder clips a bounding rectangle by perpendicular-bisector
+  half-planes (:func:`clip_to_half_plane`).
+* Region intersection clips convex pieces against convex pieces
+  (:func:`sutherland_hodgman`), which is exact for convex clip polygons.
+
+Both operate on plain ``(n, 2)`` float arrays (CCW rings) and return the
+same; empty results are returned as arrays with zero rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import EPSILON, signed_polygon_area
+
+#: Vertices closer than this (relative to coordinate scale ~1) are merged.
+_WELD_TOLERANCE = 1e-9
+
+
+def _dedupe_ring(points):
+    """Drop consecutive (and wrap-around) duplicate vertices."""
+    if len(points) == 0:
+        return np.empty((0, 2), dtype=float)
+    cleaned = [points[0]]
+    for pt in points[1:]:
+        if abs(pt[0] - cleaned[-1][0]) > _WELD_TOLERANCE or abs(
+            pt[1] - cleaned[-1][1]
+        ) > _WELD_TOLERANCE:
+            cleaned.append(pt)
+    if len(cleaned) > 1 and (
+        abs(cleaned[0][0] - cleaned[-1][0]) <= _WELD_TOLERANCE
+        and abs(cleaned[0][1] - cleaned[-1][1]) <= _WELD_TOLERANCE
+    ):
+        cleaned.pop()
+    return np.asarray(cleaned, dtype=float)
+
+
+def clip_to_half_plane(vertices, a, b, c):
+    """Clip a convex CCW ring to the half-plane ``a*x + b*y <= c``.
+
+    Implements one pass of Sutherland--Hodgman against a single line.
+    Returns the clipped ring, possibly empty.  The input must be convex
+    for the output to be the true intersection; the callers in this
+    library guarantee that.
+    """
+    pts = np.asarray(vertices, dtype=float)
+    if len(pts) == 0:
+        return pts.reshape(0, 2)
+    output = []
+    n = len(pts)
+    values = a * pts[:, 0] + b * pts[:, 1] - c
+    for i in range(n):
+        curr = pts[i]
+        nxt = pts[(i + 1) % n]
+        v_curr = values[i]
+        v_next = values[(i + 1) % n]
+        if v_curr <= EPSILON:
+            output.append((curr[0], curr[1]))
+            if v_next > EPSILON:
+                t = v_curr / (v_curr - v_next)
+                output.append(
+                    (
+                        curr[0] + t * (nxt[0] - curr[0]),
+                        curr[1] + t * (nxt[1] - curr[1]),
+                    )
+                )
+        elif v_next <= EPSILON:
+            t = v_curr / (v_curr - v_next)
+            output.append(
+                (
+                    curr[0] + t * (nxt[0] - curr[0]),
+                    curr[1] + t * (nxt[1] - curr[1]),
+                )
+            )
+    ring = _dedupe_ring(np.asarray(output, dtype=float).reshape(-1, 2))
+    if len(ring) < 3 or abs(signed_polygon_area(ring)) < EPSILON:
+        return np.empty((0, 2), dtype=float)
+    return ring
+
+
+def sutherland_hodgman(subject, clipper):
+    """Intersection of a convex subject ring with a convex CCW clip ring.
+
+    Parameters
+    ----------
+    subject:
+        ``(n, 2)`` CCW ring of the polygon being clipped.  Must be convex
+        for the result to be the exact intersection.
+    clipper:
+        ``(m, 2)`` CCW ring of the convex clip polygon.
+
+    Returns
+    -------
+    numpy.ndarray
+        The CCW ring of the intersection, or an empty ``(0, 2)`` array
+        when the polygons do not overlap in area.
+    """
+    clip = np.asarray(clipper, dtype=float)
+    if len(clip) < 3:
+        raise GeometryError("clip polygon needs at least 3 vertices")
+    ring = np.asarray(subject, dtype=float)
+    m = len(clip)
+    for i in range(m):
+        if len(ring) == 0:
+            break
+        x1, y1 = clip[i]
+        x2, y2 = clip[(i + 1) % m]
+        # Interior of a CCW ring is to the LEFT of each directed edge:
+        # points p with cross(edge, p - p1) >= 0.  Expressed as
+        # a*x + b*y <= c with a=(y2-y1), b=-(x2-x1), c = a*x1 + b*y1.
+        a = y2 - y1
+        b = x1 - x2
+        c = a * x1 + b * y1
+        ring = clip_to_half_plane(ring, a, b, c)
+    return ring
+
+
+def clip_to_box(vertices, box):
+    """Clip a convex CCW ring to a :class:`~repro.geometry.BoundingBox`."""
+    ring = np.asarray(vertices, dtype=float)
+    for a, b, c in (
+        (-1.0, 0.0, -box.xmin),
+        (1.0, 0.0, box.xmax),
+        (0.0, -1.0, -box.ymin),
+        (0.0, 1.0, box.ymax),
+    ):
+        if len(ring) == 0:
+            break
+        ring = clip_to_half_plane(ring, a, b, c)
+    return ring

@@ -1,0 +1,246 @@
+"""Simple polygons: validation, containment and triangulation.
+
+A :class:`Polygon` is a single closed ring of vertices with no
+self-intersections and no holes.  Holes never arise in the library's own
+geography generator (Voronoi cells and unions of cells are hole-free by
+construction), and user-supplied polygons with holes can be pre-split by
+the caller.  Triangulation uses ear clipping, which is O(n^2) but exact
+and dependable for the small rings (tens of vertices) that administrative
+units have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import (
+    EPSILON,
+    BoundingBox,
+    is_ccw,
+    orientation,
+    point_in_ring,
+    points_in_ring,
+    polygon_centroid,
+    segments_intersect,
+    signed_polygon_area,
+)
+
+
+class Polygon:
+    """An immutable simple polygon stored as a CCW vertex ring.
+
+    Parameters
+    ----------
+    vertices:
+        ``(n, 2)`` array-like of ring vertices, either winding, without a
+        repeated closing vertex.  The constructor normalises to CCW.
+    validate:
+        When true (default), reject rings with fewer than three vertices,
+        non-finite coordinates, numerically zero area, consecutive
+        duplicate vertices, or self-intersections.
+    """
+
+    __slots__ = ("vertices", "_bbox")
+
+    def __init__(self, vertices, validate=True):
+        pts = np.asarray(vertices, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise GeometryError(
+                f"polygon vertices must be (n, 2), got shape {pts.shape}"
+            )
+        if len(pts) >= 2 and np.allclose(pts[0], pts[-1]):
+            pts = pts[:-1]
+        if validate:
+            self._validate_ring(pts)
+        if not is_ccw(pts):
+            pts = pts[::-1]
+        pts.setflags(write=False)
+        self.vertices = pts
+        self._bbox = None
+
+    @staticmethod
+    def _validate_ring(pts):
+        if len(pts) < 3:
+            raise GeometryError(
+                f"a polygon needs at least 3 vertices, got {len(pts)}"
+            )
+        if not np.all(np.isfinite(pts)):
+            raise GeometryError("polygon vertices contain NaN or inf")
+        deltas = np.linalg.norm(np.diff(pts, axis=0, append=pts[:1]), axis=1)
+        if np.any(deltas < EPSILON):
+            raise GeometryError("polygon has consecutive duplicate vertices")
+        if abs(signed_polygon_area(pts)) < EPSILON:
+            raise GeometryError("polygon has numerically zero area")
+        Polygon._check_simple(pts)
+
+    @staticmethod
+    def _check_simple(pts):
+        """O(n^2) pairwise edge check for self-intersection."""
+        n = len(pts)
+        for i in range(n):
+            a1 = pts[i]
+            a2 = pts[(i + 1) % n]
+            for j in range(i + 1, n):
+                # Adjacent edges share an endpoint by construction.
+                if j == i or (j + 1) % n == i or (i + 1) % n == j:
+                    continue
+                b1 = pts[j]
+                b2 = pts[(j + 1) % n]
+                if segments_intersect(a1, a2, b1, b2):
+                    raise GeometryError(
+                        f"polygon is self-intersecting (edges {i} and {j})"
+                    )
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def area(self):
+        """Absolute area of the polygon."""
+        return abs(signed_polygon_area(self.vertices))
+
+    @property
+    def centroid(self):
+        """Area centroid as an ``(x, y)`` tuple."""
+        return polygon_centroid(self.vertices)
+
+    @property
+    def bbox(self):
+        """Axis-aligned bounding box (cached)."""
+        if self._bbox is None:
+            self._bbox = BoundingBox.of_points(self.vertices)
+        return self._bbox
+
+    def __len__(self):
+        return len(self.vertices)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point):
+        """Even-odd containment test for one point."""
+        if not self.bbox.contains_point(point):
+            return False
+        return point_in_ring(point, self.vertices)
+
+    def contains_points(self, points):
+        """Vectorised containment for an ``(m, 2)`` point array."""
+        pts = np.asarray(points, dtype=float)
+        result = np.zeros(len(pts), dtype=bool)
+        box = self.bbox
+        candidate = (
+            (pts[:, 0] >= box.xmin)
+            & (pts[:, 0] <= box.xmax)
+            & (pts[:, 1] >= box.ymin)
+            & (pts[:, 1] <= box.ymax)
+        )
+        if np.any(candidate):
+            result[candidate] = points_in_ring(pts[candidate], self.vertices)
+        return result
+
+    def is_convex(self):
+        """True when every turn along the (CCW) ring is non-clockwise."""
+        pts = self.vertices
+        n = len(pts)
+        for i in range(n):
+            turn = orientation(pts[i], pts[(i + 1) % n], pts[(i + 2) % n])
+            if turn < -EPSILON:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Triangulation
+    # ------------------------------------------------------------------
+    def triangulate(self):
+        """Ear-clipping triangulation.
+
+        Returns a list of ``(3, 2)`` arrays whose triangles partition the
+        polygon.  The sum of triangle areas equals the polygon area (an
+        invariant the test suite checks with hypothesis).
+        """
+        pts = [tuple(p) for p in self.vertices]
+        n = len(pts)
+        if n == 3:
+            return [np.asarray(pts, dtype=float)]
+        indices = list(range(n))
+        triangles = []
+        guard = 0
+        max_iterations = 2 * n * n
+        while len(indices) > 3:
+            guard += 1
+            if guard > max_iterations:
+                raise GeometryError(
+                    "ear clipping failed to converge; polygon is likely "
+                    "degenerate or self-intersecting"
+                )
+            clipped = False
+            m = len(indices)
+            for k in range(m):
+                i_prev = indices[(k - 1) % m]
+                i_curr = indices[k]
+                i_next = indices[(k + 1) % m]
+                if self._is_ear(pts, indices, i_prev, i_curr, i_next):
+                    triangles.append(
+                        np.asarray(
+                            [pts[i_prev], pts[i_curr], pts[i_next]],
+                            dtype=float,
+                        )
+                    )
+                    indices.pop(k)
+                    clipped = True
+                    break
+            if not clipped:
+                # Numerical stalemate: clip the least-bad convex corner so
+                # progress is always made on nearly-degenerate rings.
+                k = self._fallback_ear(pts, indices)
+                m = len(indices)
+                i_prev = indices[(k - 1) % m]
+                i_curr = indices[k]
+                i_next = indices[(k + 1) % m]
+                triangles.append(
+                    np.asarray(
+                        [pts[i_prev], pts[i_curr], pts[i_next]], dtype=float
+                    )
+                )
+                indices.pop(k)
+        triangles.append(
+            np.asarray([pts[i] for i in indices], dtype=float)
+        )
+        return [t for t in triangles if abs(signed_polygon_area(t)) > 0.0]
+
+    @staticmethod
+    def _is_ear(pts, indices, i_prev, i_curr, i_next):
+        a, b, c = pts[i_prev], pts[i_curr], pts[i_next]
+        if orientation(a, b, c) <= EPSILON:
+            return False  # reflex or collinear corner
+        for idx in indices:
+            if idx in (i_prev, i_curr, i_next):
+                continue
+            p = pts[idx]
+            if (
+                orientation(a, b, p) >= -EPSILON
+                and orientation(b, c, p) >= -EPSILON
+                and orientation(c, a, p) >= -EPSILON
+            ):
+                return False
+        return True
+
+    @staticmethod
+    def _fallback_ear(pts, indices):
+        """Index (into ``indices``) of the most convex corner."""
+        m = len(indices)
+        best_k = 0
+        best_turn = -np.inf
+        for k in range(m):
+            a = pts[indices[(k - 1) % m]]
+            b = pts[indices[k]]
+            c = pts[indices[(k + 1) % m]]
+            turn = orientation(a, b, c)
+            if turn > best_turn:
+                best_turn = turn
+                best_k = k
+        return best_k
+
+    def __repr__(self):
+        return f"Polygon(n={len(self.vertices)}, area={self.area:.6g})"

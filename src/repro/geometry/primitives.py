@@ -1,0 +1,273 @@
+"""Scalar geometric predicates and measures on point arrays.
+
+Points are ``(x, y)`` pairs; polygons are ``(n, 2)`` float arrays of
+vertices in order (either winding; functions that care normalise).  All
+functions are pure and operate on plain numpy arrays so they compose with
+the vectorised code in :mod:`repro.raster` and :mod:`repro.synth`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+#: Relative tolerance used by predicates to absorb floating-point noise.
+EPSILON = 1e-12
+
+
+def orientation(p, q, r):
+    """Signed twice-area of triangle ``p q r``.
+
+    Positive when the turn ``p -> q -> r`` is counter-clockwise, negative
+    when clockwise, and (close to) zero when the points are collinear.
+    """
+    return (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+
+
+def is_ccw(vertices):
+    """True when the vertex ring is in counter-clockwise order."""
+    return signed_polygon_area(vertices) > 0.0
+
+
+def signed_polygon_area(vertices):
+    """Shoelace signed area of a vertex ring (positive when CCW)."""
+    pts = np.asarray(vertices, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(
+            f"expected an (n, 2) vertex array, got shape {pts.shape}"
+        )
+    if len(pts) < 3:
+        return 0.0
+    x = pts[:, 0]
+    y = pts[:, 1]
+    return 0.5 * float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+
+
+def polygon_area(vertices):
+    """Absolute area of a vertex ring (winding-independent)."""
+    return abs(signed_polygon_area(vertices))
+
+
+def polygon_centroid(vertices):
+    """Area centroid of a simple polygon.
+
+    Falls back to the vertex mean for (near-)degenerate rings whose area is
+    numerically zero, which keeps downstream code (e.g. label placement,
+    seed repair) total.
+    """
+    pts = np.asarray(vertices, dtype=float)
+    a = signed_polygon_area(pts)
+    if abs(a) < EPSILON:
+        return tuple(pts.mean(axis=0))
+    x = pts[:, 0]
+    y = pts[:, 1]
+    xn = np.roll(x, -1)
+    yn = np.roll(y, -1)
+    cross = x * yn - xn * y
+    cx = float(np.sum((x + xn) * cross) / (6.0 * a))
+    cy = float(np.sum((y + yn) * cross) / (6.0 * a))
+    return (cx, cy)
+
+
+def _on_segment(p, q, r):
+    """True when collinear point ``q`` lies on segment ``p r``."""
+    return (
+        min(p[0], r[0]) - EPSILON <= q[0] <= max(p[0], r[0]) + EPSILON
+        and min(p[1], r[1]) - EPSILON <= q[1] <= max(p[1], r[1]) + EPSILON
+    )
+
+
+def segments_intersect(a1, a2, b1, b2):
+    """True when closed segments ``a1 a2`` and ``b1 b2`` share a point."""
+    d1 = orientation(b1, b2, a1)
+    d2 = orientation(b1, b2, a2)
+    d3 = orientation(a1, a2, b1)
+    d4 = orientation(a1, a2, b2)
+    if ((d1 > 0 and d2 < 0) or (d1 < 0 and d2 > 0)) and (
+        (d3 > 0 and d4 < 0) or (d3 < 0 and d4 > 0)
+    ):
+        return True
+    if abs(d1) <= EPSILON and _on_segment(b1, a1, b2):
+        return True
+    if abs(d2) <= EPSILON and _on_segment(b1, a2, b2):
+        return True
+    if abs(d3) <= EPSILON and _on_segment(a1, b1, a2):
+        return True
+    if abs(d4) <= EPSILON and _on_segment(a1, b2, a2):
+        return True
+    return False
+
+
+def segment_intersection_point(a1, a2, b1, b2):
+    """Intersection point of two segments, or ``None`` when they miss.
+
+    Parallel/collinear overlapping segments also return ``None``; callers
+    in this library only need proper crossing points (clipping handles the
+    degenerate alignments separately).
+    """
+    r = (a2[0] - a1[0], a2[1] - a1[1])
+    s = (b2[0] - b1[0], b2[1] - b1[1])
+    denom = r[0] * s[1] - r[1] * s[0]
+    if abs(denom) < EPSILON:
+        return None
+    qp = (b1[0] - a1[0], b1[1] - a1[1])
+    t = (qp[0] * s[1] - qp[1] * s[0]) / denom
+    u = (qp[0] * r[1] - qp[1] * r[0]) / denom
+    if -EPSILON <= t <= 1.0 + EPSILON and -EPSILON <= u <= 1.0 + EPSILON:
+        return (a1[0] + t * r[0], a1[1] + t * r[1])
+    return None
+
+
+def point_in_ring(point, vertices):
+    """Even-odd point-in-polygon test for a single vertex ring.
+
+    Points exactly on the boundary may report either side; the overlay
+    pipeline never relies on boundary classification (intersection units
+    have measure-zero shared boundaries).
+    """
+    x, y = point
+    pts = np.asarray(vertices, dtype=float)
+    n = len(pts)
+    inside = False
+    j = n - 1
+    for i in range(n):
+        xi, yi = pts[i]
+        xj, yj = pts[j]
+        if (yi > y) != (yj > y):
+            x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+            if x < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def points_in_ring(points, vertices):
+    """Vectorised even-odd test: ``(m, 2)`` points against one ring.
+
+    Returns a boolean array of length ``m``.  This is the hot path for
+    assigning synthetic point datasets to units, so it is written with
+    numpy broadcasting rather than a Python loop over points.
+    """
+    pts = np.asarray(points, dtype=float)
+    ring = np.asarray(vertices, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(
+            f"expected an (m, 2) point array, got shape {pts.shape}"
+        )
+    x = pts[:, 0][:, None]
+    y = pts[:, 1][:, None]
+    xi = ring[:, 0][None, :]
+    yi = ring[:, 1][None, :]
+    xj = np.roll(ring[:, 0], 1)[None, :]
+    yj = np.roll(ring[:, 1], 1)[None, :]
+    straddles = (yi > y) != (yj > y)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+    hits = straddles & (x < x_cross)
+    return np.count_nonzero(hits, axis=1) % 2 == 1
+
+
+class BoundingBox:
+    """Axis-aligned bounding box with the overlay predicates we need."""
+
+    __slots__ = ("xmin", "ymin", "xmax", "ymax")
+
+    def __init__(self, xmin, ymin, xmax, ymax):
+        if xmax < xmin or ymax < ymin:
+            raise GeometryError(
+                f"inverted bounding box: ({xmin}, {ymin}, {xmax}, {ymax})"
+            )
+        self.xmin = float(xmin)
+        self.ymin = float(ymin)
+        self.xmax = float(xmax)
+        self.ymax = float(ymax)
+
+    @classmethod
+    def of_points(cls, points):
+        """Smallest box containing every point in an ``(n, 2)`` array."""
+        pts = np.asarray(points, dtype=float)
+        if len(pts) == 0:
+            raise GeometryError("cannot bound an empty point set")
+        return cls(
+            pts[:, 0].min(), pts[:, 1].min(), pts[:, 0].max(), pts[:, 1].max()
+        )
+
+    @property
+    def width(self):
+        return self.xmax - self.xmin
+
+    @property
+    def height(self):
+        return self.ymax - self.ymin
+
+    @property
+    def area(self):
+        return self.width * self.height
+
+    @property
+    def center(self):
+        return (0.5 * (self.xmin + self.xmax), 0.5 * (self.ymin + self.ymax))
+
+    def intersects(self, other):
+        """True when the two boxes share any point (closed boxes)."""
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def contains_point(self, point):
+        x, y = point
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def expanded(self, margin):
+        """A copy grown by ``margin`` on every side."""
+        return BoundingBox(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+        )
+
+    def union(self, other):
+        return BoundingBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def corners(self):
+        """Counter-clockwise corner ring as an ``(4, 2)`` array."""
+        return np.array(
+            [
+                (self.xmin, self.ymin),
+                (self.xmax, self.ymin),
+                (self.xmax, self.ymax),
+                (self.xmin, self.ymax),
+            ],
+            dtype=float,
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, BoundingBox):
+            return NotImplemented
+        return (
+            math.isclose(self.xmin, other.xmin)
+            and math.isclose(self.ymin, other.ymin)
+            and math.isclose(self.xmax, other.xmax)
+            and math.isclose(self.ymax, other.ymax)
+        )
+
+    def __hash__(self):
+        return hash((self.xmin, self.ymin, self.xmax, self.ymax))
+
+    def __repr__(self):
+        return (
+            f"BoundingBox({self.xmin:.6g}, {self.ymin:.6g}, "
+            f"{self.xmax:.6g}, {self.ymax:.6g})"
+        )

@@ -1,0 +1,256 @@
+"""Regions: arbitrary polygonal areas as convex decompositions.
+
+Every areal unit in the vector overlay pipeline -- zip code, county, or a
+zip x county intersection -- is represented as a :class:`Region`: a list
+of disjoint convex pieces (each a CCW vertex ring).  This representation
+makes every operation the library needs both simple and robust:
+
+* ``area``        -- sum of piece areas (shoelace).
+* intersection    -- pairwise Sutherland--Hodgman clips between pieces,
+  which is exact because both operands of each clip are convex.
+* point sampling  -- area-weighted triangle sampling inside the region.
+
+Arbitrary simple polygons enter the representation through ear-clipping
+triangulation (:meth:`Region.from_polygon`), and unions of already-disjoint
+cells (how the synthetic geography builds counties from Voronoi cells)
+through :meth:`Region.from_pieces`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.clip import sutherland_hodgman
+from repro.geometry.polygon import Polygon
+from repro.geometry.primitives import (
+    BoundingBox,
+    point_in_ring,
+    points_in_ring,
+    signed_polygon_area,
+)
+from repro.utils.rng import as_rng
+
+#: Intersection pieces with area below this fraction of the smaller operand
+#: are numerical slivers and are dropped.
+_SLIVER_FRACTION = 1e-12
+
+
+class Region:
+    """A polygonal area stored as disjoint convex CCW pieces.
+
+    Construct via :meth:`from_polygon`, :meth:`from_pieces`,
+    :meth:`from_box`, or the intersection of two existing regions.
+    """
+
+    __slots__ = ("pieces", "_bbox", "_area")
+
+    def __init__(self, pieces):
+        cleaned = []
+        for piece in pieces:
+            ring = np.asarray(piece, dtype=float)
+            if ring.ndim != 2 or ring.shape[1] != 2:
+                raise GeometryError(
+                    f"region piece must be (n, 2), got shape {ring.shape}"
+                )
+            if len(ring) < 3:
+                continue
+            area = signed_polygon_area(ring)
+            if area == 0.0:
+                continue
+            if area < 0.0:
+                ring = ring[::-1]
+            cleaned.append(np.ascontiguousarray(ring))
+        self.pieces = cleaned
+        self._bbox = None
+        self._area = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_polygon(cls, polygon):
+        """Build a region from a simple polygon (triangulating if concave)."""
+        if not isinstance(polygon, Polygon):
+            polygon = Polygon(polygon)
+        if polygon.is_convex():
+            return cls([polygon.vertices])
+        return cls(polygon.triangulate())
+
+    @classmethod
+    def from_pieces(cls, regions):
+        """Union of regions already known to be interior-disjoint.
+
+        The synthetic geography generator composes counties from disjoint
+        Voronoi cells, so a concatenation of pieces is an exact union
+        there.  This method does **not** resolve overlaps.
+        """
+        pieces = []
+        for region in regions:
+            pieces.extend(region.pieces)
+        return cls(pieces)
+
+    @classmethod
+    def from_box(cls, box):
+        """Region covering a :class:`BoundingBox`."""
+        return cls([box.corners()])
+
+    @property
+    def is_empty(self):
+        return len(self.pieces) == 0
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def area(self):
+        """Total area (cached)."""
+        if self._area is None:
+            self._area = float(
+                sum(signed_polygon_area(p) for p in self.pieces)
+            )
+        return self._area
+
+    @property
+    def bbox(self):
+        """Bounding box over all pieces (cached)."""
+        if self._bbox is None:
+            if self.is_empty:
+                raise GeometryError("an empty region has no bounding box")
+            box = BoundingBox.of_points(self.pieces[0])
+            for piece in self.pieces[1:]:
+                box = box.union(BoundingBox.of_points(piece))
+            self._bbox = box
+        return self._bbox
+
+    @property
+    def centroid(self):
+        """Area-weighted centroid across pieces."""
+        if self.is_empty:
+            raise GeometryError("an empty region has no centroid")
+        total = 0.0
+        cx = 0.0
+        cy = 0.0
+        for piece in self.pieces:
+            a = signed_polygon_area(piece)
+            px, py = _convex_centroid(piece)
+            total += a
+            cx += a * px
+            cy += a * py
+        return (cx / total, cy / total)
+
+    # ------------------------------------------------------------------
+    # Overlay
+    # ------------------------------------------------------------------
+    def intersection(self, other):
+        """Region of overlap with another region (possibly empty)."""
+        if self.is_empty or other.is_empty:
+            return Region([])
+        if not self.bbox.intersects(other.bbox):
+            return Region([])
+        min_area = min(self.area, other.area)
+        threshold = min_area * _SLIVER_FRACTION
+        pieces = []
+        other_boxes = [BoundingBox.of_points(p) for p in other.pieces]
+        for mine in self.pieces:
+            mine_box = BoundingBox.of_points(mine)
+            for theirs, their_box in zip(other.pieces, other_boxes):
+                if not mine_box.intersects(their_box):
+                    continue
+                clipped = sutherland_hodgman(mine, theirs)
+                if len(clipped) >= 3 and signed_polygon_area(clipped) > threshold:
+                    pieces.append(clipped)
+        return Region(pieces)
+
+    def intersection_area(self, other):
+        """Area of overlap, without materialising the pieces list twice."""
+        return self.intersection(other).area
+
+    # ------------------------------------------------------------------
+    # Point predicates / sampling
+    # ------------------------------------------------------------------
+    def contains_point(self, point):
+        """True when the point is inside any piece."""
+        if self.is_empty or not self.bbox.contains_point(point):
+            return False
+        return any(point_in_ring(point, piece) for piece in self.pieces)
+
+    def contains_points(self, points):
+        """Vectorised containment for an ``(m, 2)`` point array."""
+        pts = np.asarray(points, dtype=float)
+        result = np.zeros(len(pts), dtype=bool)
+        if self.is_empty or len(pts) == 0:
+            return result
+        box = self.bbox
+        candidate = (
+            (pts[:, 0] >= box.xmin)
+            & (pts[:, 0] <= box.xmax)
+            & (pts[:, 1] >= box.ymin)
+            & (pts[:, 1] <= box.ymax)
+        )
+        idx = np.flatnonzero(candidate)
+        if len(idx) == 0:
+            return result
+        sub = pts[idx]
+        hit = np.zeros(len(sub), dtype=bool)
+        for piece in self.pieces:
+            remaining = ~hit
+            if not np.any(remaining):
+                break
+            hit[remaining] |= points_in_ring(sub[remaining], piece)
+        result[idx] = hit
+        return result
+
+    def sample_points(self, n, seed=None):
+        """Draw ``n`` points uniformly at random inside the region.
+
+        Each convex piece is fan-triangulated; a triangle is selected with
+        probability proportional to its area and a point drawn uniformly
+        inside it using the standard sqrt transform.
+        """
+        if self.is_empty:
+            raise GeometryError("cannot sample from an empty region")
+        rng = as_rng(seed)
+        triangles = []
+        for piece in self.pieces:
+            for k in range(1, len(piece) - 1):
+                triangles.append((piece[0], piece[k], piece[k + 1]))
+        areas = np.array(
+            [abs(signed_polygon_area(np.asarray(t))) for t in triangles]
+        )
+        total = areas.sum()
+        if total <= 0.0:
+            raise GeometryError("region has zero area; cannot sample")
+        probs = areas / total
+        choices = rng.choice(len(triangles), size=n, p=probs)
+        u = np.sqrt(rng.random(n))
+        v = rng.random(n)
+        pts = np.empty((n, 2), dtype=float)
+        tri_arr = np.asarray(triangles, dtype=float)
+        a = tri_arr[choices, 0]
+        b = tri_arr[choices, 1]
+        c = tri_arr[choices, 2]
+        pts = (
+            a * (1.0 - u)[:, None]
+            + b * (u * (1.0 - v))[:, None]
+            + c * (u * v)[:, None]
+        )
+        return pts
+
+    def __repr__(self):
+        return f"Region(pieces={len(self.pieces)}, area={self.area:.6g})"
+
+
+def _convex_centroid(ring):
+    """Centroid of one convex CCW ring via the shoelace centroid formula."""
+    x = ring[:, 0]
+    y = ring[:, 1]
+    xn = np.roll(x, -1)
+    yn = np.roll(y, -1)
+    cross = x * yn - xn * y
+    a = 0.5 * float(cross.sum())
+    if a == 0.0:
+        return (float(x.mean()), float(y.mean()))
+    cx = float(np.sum((x + xn) * cross) / (6.0 * a))
+    cy = float(np.sum((y + yn) * cross) / (6.0 * a))
+    return (cx, cy)

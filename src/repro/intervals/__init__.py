@@ -1,0 +1,11 @@
+"""1-D interval unit systems (paper §2.2, Figure 3).
+
+Histogram realignment -- e.g. population counts over narrow age bins
+re-expressed over wide age bins -- is the one-dimensional instance of the
+aggregate interpolation problem.  Units are intervals on the real line
+and overlap measure is overlap length.
+"""
+
+from repro.intervals.bins import IntervalUnitSystem
+
+__all__ = ["IntervalUnitSystem"]

@@ -1,0 +1,25 @@
+"""Evaluation metrics and the cross-validation harness of paper §4."""
+
+from repro.metrics.errors import (
+    mae,
+    mean_absolute_percentage_error,
+    nrmse,
+    pearson_correlation,
+    rmse,
+)
+from repro.metrics.crossval import (
+    CrossValidationResult,
+    MethodScore,
+    leave_one_dataset_out,
+)
+
+__all__ = [
+    "rmse",
+    "nrmse",
+    "mae",
+    "mean_absolute_percentage_error",
+    "pearson_correlation",
+    "leave_one_dataset_out",
+    "CrossValidationResult",
+    "MethodScore",
+]

@@ -1,0 +1,30 @@
+"""Unit systems, intersection structures and disaggregation matrices.
+
+This subpackage is the vocabulary of the aggregate-interpolation problem
+(paper section 2): a *unit system* partitions the universe; two unit
+systems induce *intersection units*; an attribute's split across
+source x target intersections is its *disaggregation matrix* (DM).
+
+The geometry backends (vector polygons, rasters, intervals, boxes) all
+surface through the same :class:`~repro.partitions.system.UnitSystem`
+interface, so GeoAlign and the baselines are dimension- and
+backend-agnostic, exactly as the paper claims for the algorithm.
+"""
+
+from repro.partitions.system import UnitSystem, VectorUnitSystem
+from repro.partitions.dm import DisaggregationMatrix
+from repro.partitions.intersection import IntersectionUnits, build_intersection
+from repro.partitions.crosswalk import (
+    read_crosswalk_csv,
+    write_crosswalk_csv,
+)
+
+__all__ = [
+    "UnitSystem",
+    "VectorUnitSystem",
+    "DisaggregationMatrix",
+    "IntersectionUnits",
+    "build_intersection",
+    "read_crosswalk_csv",
+    "write_crosswalk_csv",
+]

@@ -1,0 +1,236 @@
+"""Labelled sparse disaggregation matrices.
+
+A disaggregation matrix ``DM_x`` of attribute ``x`` between a source and a
+target unit system (paper Eq. 13) holds in cell ``[i, j]`` the aggregate
+of ``x`` in the intersection of source unit ``i`` and target unit ``j``.
+Row sums recover the source aggregate vector; column sums recover the
+target aggregate vector.  Real crosswalk relationship files are exactly
+this object in tabular form.
+
+The matrix is stored as ``scipy.sparse.csr_matrix`` because administrative
+overlays are extremely sparse (a zip code touches a handful of counties),
+and the paper's runtime analysis (section 4.3) explicitly ties GeoAlign's
+speed to sparse storage of DMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ShapeMismatchError, ValidationError
+
+
+class DisaggregationMatrix:
+    """A sparse source x target matrix with unit labels on both axes.
+
+    Parameters
+    ----------
+    matrix:
+        Anything ``scipy.sparse.csr_matrix`` accepts (sparse matrix or
+        dense 2-D array).  Negative entries are rejected: disaggregation
+        matrices hold aggregates of non-negative count data.
+    source_labels, target_labels:
+        Unit labels for rows and columns; lengths must match the shape.
+    """
+
+    def __init__(self, matrix, source_labels, target_labels):
+        mat = sparse.csr_matrix(matrix, dtype=float)
+        mat.eliminate_zeros()
+        source_labels = [str(s) for s in source_labels]
+        target_labels = [str(t) for t in target_labels]
+        if mat.shape != (len(source_labels), len(target_labels)):
+            raise ShapeMismatchError(
+                f"matrix shape {mat.shape} does not match "
+                f"{len(source_labels)} source and {len(target_labels)} "
+                "target labels"
+            )
+        if mat.nnz and mat.data.min() < 0:
+            raise ValidationError(
+                "disaggregation matrices hold non-negative aggregates; "
+                f"minimum entry is {mat.data.min()}"
+            )
+        if mat.nnz and not np.all(np.isfinite(mat.data)):
+            raise ValidationError("disaggregation matrix has non-finite data")
+        self.matrix = mat
+        self.source_labels = source_labels
+        self.target_labels = target_labels
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, src_idx, tgt_idx, values, source_labels, target_labels):
+        """Build from COO triplets (duplicate pairs are summed)."""
+        mat = sparse.coo_matrix(
+            (
+                np.asarray(values, dtype=float),
+                (np.asarray(src_idx), np.asarray(tgt_idx)),
+            ),
+            shape=(len(source_labels), len(target_labels)),
+        )
+        return cls(mat.tocsr(), source_labels, target_labels)
+
+    @classmethod
+    def zeros(cls, source_labels, target_labels):
+        """All-zero DM with the given labelling."""
+        mat = sparse.csr_matrix((len(source_labels), len(target_labels)))
+        return cls(mat, source_labels, target_labels)
+
+    # ------------------------------------------------------------------
+    # Views and measures
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.matrix.shape
+
+    @property
+    def nnz(self):
+        """Number of stored non-zero intersections."""
+        return self.matrix.nnz
+
+    def row_sums(self):
+        """Source-level aggregate vector implied by the matrix."""
+        return np.asarray(self.matrix.sum(axis=1)).ravel()
+
+    def col_sums(self):
+        """Target-level aggregate vector implied by the matrix."""
+        return np.asarray(self.matrix.sum(axis=0)).ravel()
+
+    def total(self):
+        """Grand total of the attribute over the universe."""
+        return float(self.matrix.sum())
+
+    def to_dense(self):
+        """Dense ``numpy`` copy (small matrices / tests only)."""
+        return self.matrix.toarray()
+
+    # ------------------------------------------------------------------
+    # Algebra used by GeoAlign
+    # ------------------------------------------------------------------
+    def _require_same_labels(self, other):
+        if (
+            self.source_labels != other.source_labels
+            or self.target_labels != other.target_labels
+        ):
+            raise ShapeMismatchError(
+                "disaggregation matrices are labelled over different unit "
+                "systems and cannot be combined"
+            )
+
+    @staticmethod
+    def blend(dms, weights):
+        """Weighted sum ``sum_k w_k * DM_k`` of same-labelled matrices.
+
+        This is the numerator of the paper's Eq. 14.  Weights may be any
+        non-negative floats; GeoAlign passes simplex weights.
+        """
+        dms = list(dms)
+        weights = np.asarray(weights, dtype=float)
+        if len(dms) == 0:
+            raise ValidationError("blend needs at least one matrix")
+        if weights.shape != (len(dms),):
+            raise ShapeMismatchError(
+                f"{len(dms)} matrices but weight vector of shape "
+                f"{weights.shape}"
+            )
+        first = dms[0]
+        acc = first.matrix * float(weights[0])
+        for dm, w in zip(dms[1:], weights[1:]):
+            first._require_same_labels(dm)
+            if w != 0.0:
+                acc = acc + dm.matrix * float(w)
+        return DisaggregationMatrix(
+            acc, first.source_labels, first.target_labels
+        )
+
+    def rescale_rows(self, new_totals, denominators=None):
+        """Per-row rescale: row ``i`` becomes ``row_i * new/denom``.
+
+        With ``denominators=None`` the current row sums are used, making
+        the result's row sums exactly ``new_totals`` wherever the row is
+        non-empty -- the volume-preserving step of Eq. 14/16.  Rows whose
+        denominator is zero become zero rows (the paper's "otherwise 0"
+        branch).
+        """
+        new_totals = np.asarray(new_totals, dtype=float)
+        if new_totals.shape != (self.shape[0],):
+            raise ShapeMismatchError(
+                f"new_totals must have shape ({self.shape[0]},), got "
+                f"{new_totals.shape}"
+            )
+        if denominators is None:
+            denominators = self.row_sums()
+        else:
+            denominators = np.asarray(denominators, dtype=float)
+            if denominators.shape != (self.shape[0],):
+                raise ShapeMismatchError(
+                    f"denominators must have shape ({self.shape[0]},), got "
+                    f"{denominators.shape}"
+                )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            factors = np.where(
+                denominators > 0.0, new_totals / denominators, 0.0
+            )
+        scaler = sparse.diags(factors)
+        return DisaggregationMatrix(
+            scaler @ self.matrix, self.source_labels, self.target_labels
+        )
+
+    def row_shares(self):
+        """Row-stochastic version: each non-empty row rescaled to sum 1."""
+        return self.rescale_rows(np.ones(self.shape[0]))
+
+    def transposed(self):
+        """The same matrix viewed from target to source."""
+        return DisaggregationMatrix(
+            self.matrix.T.tocsr(), self.target_labels, self.source_labels
+        )
+
+    def compose(self, other):
+        """Chain two crosswalks: source -> mid -> target.
+
+        ``self`` disaggregates an attribute from source units to mid
+        units; ``other`` holds the same attribute's split from mid units
+        to target units.  Under the standard proportionality assumption
+        (each mid unit's mass splits over targets independently of which
+        source it came from -- how multi-hop crosswalk files like
+        tract->zip->county chains are applied in practice), the composed
+        source -> target matrix is ``self @ row_shares(other)``.
+
+        Row sums (the source aggregates) are preserved for every source
+        unit whose mid-unit mass lands only on non-empty rows of
+        ``other``; mass reaching an empty ``other`` row is dropped, as
+        in a single-hop crosswalk with a zero-reference row.
+        """
+        if not isinstance(other, DisaggregationMatrix):
+            raise ValidationError(
+                f"can only compose with a DisaggregationMatrix, got "
+                f"{type(other).__name__}"
+            )
+        if self.target_labels != other.source_labels:
+            raise ShapeMismatchError(
+                "composition requires the left matrix's target units to "
+                "be the right matrix's source units"
+            )
+        shares = other.row_shares()
+        return DisaggregationMatrix(
+            self.matrix @ shares.matrix,
+            self.source_labels,
+            other.target_labels,
+        )
+
+    def allclose(self, other, rtol=1e-9, atol=1e-12):
+        """Numerically compare two same-labelled matrices."""
+        self._require_same_labels(other)
+        diff = (self.matrix - other.matrix).tocoo()
+        if diff.nnz == 0:
+            return True
+        scale = max(abs(self.matrix).max(), abs(other.matrix).max())
+        return bool(np.all(np.abs(diff.data) <= atol + rtol * scale))
+
+    def __repr__(self):
+        return (
+            f"DisaggregationMatrix({self.shape[0]}x{self.shape[1]}, "
+            f"nnz={self.nnz}, total={self.total():.6g})"
+        )

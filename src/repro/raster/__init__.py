@@ -1,0 +1,18 @@
+"""Raster (lattice) backend for country-scale unit systems.
+
+At United States scale (~30k zip codes x ~3.1k counties) exact vector
+overlay in pure Python is avoidably slow.  This backend discretises the
+universe into a fine lattice; every unit is a set of whole cells, so
+overlap between two unit systems sharing one grid is an exact integer
+tabulation (a vectorised group-by), and point location is O(1) per point.
+
+This mirrors standard GIS practice (dasymetric rasters) and preserves the
+algorithmic content: GeoAlign only ever sees labels, vectors and DMs.
+Agreement between the raster and vector backends on the same geography is
+covered by the test suite.
+"""
+
+from repro.raster.grid import RasterGrid
+from repro.raster.zones import RasterUnitSystem, voronoi_zone_raster
+
+__all__ = ["RasterGrid", "RasterUnitSystem", "voronoi_zone_raster"]

@@ -1,0 +1,103 @@
+"""Regular lattice over a rectangular universe.
+
+A :class:`RasterGrid` owns the geometry-free bookkeeping shared by zone
+rasters and density fields: cell centres, point-to-cell hashing, and the
+cell <-> (row, col) <-> flat-index conversions.  Cells are half-open in
+both axes so every point maps to exactly one cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import BoundingBox
+
+
+class RasterGrid:
+    """An ``ny`` x ``nx`` lattice of equal rectangular cells.
+
+    Parameters
+    ----------
+    extent:
+        :class:`~repro.geometry.primitives.BoundingBox` covered by the
+        grid.
+    nx, ny:
+        Cell counts along x and y.
+    """
+
+    def __init__(self, extent, nx, ny):
+        if nx <= 0 or ny <= 0:
+            raise GeometryError(f"grid shape must be positive, got {nx}x{ny}")
+        if extent.width <= 0 or extent.height <= 0:
+            raise GeometryError("grid extent must have positive area")
+        self.extent = extent
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.cell_width = extent.width / self.nx
+        self.cell_height = extent.height / self.ny
+
+    @property
+    def n_cells(self):
+        return self.nx * self.ny
+
+    @property
+    def cell_area(self):
+        return self.cell_width * self.cell_height
+
+    def cell_centers(self):
+        """``(n_cells, 2)`` array of cell centres in flat (row-major) order."""
+        xs = self.extent.xmin + (np.arange(self.nx) + 0.5) * self.cell_width
+        ys = self.extent.ymin + (np.arange(self.ny) + 0.5) * self.cell_height
+        gx, gy = np.meshgrid(xs, ys)
+        return np.column_stack((gx.ravel(), gy.ravel()))
+
+    def locate_points(self, points):
+        """Flat cell index per point; -1 for points outside the extent."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise GeometryError(
+                f"points must be (m, 2), got shape {pts.shape}"
+            )
+        col = np.floor(
+            (pts[:, 0] - self.extent.xmin) / self.cell_width
+        ).astype(np.int64)
+        row = np.floor(
+            (pts[:, 1] - self.extent.ymin) / self.cell_height
+        ).astype(np.int64)
+        # Points exactly on the max edge belong to the border cell.
+        col[pts[:, 0] == self.extent.xmax] = self.nx - 1
+        row[pts[:, 1] == self.extent.ymax] = self.ny - 1
+        flat = row * self.nx + col
+        outside = (col < 0) | (col >= self.nx) | (row < 0) | (row >= self.ny)
+        flat[outside] = -1
+        return flat
+
+    def cell_box(self, flat_index):
+        """The :class:`BoundingBox` of one cell."""
+        if not 0 <= flat_index < self.n_cells:
+            raise GeometryError(
+                f"cell index {flat_index} outside grid of {self.n_cells}"
+            )
+        row, col = divmod(int(flat_index), self.nx)
+        x0 = self.extent.xmin + col * self.cell_width
+        y0 = self.extent.ymin + row * self.cell_height
+        return BoundingBox(
+            x0, y0, x0 + self.cell_width, y0 + self.cell_height
+        )
+
+    def window_mask(self, box):
+        """Boolean flat mask of cells whose centres fall inside ``box``."""
+        centers = self.cell_centers()
+        return (
+            (centers[:, 0] >= box.xmin)
+            & (centers[:, 0] <= box.xmax)
+            & (centers[:, 1] >= box.ymin)
+            & (centers[:, 1] <= box.ymax)
+        )
+
+    def __repr__(self):
+        return (
+            f"RasterGrid({self.nx}x{self.ny}, cell="
+            f"{self.cell_width:.4g}x{self.cell_height:.4g})"
+        )

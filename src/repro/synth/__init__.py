@@ -1,0 +1,50 @@
+"""Synthetic stand-ins for the paper's proprietary data inputs.
+
+The paper evaluates on data.ny.gov, Census, HUD-USPS and Esri datasets
+that are not redistributable (and not downloadable in this offline
+environment).  This subpackage generates synthetic equivalents with the
+same *structure*:
+
+* a geography of zip-code-like source units and county-like target units,
+  incongruent with each other, denser where population is denser;
+* attribute datasets defined as point processes over latent density
+  fields, with the correlation structure the paper's analysis relies on
+  (two ~96 %-correlated USPS address datasets, population-like datasets,
+  sparse amenity datasets, and area / "uninhabited places" attributes
+  nearly uncorrelated with everything);
+* the six nested evaluation universes of §4.3 at paper-scale unit counts.
+
+Everything is deterministic given a seed.
+"""
+
+from repro.synth.landscape import GaussianMixtureField
+from repro.synth.settlements import SettlementSystem
+from repro.synth.vector_geography import VectorWorld, build_vector_world
+from repro.synth.world import SyntheticWorld, WorldConfig
+from repro.synth.datasets import (
+    DatasetSpec,
+    NEW_YORK_DATASETS,
+    UNITED_STATES_DATASETS,
+)
+from repro.synth.universes import (
+    UniverseSpec,
+    UNIVERSE_LADDER,
+    build_new_york_world,
+    build_united_states_world,
+)
+
+__all__ = [
+    "GaussianMixtureField",
+    "SettlementSystem",
+    "VectorWorld",
+    "build_vector_world",
+    "SyntheticWorld",
+    "WorldConfig",
+    "DatasetSpec",
+    "NEW_YORK_DATASETS",
+    "UNITED_STATES_DATASETS",
+    "UniverseSpec",
+    "UNIVERSE_LADDER",
+    "build_new_york_world",
+    "build_united_states_world",
+]

@@ -1,0 +1,191 @@
+"""The named attribute datasets of the paper's evaluation (§4.1).
+
+Each :class:`DatasetSpec` defines one dataset over the shared settlement
+system (see :mod:`repro.synth.settlements`):
+
+* ``size_exponent`` (gamma) -- how mass scales with town size.  Pure
+  population-like data has gamma = 1; business-flavoured attributes
+  concentrate in big cities (gamma > 1); infrastructure that every town
+  has regardless of size (cemeteries, DMV offices) has gamma < 1.
+* ``channels`` -- loadings on shared per-settlement latent channels.
+  The two USPS address datasets load heavily on the same ``"addr"``
+  channel, producing the strong mutual correlation (~96 % in the paper,
+  §4.4.2) that plain population does not share.
+* ``own_noise`` -- dataset-private per-settlement log-normal noise; the
+  knob separating "accurate population-level" references from noisy
+  individual-level collections.
+* ``min_size_quantile`` -- sparse amenities exist only in larger towns.
+* ``uniform_share`` -- fraction of mass spread uniformly over the
+  universe (road accidents, rural cemeteries).
+* ``anti=True`` -- mass concentrates *away* from settlements (the USA
+  Uninhabited Places dataset), the regime where every population-style
+  reference fails (Fig. 5b, Fig. 8).
+* ``deterministic=True`` -- not a point process at all; per-cell mass is
+  the cell area (the Area dataset / areal-weighting reference).
+
+Expected totals are calibrated so the sparse datasets stay sparse (a few
+points per *source unit*) exactly as the paper describes for its
+individual-level collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one synthetic attribute dataset."""
+
+    name: str
+    expected_total: float
+    size_exponent: float = 1.0
+    channels: tuple = ()
+    own_noise: float = 0.3
+    min_size_quantile: float = 0.0
+    uniform_share: float = 0.0
+    anti: bool = False
+    deterministic: bool = False
+
+
+NEW_YORK_DATASETS = (
+    DatasetSpec(
+        "Attorney Registration",
+        90_000.0,
+        size_exponent=1.30,
+        channels=(("addr", 0.45), ("core", 1.10)),
+        own_noise=0.60,
+    ),
+    DatasetSpec(
+        "DMV License Facilities",
+        3_000.0,
+        size_exponent=0.60,
+        own_noise=0.80,
+        min_size_quantile=0.40,
+        uniform_share=0.05,
+    ),
+    DatasetSpec(
+        "Food Service Inspections",
+        90_000.0,
+        size_exponent=1.05,
+        channels=(("addr", 0.30), ("core", 0.60)),
+        own_noise=0.45,
+    ),
+    DatasetSpec(
+        "Liquor Licenses",
+        45_000.0,
+        size_exponent=1.10,
+        channels=(("addr", 0.30), ("core", 0.70)),
+        own_noise=0.50,
+    ),
+    DatasetSpec(
+        "New York State Restaurants",
+        40_000.0,
+        size_exponent=1.10,
+        channels=(("addr", 0.30), ("core", 0.60)),
+        own_noise=0.50,
+    ),
+    DatasetSpec(
+        "Population",
+        400_000.0,
+        size_exponent=1.00,
+        channels=(("core", -0.50),),
+        own_noise=0.10,
+    ),
+    DatasetSpec(
+        "USPS Business Address",
+        120_000.0,
+        size_exponent=1.10,
+        channels=(("addr", 1.00), ("core", 0.90)),
+        own_noise=0.12,
+    ),
+    DatasetSpec(
+        "USPS Residential Address",
+        280_000.0,
+        size_exponent=1.00,
+        channels=(("addr", 1.00), ("core", 0.45)),
+        own_noise=0.10,
+    ),
+)
+
+UNITED_STATES_DATASETS = (
+    DatasetSpec(
+        "Accidents",
+        300_000.0,
+        size_exponent=0.85,
+        own_noise=0.40,
+        uniform_share=0.35,
+    ),
+    DatasetSpec(
+        "Area (Sq. Miles)",
+        0.0,
+        deterministic=True,
+    ),
+    DatasetSpec(
+        "Cemeteries",
+        140_000.0,
+        size_exponent=0.50,
+        channels=(("core", -0.40),),
+        own_noise=0.70,
+        uniform_share=0.15,
+    ),
+    DatasetSpec(
+        "Population",
+        3_000_000.0,
+        size_exponent=1.00,
+        channels=(("core", -0.50),),
+        own_noise=0.10,
+    ),
+    DatasetSpec(
+        "Public Buildings",
+        35_000.0,
+        size_exponent=0.70,
+        channels=(("core", 0.40),),
+        own_noise=0.60,
+        uniform_share=0.10,
+    ),
+    DatasetSpec(
+        "Shopping Centers",
+        50_000.0,
+        size_exponent=1.30,
+        channels=(("addr", 0.30), ("core", 0.80)),
+        own_noise=0.60,
+        min_size_quantile=0.50,
+    ),
+    DatasetSpec(
+        "Starbucks",
+        15_000.0,
+        size_exponent=1.50,
+        channels=(("addr", 0.40), ("core", 1.00)),
+        own_noise=0.70,
+        min_size_quantile=0.75,
+    ),
+    DatasetSpec(
+        "USA Uninhabited Places",
+        120_000.0,
+        anti=True,
+        own_noise=0.30,
+    ),
+    DatasetSpec(
+        "USPS Business Address",
+        800_000.0,
+        size_exponent=1.10,
+        channels=(("addr", 1.00), ("core", 0.90)),
+        own_noise=0.12,
+    ),
+    DatasetSpec(
+        "USPS Residential Address",
+        1_800_000.0,
+        size_exponent=1.00,
+        channels=(("addr", 1.00), ("core", 0.45)),
+        own_noise=0.10,
+    ),
+)
+
+#: The three population-level reference datasets the paper's dasymetric
+#: comparators use (§4.1) -- present in both pools.
+POPULATION_LEVEL_REFERENCES = (
+    "Population",
+    "USPS Residential Address",
+    "USPS Business Address",
+)

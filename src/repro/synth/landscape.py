@@ -1,0 +1,216 @@
+"""Latent density fields: the spatial structure behind every dataset.
+
+Socioeconomic attributes share spatial structure (population clusters in
+cities; businesses cluster harder; some things avoid people entirely).
+We model that with a small algebra of intensity fields over the universe:
+
+* :class:`GaussianMixtureField` -- a weighted sum of isotropic Gaussian
+  bumps plus a uniform base: the urban-rural landscape.
+* derived fields -- sharpened (urban-core) and inverted (anti-population)
+  transforms.
+* :class:`FieldMix` -- a non-negative linear combination of named fields;
+  each synthetic dataset is a point process whose intensity is one mix.
+
+Fields only ever need to be evaluated at points (vectorised), so a field
+is anything with an ``intensity(points) -> array`` method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_rng
+
+
+class GaussianMixtureField:
+    """Sum of isotropic Gaussian bumps plus a uniform base intensity.
+
+    Parameters
+    ----------
+    centers:
+        ``(k, 2)`` bump centres.
+    sigmas:
+        ``(k,)`` bump widths.
+    weights:
+        ``(k,)`` bump masses (non-negative).
+    base:
+        Uniform background intensity added everywhere (non-negative).
+    """
+
+    def __init__(self, centers, sigmas, weights, base=0.0):
+        centers = np.atleast_2d(np.asarray(centers, dtype=float))
+        sigmas = np.asarray(sigmas, dtype=float).ravel()
+        weights = np.asarray(weights, dtype=float).ravel()
+        if centers.shape[1] != 2:
+            raise ValidationError(
+                f"centers must be (k, 2), got {centers.shape}"
+            )
+        if not (len(centers) == len(sigmas) == len(weights)):
+            raise ValidationError(
+                "centers, sigmas and weights must have equal lengths"
+            )
+        if np.any(sigmas <= 0):
+            raise ValidationError("sigmas must be positive")
+        if np.any(weights < 0) or base < 0:
+            raise ValidationError("weights and base must be non-negative")
+        self.centers = centers
+        self.sigmas = sigmas
+        self.weights = weights
+        self.base = float(base)
+
+    @classmethod
+    def random_urban(
+        cls,
+        box,
+        n_centers,
+        seed=None,
+        sigma_range=(0.02, 0.08),
+        base=0.15,
+        weight_tail=1.1,
+    ):
+        """A random urban landscape inside ``box``.
+
+        Bump masses follow a heavy-tailed (Pareto-like) law so a few
+        metropolises dominate, as in real population surfaces; widths are
+        drawn relative to the box diagonal.
+        """
+        rng = as_rng(seed)
+        centers = np.column_stack(
+            (
+                rng.uniform(box.xmin, box.xmax, n_centers),
+                rng.uniform(box.ymin, box.ymax, n_centers),
+            )
+        )
+        diag = float(np.hypot(box.width, box.height))
+        sigmas = rng.uniform(*sigma_range, n_centers) * diag
+        weights = rng.pareto(weight_tail, n_centers) + 1.0
+        weights /= weights.sum()
+        return cls(centers, sigmas, weights, base=base)
+
+    def intensity(self, points):
+        """Field value at each of ``(m, 2)`` points (always >= base)."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValidationError(f"points must be (m, 2), got {pts.shape}")
+        values = np.full(len(pts), self.base)
+        for center, sigma, weight in zip(
+            self.centers, self.sigmas, self.weights
+        ):
+            d2 = (pts[:, 0] - center[0]) ** 2 + (pts[:, 1] - center[1]) ** 2
+            # Peak-normalised bump: weight is the peak height, so mixing
+            # coefficients stay interpretable across sigma choices.
+            values += weight * np.exp(-0.5 * d2 / (sigma * sigma))
+        return values
+
+    def sharpened(self, power=2.0, sigma_shrink=0.55, base_shrink=0.1):
+        """Urban-core variant: tighter bumps, heavier concentration.
+
+        Models attributes (business addresses, coffee shops) that cluster
+        in city cores much harder than residents do.
+        """
+        return GaussianMixtureField(
+            self.centers,
+            self.sigmas * sigma_shrink,
+            self.weights**power / (self.weights**power).sum(),
+            base=self.base * base_shrink,
+        )
+
+    def __repr__(self):
+        return (
+            f"GaussianMixtureField(k={len(self.centers)}, "
+            f"base={self.base:g})"
+        )
+
+
+class InvertedField:
+    """High where a parent field is low: the anti-population landscape.
+
+    ``intensity = ceiling / (epsilon + parent_intensity)``; models
+    attributes like "uninhabited places" that concentrate away from
+    people.  The transform keeps intensity positive and bounded.
+    """
+
+    def __init__(self, parent, ceiling=1.0, epsilon=0.35):
+        if ceiling <= 0 or epsilon <= 0:
+            raise ValidationError("ceiling and epsilon must be positive")
+        self.parent = parent
+        self.ceiling = float(ceiling)
+        self.epsilon = float(epsilon)
+
+    def intensity(self, points):
+        return self.ceiling / (self.epsilon + self.parent.intensity(points))
+
+    def __repr__(self):
+        return f"InvertedField(ceiling={self.ceiling:g})"
+
+
+class UniformField:
+    """Constant intensity: the 'area' attribute's generating field."""
+
+    def __init__(self, level=1.0):
+        if level <= 0:
+            raise ValidationError("level must be positive")
+        self.level = float(level)
+
+    def intensity(self, points):
+        pts = np.asarray(points, dtype=float)
+        return np.full(len(pts), self.level)
+
+    def __repr__(self):
+        return f"UniformField({self.level:g})"
+
+
+class FieldMix:
+    """Non-negative linear combination of named fields.
+
+    Parameters
+    ----------
+    components:
+        Mapping of field name to mixing coefficient; coefficients are
+        normalised to sum to one so dataset definitions read as shares.
+    """
+
+    def __init__(self, components):
+        if not components:
+            raise ValidationError("a field mix needs at least one component")
+        coefficients = np.array(list(components.values()), dtype=float)
+        if np.any(coefficients < 0):
+            raise ValidationError("mix coefficients must be non-negative")
+        total = coefficients.sum()
+        if total <= 0:
+            raise ValidationError("mix coefficients must not all be zero")
+        self.components = {
+            name: float(value) / total
+            for name, value in components.items()
+        }
+
+    def intensity(self, points, fields):
+        """Evaluate the mix given a ``{name: field}`` registry.
+
+        Each component field is normalised by its mean over the supplied
+        points so mixing shares control the share of *mass*, not raw
+        intensity scale.
+        """
+        pts = np.asarray(points, dtype=float)
+        values = np.zeros(len(pts))
+        for name, share in self.components.items():
+            if name not in fields:
+                raise ValidationError(
+                    f"mix references unknown field {name!r}; available: "
+                    f"{sorted(fields)}"
+                )
+            raw = fields[name].intensity(pts)
+            mean = float(raw.mean())
+            if mean <= 0:
+                raise ValidationError(
+                    f"field {name!r} has non-positive mean intensity"
+                )
+            values += share * raw / mean
+        return values
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"{name}={share:.2f}" for name, share in self.components.items()
+        )
+        return f"FieldMix({inner})"

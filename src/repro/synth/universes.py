@@ -1,0 +1,157 @@
+"""The paper's evaluation universes at paper-scale unit counts.
+
+Two independent worlds mirror §4.1:
+
+* **New York State** -- 1,794 zip-like units, 62 county-like units, the
+  eight data.ny.gov datasets (Fig. 5a).
+* **United States** -- 30,238 zip-like units, 3,142 county-like units,
+  the ten Census/Esri datasets (Fig. 5b, 7, 8).
+
+For the runtime-scalability ladder (Fig. 6) the paper carves nested
+sub-universes out of the US (Mid-Atlantic ⊂ Northeast ⊂ Eastern Time
+Zone ⊂ non-West ⊂ US) and subsets the ten datasets to units inside each.
+We reproduce that with nested east-anchored windows over the synthetic
+US, cut so each contains the paper's zip-unit count.
+
+``scale`` shrinks everything proportionally (unit counts, grid, dataset
+totals) for tests and quick runs; ``scale=1.0`` is paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geometry.primitives import BoundingBox
+from repro.synth.datasets import NEW_YORK_DATASETS, UNITED_STATES_DATASETS
+from repro.synth.world import SyntheticWorld, WorldConfig
+
+
+@dataclass(frozen=True)
+class UniverseSpec:
+    """One rung of the §4.3 universe ladder."""
+
+    name: str
+    zip_target: int
+
+
+#: Paper unit counts: NY and US from the text/Fig. 6 axes; intermediate
+#: rungs read off Fig. 6's point positions.
+UNIVERSE_LADDER = (
+    UniverseSpec("New York State", 1794),
+    UniverseSpec("Mid-Atlantic States", 4500),
+    UniverseSpec("Northeast States", 7000),
+    UniverseSpec("Eastern Time Zone States", 14000),
+    UniverseSpec("Non-West States", 24000),
+    UniverseSpec("United States", 30238),
+)
+
+
+def _scaled(value, scale, minimum=1):
+    return max(minimum, int(round(value * scale)))
+
+
+def new_york_config(scale=1.0, seed=2018):
+    """WorldConfig for the New York State universe."""
+    _check_scale(scale)
+    side = np.sqrt(scale)
+    return WorldConfig(
+        name="New York State",
+        extent=BoundingBox(0.0, 0.0, 1.2, 0.9),
+        n_zips=_scaled(1794, scale, minimum=40),
+        n_counties=_scaled(62, scale, minimum=8),
+        n_metros=_scaled(1300, scale, minimum=50),
+        grid_nx=_scaled(1024, side, minimum=128),
+        grid_ny=_scaled(768, side, minimum=96),
+        n_urban_centers=24,
+        datasets=tuple(
+            _scaled_dataset(spec, scale) for spec in NEW_YORK_DATASETS
+        ),
+        seed=seed,
+    )
+
+
+def united_states_config(scale=1.0, seed=1776):
+    """WorldConfig for the United States universe."""
+    _check_scale(scale)
+    side = np.sqrt(scale)
+    return WorldConfig(
+        name="United States",
+        extent=BoundingBox(0.0, 0.0, 4.6, 2.6),
+        n_zips=_scaled(30238, scale, minimum=120),
+        n_counties=_scaled(3142, scale, minimum=16),
+        n_metros=_scaled(16000, scale, minimum=150),
+        grid_nx=_scaled(2048, side, minimum=256),
+        grid_ny=_scaled(1152, side, minimum=144),
+        n_urban_centers=56,
+        datasets=tuple(
+            _scaled_dataset(spec, scale) for spec in UNITED_STATES_DATASETS
+        ),
+        seed=seed,
+    )
+
+
+def build_new_york_world(scale=1.0, seed=2018):
+    """Materialised New York world (cached per (scale, seed))."""
+    return _cached_world("NY", new_york_config(scale, seed))
+
+
+def build_united_states_world(scale=1.0, seed=1776):
+    """Materialised United States world (cached per (scale, seed))."""
+    return _cached_world("US", united_states_config(scale, seed))
+
+
+def ladder_universes(us_world, scale=1.0):
+    """The six nested sub-universes of the US world, smallest first.
+
+    Windows are anchored at the eastern edge and widened until each holds
+    its rung's (scaled) zip-unit target, so the rungs nest exactly like
+    the paper's state sets.  Returns ``[(spec, world), ...]``.
+    """
+    _check_scale(scale)
+    extent = us_world.grid.extent
+    xs = np.sort(us_world.zip_seeds[:, 0])[::-1]  # descending (east first)
+    universes = []
+    for spec in UNIVERSE_LADDER:
+        target = min(
+            _scaled(spec.zip_target, scale, minimum=10), len(xs)
+        )
+        if target == len(xs):
+            window = extent
+        else:
+            # Cut between the target-th and (target+1)-th easternmost
+            # seeds so exactly `target` zip seeds fall inside.
+            cut = 0.5 * (xs[target - 1] + xs[target])
+            window = BoundingBox(
+                cut, extent.ymin, extent.xmax, extent.ymax
+            )
+        universes.append(
+            (spec, us_world.subset_by_window(window, spec.name))
+        )
+    return universes
+
+
+# ----------------------------------------------------------------------
+def _check_scale(scale):
+    if not 0.0 < scale <= 1.0:
+        raise ValidationError(f"scale must be in (0, 1], got {scale}")
+
+
+def _scaled_dataset(spec, scale):
+    from dataclasses import replace
+
+    if spec.deterministic:
+        return spec
+    return replace(spec, expected_total=spec.expected_total * scale)
+
+
+_WORLD_CACHE = {}
+
+
+def _cached_world(tag, config):
+    key = (tag, config.n_zips, config.grid_nx, config.seed)
+    if key not in _WORLD_CACHE:
+        _WORLD_CACHE[key] = SyntheticWorld.build(config)
+    return _WORLD_CACHE[key]

@@ -1,0 +1,388 @@
+"""Synthetic worlds: geography + datasets, ready for experiments.
+
+A :class:`SyntheticWorld` bundles everything one evaluation universe
+needs: the raster grid, zip-code and county unit systems (discrete
+Voronoi partitions around settlement-biased seeds), the shared
+settlement system, and per-dataset per-cell attribute mass.  From those
+it derives the objects the algorithms consume --
+:class:`~repro.core.reference.Reference` records with exact
+disaggregation matrices -- and supports windowed subsetting for the
+§4.3 universe ladder.
+
+The generation pipeline (see :mod:`repro.synth.settlements` for why):
+
+1. a macro urban landscape (Gaussian mixture) shapes where towns are;
+2. a heavy-tailed settlement system provides the sub-unit mass
+   concentration all human-activity datasets share;
+3. zip and county seeds are drawn biased towards settled cells, and the
+   unit systems are their discrete Voronoi partitions;
+4. every dataset is realised as a Poisson point process around
+   settlements (plus uniform / anti-settlement components), then
+   tabulated to cells.
+
+All randomness flows from one seed through
+:func:`repro.utils.rng.spawn_rngs`, so worlds are fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.core.reference import Reference
+from repro.geometry.primitives import BoundingBox
+from repro.partitions.dm import DisaggregationMatrix
+from repro.partitions.intersection import build_intersection
+from repro.raster.grid import RasterGrid
+from repro.raster.zones import RasterUnitSystem, voronoi_zone_raster
+from repro.synth.landscape import GaussianMixtureField
+from repro.synth.settlements import SettlementSystem
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Parameters of one synthetic world.
+
+    ``datasets`` is a tuple of
+    :class:`~repro.synth.datasets.DatasetSpec`; expected totals are used
+    as-is (scale them before constructing the config).
+    """
+
+    name: str
+    extent: BoundingBox
+    n_zips: int
+    n_counties: int
+    n_metros: int
+    grid_nx: int
+    grid_ny: int
+    n_urban_centers: int
+    datasets: tuple
+    seed: int = 0
+    zip_bias: float = 0.35
+    county_bias: float = 0.6
+
+
+class SyntheticWorld:
+    """A fully materialised synthetic evaluation universe.
+
+    Build with :meth:`build`; restrict with :meth:`subset_by_window`.
+    Heavyweight members (zone rasters, dataset cell masses) are shared
+    between a world and its window subsets.
+    """
+
+    def __init__(
+        self,
+        name,
+        grid,
+        zip_system,
+        county_system,
+        zip_seeds,
+        county_seeds,
+        settlements,
+        dataset_cell_values,
+        dataset_specs,
+    ):
+        self.name = name
+        self.grid = grid
+        self.zips = zip_system
+        self.counties = county_system
+        self.zip_seeds = zip_seeds
+        self.county_seeds = county_seeds
+        self.settlements = settlements
+        self.dataset_cell_values = dataset_cell_values
+        self.dataset_specs = {spec.name: spec for spec in dataset_specs}
+        self._references = None
+        self._intersections = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, config):
+        """Generate a world from a :class:`WorldConfig` (deterministic)."""
+        if config.n_zips <= config.n_counties:
+            raise ValidationError(
+                "a world needs more zip units than county units, got "
+                f"{config.n_zips} zips and {config.n_counties} counties"
+            )
+        rngs = spawn_rngs(config.seed, 5 + len(config.datasets))
+        macro_rng, town_rng, zip_rng, county_rng, uniform_rng = rngs[:5]
+        dataset_rngs = rngs[5:]
+        grid = RasterGrid(config.extent, config.grid_nx, config.grid_ny)
+
+        macro = GaussianMixtureField.random_urban(
+            config.extent, config.n_urban_centers, seed=macro_rng
+        )
+        zip_linear = float(
+            np.sqrt(config.extent.area / max(config.n_zips, 1))
+        )
+        settlements = SettlementSystem.generate(
+            config.extent,
+            config.n_metros,
+            macro,
+            seed=town_rng,
+            unit_length=zip_linear,
+        )
+        density = _settled_density(grid, settlements)
+
+        zip_seeds = _sample_seeds(
+            grid, density, config.n_zips, config.zip_bias, zip_rng
+        )
+        county_seeds = _sample_seeds(
+            grid, density, config.n_counties, config.county_bias, county_rng
+        )
+        zip_system = _zone_system("zip", grid, zip_seeds)
+        county_system = _zone_system("county", grid, county_seeds)
+
+        dataset_cell_values = {}
+        for spec, rng in zip(config.datasets, dataset_rngs):
+            dataset_cell_values[spec.name] = _realise_dataset(
+                spec, grid, settlements, density, rng, uniform_rng
+            )
+
+        return cls(
+            config.name,
+            grid,
+            zip_system,
+            county_system,
+            zip_seeds,
+            county_seeds,
+            settlements,
+            dataset_cell_values,
+            config.datasets,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    def dataset_names(self):
+        return list(self.dataset_specs)
+
+    def reference_for(self, name):
+        """The :class:`Reference` (source vector + DM) of one dataset."""
+        for ref in self.references():
+            if ref.name == name:
+                return ref
+        raise KeyError(f"no dataset named {name!r} in world {self.name!r}")
+
+    def references(self):
+        """All datasets as self-consistent references (cached)."""
+        if self._references is None:
+            refs = []
+            for name, values in self.dataset_cell_values.items():
+                src, tgt, mass = self.zips.joint_tabulate(
+                    self.counties, values
+                )
+                dm = DisaggregationMatrix.from_pairs(
+                    src, tgt, mass, self.zips.labels, self.counties.labels
+                )
+                refs.append(Reference.from_dm(name, dm))
+            self._references = refs
+        return list(self._references)
+
+    def intersections(self):
+        """Zip x county overlay of this world (cached)."""
+        if self._intersections is None:
+            self._intersections = build_intersection(
+                self.zips, self.counties
+            )
+        return self._intersections
+
+    def area_reference(self):
+        """The intersection-area reference (areal weighting's ancillary)."""
+        area_dm = self.intersections().area_dm()
+        return Reference("Area", area_dm.row_sums(), area_dm)
+
+    # ------------------------------------------------------------------
+    # Windowed subsetting (universe ladder, §4.3)
+    # ------------------------------------------------------------------
+    def subset_by_window(self, window, name):
+        """Restrict to units whose seed falls inside ``window``.
+
+        Mirrors the paper's factor control: sub-universes keep the same
+        datasets, merely dropping entries for units outside the window.
+        Units keep their full cell sets (a unit straddling the window
+        edge stays whole), so unit shapes are identical across universes.
+        """
+        zip_keep = _seeds_in_window(self.zip_seeds, window)
+        county_keep = _seeds_in_window(self.county_seeds, window)
+        if len(zip_keep) == 0 or len(county_keep) == 0:
+            raise ValidationError(
+                f"window {window!r} contains no zip or county units"
+            )
+        new_zips = _relabel_system(self.zips, zip_keep)
+        new_counties = _relabel_system(self.counties, county_keep)
+        return SyntheticWorld(
+            name,
+            self.grid,
+            new_zips,
+            new_counties,
+            self.zip_seeds[zip_keep],
+            self.county_seeds[county_keep],
+            self.settlements,
+            self.dataset_cell_values,
+            tuple(self.dataset_specs.values()),
+        )
+
+    def __repr__(self):
+        return (
+            f"SyntheticWorld({self.name!r}, zips={len(self.zips)}, "
+            f"counties={len(self.counties)}, "
+            f"datasets={len(self.dataset_specs)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _settled_density(grid, settlements, coarse_factor=8):
+    """Smoothed per-cell settlement mass (for seed bias and anti fields).
+
+    Settlement sizes are deposited on a coarse lattice (``coarse_factor``
+    times coarser than the grid) and upsampled, giving a cheap box-kernel
+    density estimate.
+    """
+    nx_c = max(1, grid.nx // coarse_factor)
+    ny_c = max(1, grid.ny // coarse_factor)
+    col = np.clip(
+        (
+            (settlements.positions[:, 0] - grid.extent.xmin)
+            / grid.extent.width
+            * nx_c
+        ).astype(int),
+        0,
+        nx_c - 1,
+    )
+    row = np.clip(
+        (
+            (settlements.positions[:, 1] - grid.extent.ymin)
+            / grid.extent.height
+            * ny_c
+        ).astype(int),
+        0,
+        ny_c - 1,
+    )
+    coarse = np.zeros((ny_c, nx_c))
+    np.add.at(coarse, (row, col), settlements.sizes)
+    # Upsample coarse cells back to the full grid.
+    row_map = np.minimum(
+        (np.arange(grid.ny) * ny_c) // grid.ny, ny_c - 1
+    )
+    col_map = np.minimum(
+        (np.arange(grid.nx) * nx_c) // grid.nx, nx_c - 1
+    )
+    fine = coarse[np.ix_(row_map, col_map)]
+    return fine.ravel()
+
+
+def _sample_seeds(grid, density, n, bias, rng):
+    """Sample ``n`` seed points, one per distinct cell, density-biased.
+
+    Cells are drawn without replacement with probability proportional to
+    ``(density + base) ** bias``; bias < 1 keeps rural units in play
+    (real zip codes are population-balanced, not population-
+    proportional).  Each seed is jittered uniformly inside its cell.
+    """
+    if n > grid.n_cells:
+        raise ValidationError(
+            f"cannot place {n} seeds in a grid of {grid.n_cells} cells"
+        )
+    base = float(density.mean()) * 0.05 + 1e-12
+    weights = (np.asarray(density, dtype=float) + base) ** bias
+    probabilities = weights / weights.sum()
+    cells = rng.choice(grid.n_cells, size=n, replace=False, p=probabilities)
+    rows, cols = np.divmod(cells, grid.nx)
+    x = grid.extent.xmin + (cols + rng.random(n)) * grid.cell_width
+    y = grid.extent.ymin + (rows + rng.random(n)) * grid.cell_height
+    return np.column_stack((x, y))
+
+
+def _zone_system(prefix, grid, seeds):
+    """Voronoi zone system with an empty-unit repair.
+
+    Seeds occupy distinct cells by construction; if discretisation still
+    leaves a unit with no cells (possible in extremely dense areas), its
+    seed's own cell is reassigned to it.
+    """
+    zones = voronoi_zone_raster(grid, seeds)
+    counts = np.bincount(zones[zones >= 0], minlength=len(seeds))
+    for unit in np.flatnonzero(counts == 0):
+        cell = int(grid.locate_points(seeds[unit : unit + 1])[0])
+        zones[cell] = unit
+    pad = len(str(len(seeds)))
+    labels = [f"{prefix}-{str(i).zfill(pad)}" for i in range(len(seeds))]
+    return RasterUnitSystem(labels, grid, zones)
+
+
+def _realise_dataset(spec, grid, settlements, density, rng, uniform_rng):
+    """Per-cell mass for one dataset spec.
+
+    Point datasets are Poisson processes: per-settlement counts around
+    town centres, plus an optional uniform component.  Anti datasets
+    weight cells inversely to settlement density.  Deterministic
+    datasets (Area) get the cell area everywhere.
+    """
+    if spec.deterministic:
+        return np.full(grid.n_cells, grid.cell_area)
+
+    if spec.anti:
+        weights = 1.0 / (1.0 + density / (density.mean() + 1e-300))
+        expected = weights / weights.sum() * spec.expected_total
+        return rng.poisson(expected).astype(float)
+
+    settlement_total = spec.expected_total * (1.0 - spec.uniform_share)
+    shares = settlements.masses_for(
+        spec.size_exponent,
+        spec.channels,
+        spec.own_noise,
+        spec.min_size_quantile,
+        rng,
+    )
+    counts = rng.poisson(shares * settlement_total)
+    points = settlements.scatter_points(counts, rng)
+    if spec.uniform_share > 0.0:
+        n_uniform = int(
+            rng.poisson(spec.expected_total * spec.uniform_share)
+        )
+        extent = grid.extent
+        uniform_points = np.column_stack(
+            (
+                uniform_rng.uniform(extent.xmin, extent.xmax, n_uniform),
+                uniform_rng.uniform(extent.ymin, extent.ymax, n_uniform),
+            )
+        )
+        points = np.vstack((points, uniform_points))
+    cells = grid.locate_points(points)
+    cells = cells[cells >= 0]  # scatter can leave the universe; drop
+    return np.bincount(cells, minlength=grid.n_cells).astype(float)
+
+
+def _seeds_in_window(seeds, window):
+    """Indices of seeds inside a :class:`BoundingBox` window."""
+    if not isinstance(window, BoundingBox):
+        raise ValidationError(
+            f"window must be a BoundingBox, got {type(window).__name__}"
+        )
+    inside = (
+        (seeds[:, 0] >= window.xmin)
+        & (seeds[:, 0] <= window.xmax)
+        & (seeds[:, 1] >= window.ymin)
+        & (seeds[:, 1] <= window.ymax)
+    )
+    return np.flatnonzero(inside)
+
+
+def _relabel_system(system, keep):
+    """A new :class:`RasterUnitSystem` keeping only ``keep`` units.
+
+    Cells of dropped units become -1 (outside the sub-universe).
+    """
+    mapping = np.full(len(system), -1, dtype=np.int64)
+    mapping[keep] = np.arange(len(keep))
+    old = system.zone_of_cell
+    new_zones = np.where(old >= 0, mapping[old], -1)
+    labels = [system.labels[i] for i in keep]
+    return RasterUnitSystem(labels, system.grid, new_zones)

@@ -1,0 +1,20 @@
+"""Minimal columnar tables and aggregate-aware joins.
+
+The paper's motivating example (Fig. 1) joins two *aggregate tables*
+reported over incompatible geographic types.  This subpackage provides
+the thin database layer that makes the example runnable end to end:
+
+* :class:`~repro.tabular.table.Table` -- an immutable column-oriented
+  table with selection, filtering, group-by aggregation and equi-joins;
+* CSV io without third-party dependencies;
+* :mod:`repro.tabular.integrate` -- the paper's §6 future-work feature:
+  automatically realigning and joining aggregate tables whose unit
+  columns refer to different unit systems, using GeoAlign as the
+  realignment engine.
+"""
+
+from repro.tabular.table import Table
+from repro.tabular.io_ import read_csv, write_csv
+from repro.tabular.integrate import align_and_join
+
+__all__ = ["Table", "read_csv", "write_csv", "align_and_join"]

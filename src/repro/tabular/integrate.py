@@ -1,0 +1,114 @@
+"""Automatic aggregate-table integration (the paper's §6 future work).
+
+``align_and_join`` joins two aggregate tables reported over incompatible
+unit systems -- the motivating Figure 1 scenario -- without manual
+realignment: the left table's value columns are crosswalked to the right
+table's unit system with GeoAlign, then the tables are equi-joined on
+the unit column.
+
+The caller supplies the available references (as in any GeoAlign use);
+units appearing in the tables must match the references' unit labels.
+Value columns are realigned independently, each with its own learned
+weights, so heterogeneous attributes in one table are each matched to
+their best reference blend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.core.geoalign import GeoAlign
+from repro.tabular.table import Table
+
+
+def table_to_vector(table, unit_column, value_column, unit_labels):
+    """Extract ``value_column`` ordered by ``unit_labels``.
+
+    Units missing from the table contribute zero (aggregate tables
+    routinely omit empty units); unknown units raise.
+    """
+    units = table.column(unit_column)
+    values = table.column(value_column)
+    position = {label: i for i, label in enumerate(unit_labels)}
+    vector = np.zeros(len(unit_labels))
+    for unit, value in zip(units, values):
+        if unit not in position:
+            raise ValidationError(
+                f"table unit {unit!r} is not a unit of the source system"
+            )
+        vector[position[unit]] += float(value)
+    return vector
+
+
+def align_table(table, unit_column, references, geoalign_factory=GeoAlign):
+    """Realign every numeric column of ``table`` to the target units.
+
+    Returns a new :class:`Table` with the target system's unit labels in
+    ``unit_column`` and one realigned column per numeric input column,
+    plus the per-column weight reports in the second return value.
+    """
+    references = list(references)
+    if not references:
+        raise ValidationError("align_table needs at least one reference")
+    source_labels = references[0].dm.source_labels
+    target_labels = references[0].dm.target_labels
+
+    value_columns = [
+        name
+        for name in table.column_names
+        if name != unit_column
+        and isinstance(table.column(name), np.ndarray)
+    ]
+    if not value_columns:
+        raise ValidationError(
+            "table has no numeric value columns to realign"
+        )
+    out = {unit_column: list(target_labels)}
+    weight_reports = {}
+    for name in value_columns:
+        vector = table_to_vector(table, unit_column, name, source_labels)
+        estimator = geoalign_factory()
+        out[name] = estimator.fit_predict(references, vector)
+        weight_reports[name] = estimator.weight_report()
+    return Table(out), weight_reports
+
+
+def align_and_join(
+    left,
+    right,
+    left_unit_column,
+    right_unit_column,
+    references,
+    how="inner",
+    geoalign_factory=GeoAlign,
+):
+    """Join two aggregate tables reported over unaligned unit systems.
+
+    Parameters
+    ----------
+    left:
+        Table aggregated by the *source* unit system (e.g. steam
+        consumption by zip code).
+    right:
+        Table aggregated by the *target* unit system (e.g. per-capita
+        income by county).
+    left_unit_column, right_unit_column:
+        Unit-label columns of the two tables.
+    references:
+        References between the two unit systems (source -> target).
+    how:
+        Join type forwarded to :meth:`Table.join`.
+
+    Returns
+    -------
+    (Table, dict)
+        The joined table keyed by the right table's units, and the
+        GeoAlign weight report per realigned column.
+    """
+    aligned, weights = align_table(
+        left, left_unit_column, references, geoalign_factory
+    )
+    if left_unit_column != right_unit_column:
+        aligned = aligned.rename({left_unit_column: right_unit_column})
+    return aligned.join(right, on=right_unit_column, how=how), weights

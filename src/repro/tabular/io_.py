@@ -1,0 +1,75 @@
+"""CSV reading and writing for :class:`~repro.tabular.table.Table`.
+
+Uses only the standard library.  On read, columns whose every non-empty
+value parses as a float become numeric; everything else stays text.
+"""
+
+from __future__ import annotations
+
+import csv
+
+from repro.errors import ValidationError
+from repro.tabular.table import Table
+
+
+def read_csv(path_or_file):
+    """Load a CSV with a header row into a :class:`Table`."""
+    if hasattr(path_or_file, "read"):
+        return _read(path_or_file)
+    with open(path_or_file, newline="") as handle:
+        return _read(handle)
+
+
+def _read(handle):
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValidationError("CSV file is empty") from None
+    if len(set(header)) != len(header):
+        raise ValidationError("CSV header has duplicate column names")
+    raw = {name: [] for name in header}
+    for lineno, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise ValidationError(
+                f"line {lineno}: expected {len(header)} fields, got "
+                f"{len(row)}"
+            )
+        for name, value in zip(header, row):
+            raw[name].append(value)
+    return Table(
+        {name: _coerce(values) for name, values in raw.items()}
+    )
+
+
+def _coerce(values):
+    """Numeric column if every non-empty entry parses as float."""
+    parsed = []
+    for value in values:
+        text = value.strip()
+        if text == "":
+            return values
+        try:
+            parsed.append(float(text))
+        except ValueError:
+            return values
+    return parsed
+
+
+def write_csv(table, path_or_file):
+    """Write a :class:`Table` to CSV with a header row."""
+    if hasattr(path_or_file, "write"):
+        _write(table, path_or_file)
+    else:
+        with open(path_or_file, "w", newline="") as handle:
+            _write(table, handle)
+
+
+def _write(table, handle):
+    writer = csv.writer(handle)
+    names = table.column_names
+    writer.writerow(names)
+    for row in table.rows():
+        writer.writerow([row[name] for name in names])

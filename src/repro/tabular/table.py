@@ -1,0 +1,250 @@
+"""An immutable, dependency-free columnar table.
+
+Just enough relational algebra for the library's examples and the
+aggregate-integration pipeline: projection, selection, group-by with sum
+/ mean / count, inner and left equi-joins, and sorting.  Columns are
+numpy arrays (numeric) or lists (anything else); the table never
+mutates -- every operation returns a new :class:`Table`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, ValidationError
+
+_AGGREGATORS = {
+    "sum": lambda values: float(np.sum(values)),
+    "mean": lambda values: float(np.mean(values)),
+    "count": lambda values: int(len(values)),
+    "min": lambda values: float(np.min(values)),
+    "max": lambda values: float(np.max(values)),
+}
+
+
+class Table:
+    """Column-oriented table with named columns of equal length.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to sequence.  Numeric sequences are
+        stored as float arrays; everything else as Python lists.
+    """
+
+    def __init__(self, columns):
+        if not columns:
+            raise ValidationError("a table needs at least one column")
+        self._columns = {}
+        length = None
+        for name, values in columns.items():
+            stored = _store(values)
+            if length is None:
+                length = len(stored)
+            elif len(stored) != length:
+                raise ShapeMismatchError(
+                    f"column {name!r} has {len(stored)} rows, expected "
+                    f"{length}"
+                )
+            self._columns[str(name)] = stored
+        self._length = length or 0
+
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self):
+        return list(self._columns)
+
+    def __len__(self):
+        return self._length
+
+    def __contains__(self, name):
+        return name in self._columns
+
+    def column(self, name):
+        """The raw column (numpy array or list); raises KeyError if absent."""
+        if name not in self._columns:
+            raise KeyError(
+                f"no column {name!r}; available: {self.column_names}"
+            )
+        return self._columns[name]
+
+    def rows(self):
+        """Iterate rows as dicts (small tables / display only)."""
+        for i in range(self._length):
+            yield {
+                name: _item(col, i) for name, col in self._columns.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def select(self, names):
+        """Projection onto ``names`` (order preserved)."""
+        return Table({name: self.column(name) for name in names})
+
+    def where(self, predicate):
+        """Rows where ``predicate(row_dict)`` is true."""
+        keep = [i for i, row in enumerate(self.rows()) if predicate(row)]
+        return self._take(keep)
+
+    def with_column(self, name, values):
+        """Copy with one column added or replaced."""
+        new = dict(self._columns)
+        new[name] = values
+        return Table(new)
+
+    def rename(self, mapping):
+        """Copy with columns renamed per ``{old: new}``."""
+        for old in mapping:
+            if old not in self._columns:
+                raise KeyError(f"no column {old!r} to rename")
+        return Table(
+            {
+                mapping.get(name, name): col
+                for name, col in self._columns.items()
+            }
+        )
+
+    def sort_by(self, name, descending=False):
+        """Rows ordered by one column."""
+        col = self.column(name)
+        if isinstance(col, np.ndarray):
+            order = np.argsort(col, kind="stable")
+            order = order[::-1] if descending else order
+            order = [int(i) for i in order]
+        else:
+            order = sorted(
+                range(self._length),
+                key=lambda i: col[i],
+                reverse=descending,
+            )
+        return self._take(order)
+
+    def group_by(self, key, aggregations):
+        """Group rows by ``key`` and aggregate other columns.
+
+        ``aggregations`` maps output column name to ``(input_column,
+        how)`` where ``how`` is one of sum/mean/count/min/max.
+
+        >>> t = Table({"k": ["a", "a", "b"], "v": [1, 2, 10]})
+        >>> g = t.group_by("k", {"total": ("v", "sum")})
+        >>> {k: float(v) for k, v in zip(g.column("k"), g.column("total"))}
+        {'a': 3.0, 'b': 10.0}
+        """
+        key_col = self.column(key)
+        groups = {}
+        for i in range(self._length):
+            groups.setdefault(_item(key_col, i), []).append(i)
+        out = {key: list(groups)}
+        for out_name, (in_name, how) in aggregations.items():
+            if how not in _AGGREGATORS:
+                raise ValidationError(
+                    f"unknown aggregator {how!r}; choose from "
+                    f"{sorted(_AGGREGATORS)}"
+                )
+            col = self.column(in_name)
+            agg = _AGGREGATORS[how]
+            out[out_name] = [
+                agg([_item(col, i) for i in idx])
+                for idx in groups.values()
+            ]
+        return Table(out)
+
+    def join(self, other, on, how="inner", suffix="_right"):
+        """Equi-join on column ``on``; ``how`` is "inner" or "left".
+
+        Columns of ``other`` colliding with ours are suffixed.  Left
+        joins fill missing numeric values with NaN and others with None.
+        """
+        if how not in ("inner", "left"):
+            raise ValidationError(f"how must be inner or left, got {how!r}")
+        right_index = {}
+        right_key = other.column(on)
+        for j in range(len(other)):
+            right_index.setdefault(_item(right_key, j), []).append(j)
+
+        left_rows = []
+        right_rows = []
+        unmatched = []
+        my_key = self.column(on)
+        for i in range(self._length):
+            matches = right_index.get(_item(my_key, i), ())
+            if matches:
+                for j in matches:
+                    left_rows.append(i)
+                    right_rows.append(j)
+            elif how == "left":
+                left_rows.append(i)
+                right_rows.append(None)
+                unmatched.append(len(left_rows) - 1)
+
+        out = {
+            name: [_item(col, i) for i in left_rows]
+            for name, col in self._columns.items()
+        }
+        for name, col in other._columns.items():
+            if name == on:
+                continue
+            out_name = name if name not in out else name + suffix
+            fill = float("nan") if isinstance(col, np.ndarray) else None
+            out[out_name] = [
+                fill if j is None else _item(col, j) for j in right_rows
+            ]
+        return Table(out)
+
+    # ------------------------------------------------------------------
+    def _take(self, indices):
+        return Table(
+            {
+                name: [_item(col, i) for i in indices]
+                for name, col in self._columns.items()
+            }
+        )
+
+    def to_text(self, max_rows=20):
+        """Fixed-width preview for terminals and docs."""
+        names = self.column_names
+        shown = list(self.rows())[:max_rows]
+        widths = {
+            n: max(len(n), *(len(_fmt(r[n])) for r in shown), 4)
+            if shown
+            else len(n)
+            for n in names
+        }
+        lines = ["  ".join(n.ljust(widths[n]) for n in names)]
+        for row in shown:
+            lines.append(
+                "  ".join(_fmt(row[n]).ljust(widths[n]) for n in names)
+            )
+        if self._length > max_rows:
+            lines.append(f"... ({self._length} rows total)")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Table(rows={self._length}, columns={self.column_names})"
+
+
+def _store(values):
+    if isinstance(values, np.ndarray):
+        return values.astype(float) if values.dtype != object else list(values)
+    values = list(values)
+    if values and all(
+        isinstance(v, (int, float, np.integer, np.floating))
+        and not isinstance(v, bool)
+        for v in values
+    ):
+        return np.asarray(values, dtype=float)
+    return values
+
+
+def _item(col, i):
+    value = col[i]
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,18 @@
+"""Shared low-level helpers: RNG handling, array checks, timers, caching."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.arrays import (
+    as_float_vector,
+    as_nonnegative_vector,
+    check_finite,
+)
+from repro.utils.timer import StageTimer
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "as_float_vector",
+    "as_nonnegative_vector",
+    "check_finite",
+    "StageTimer",
+]

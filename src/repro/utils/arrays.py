@@ -1,0 +1,47 @@
+"""Array-coercion and validation helpers used at every public boundary.
+
+The library's public functions accept anything array-like; these helpers
+convert once, up front, into contiguous float64 arrays and raise
+:class:`~repro.errors.ValidationError` with a message that names the
+offending argument, so downstream numerical code can assume clean input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def as_float_vector(values, name="values"):
+    """Coerce to a 1-D float64 array; raise ``ValidationError`` otherwise."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 0:
+        raise ValidationError(f"{name} must be a vector, got a scalar")
+    if arr.ndim != 1:
+        raise ValidationError(
+            f"{name} must be 1-dimensional, got shape {arr.shape}"
+        )
+    return np.ascontiguousarray(arr)
+
+
+def check_finite(arr, name="values"):
+    """Raise ``ValidationError`` if ``arr`` contains NaN or infinities."""
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise ValidationError(
+            f"{name} contains {bad} non-finite entries (NaN or inf)"
+        )
+    return arr
+
+
+def as_nonnegative_vector(values, name="values"):
+    """Coerce to a finite, non-negative 1-D float array."""
+    arr = as_float_vector(values, name=name)
+    check_finite(arr, name=name)
+    if np.any(arr < 0):
+        worst = float(arr.min())
+        raise ValidationError(
+            f"{name} must be non-negative; minimum entry is {worst}"
+        )
+    return arr

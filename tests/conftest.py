@@ -1,0 +1,62 @@
+"""Shared fixtures: miniature synthetic worlds and small labelled DMs.
+
+Worlds are session-scoped (building one is the expensive part of the
+suite) and deliberately small; set ``REPRO_TEST_SCALE`` to grow them.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import DisaggregationMatrix, Reference
+from repro.synth.universes import (
+    build_new_york_world,
+    build_united_states_world,
+)
+
+TEST_SCALE = float(os.environ.get("REPRO_TEST_SCALE", "0.06"))
+
+
+@pytest.fixture(scope="session")
+def ny_world():
+    """A miniature New York State world (shared across the session)."""
+    return build_new_york_world(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def us_world():
+    """A miniature United States world (shared across the session)."""
+    return build_united_states_world(scale=TEST_SCALE)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dm():
+    """3 source x 2 target disaggregation matrix with known sums."""
+    return DisaggregationMatrix(
+        [[2.0, 0.0], [1.0, 3.0], [0.0, 4.0]],
+        ["s0", "s1", "s2"],
+        ["t0", "t1"],
+    )
+
+
+@pytest.fixture
+def paired_references():
+    """Two same-labelled references over 6 source / 3 target units."""
+    gen = np.random.default_rng(7)
+    src = [f"s{i}" for i in range(6)]
+    tgt = [f"t{j}" for j in range(3)]
+
+    def make(seed, name):
+        r = np.random.default_rng(seed)
+        matrix = r.random((6, 3)) * (r.random((6, 3)) < 0.7)
+        matrix[0, 0] += 1.0  # guarantee a non-empty matrix
+        return Reference.from_dm(name, DisaggregationMatrix(matrix, src, tgt))
+
+    del gen
+    return [make(1, "alpha"), make(2, "beta")]

@@ -1,0 +1,227 @@
+"""Tests for region boolean algebra (difference, union, xor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.boolean import difference, symmetric_difference, union
+from repro.geometry.polygon import Polygon
+from repro.geometry.primitives import BoundingBox
+from repro.geometry.region import Region
+
+
+def box_region(x0, y0, x1, y1):
+    return Region.from_box(BoundingBox(x0, y0, x1, y1))
+
+
+CONCAVE = Region.from_polygon(
+    Polygon([(0, 0), (4, 0), (4, 4), (2, 1), (0, 4)])
+)
+
+
+@st.composite
+def random_box_regions(draw):
+    x0 = draw(st.floats(-5, 4))
+    y0 = draw(st.floats(-5, 4))
+    w = draw(st.floats(0.2, 6))
+    h = draw(st.floats(0.2, 6))
+    return box_region(x0, y0, x0 + w, y0 + h)
+
+
+class TestDifference:
+    def test_disjoint_is_identity(self):
+        a = box_region(0, 0, 1, 1)
+        b = box_region(5, 5, 6, 6)
+        assert difference(a, b).area == pytest.approx(a.area)
+
+    def test_contained_subtrahend_punches_hole(self):
+        a = box_region(0, 0, 4, 4)
+        b = box_region(1, 1, 3, 3)
+        d = difference(a, b)
+        assert d.area == pytest.approx(16.0 - 4.0)
+        assert not d.contains_point((2.0, 2.0))
+        assert d.contains_point((0.5, 0.5))
+
+    def test_total_subtraction_is_empty(self):
+        a = box_region(1, 1, 2, 2)
+        b = box_region(0, 0, 3, 3)
+        assert difference(a, b).is_empty
+
+    def test_partial_overlap(self):
+        a = box_region(0, 0, 2, 2)
+        b = box_region(1, 0, 3, 2)
+        d = difference(a, b)
+        assert d.area == pytest.approx(2.0)
+        assert d.contains_point((0.5, 1.0))
+        assert not d.contains_point((1.5, 1.0))
+
+    def test_self_difference_empty(self):
+        assert difference(CONCAVE, CONCAVE).area == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_concave_operands(self):
+        clip = box_region(0, 0, 4, 1)
+        d = difference(CONCAVE, clip)
+        expected = CONCAVE.area - CONCAVE.intersection_area(clip)
+        assert d.area == pytest.approx(expected, rel=1e-9)
+
+    def test_type_check(self):
+        with pytest.raises(GeometryError):
+            difference(box_region(0, 0, 1, 1), "nope")
+
+    def test_empty_operands(self):
+        a = box_region(0, 0, 1, 1)
+        empty = Region([])
+        assert difference(a, empty).area == pytest.approx(1.0)
+        assert difference(empty, a).is_empty
+
+
+class TestUnionXor:
+    def test_union_of_disjoint_adds(self):
+        u = union(box_region(0, 0, 1, 1), box_region(2, 0, 3, 1))
+        assert u.area == pytest.approx(2.0)
+
+    def test_union_of_overlapping_no_double_count(self):
+        u = union(box_region(0, 0, 2, 2), box_region(1, 1, 3, 3))
+        assert u.area == pytest.approx(4.0 + 4.0 - 1.0)
+
+    def test_union_contains_both(self):
+        a = box_region(0, 0, 2, 2)
+        b = box_region(1, 1, 3, 3)
+        u = union(a, b)
+        assert u.contains_point((0.5, 0.5))
+        assert u.contains_point((2.5, 2.5))
+        assert u.contains_point((1.5, 1.5))
+
+    def test_xor_excludes_overlap(self):
+        a = box_region(0, 0, 2, 2)
+        b = box_region(1, 1, 3, 3)
+        x = symmetric_difference(a, b)
+        assert x.area == pytest.approx(4.0 + 4.0 - 2.0)
+        assert not x.contains_point((1.5, 1.5))
+        assert x.contains_point((0.5, 0.5))
+        assert x.contains_point((2.5, 2.5))
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_box_regions(), random_box_regions())
+    def test_inclusion_exclusion(self, a, b):
+        """area(A|B) == area(A) + area(B) - area(A&B), exactly."""
+        u = union(a, b)
+        inter = a.intersection_area(b)
+        assert u.area == pytest.approx(
+            a.area + b.area - inter, rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_box_regions(), random_box_regions())
+    def test_difference_partition(self, a, b):
+        """A splits exactly into (A\\B) and (A&B)."""
+        d = difference(a, b)
+        inter = a.intersection_area(b)
+        assert d.area + inter == pytest.approx(a.area, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_box_regions(), random_box_regions(), st.integers(0, 10**6))
+    def test_membership_consistency(self, a, b, seed):
+        """Point membership in A\\B, A|B, A^B matches set logic."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-6, 11, size=(60, 2))
+        in_a = a.contains_points(pts)
+        in_b = b.contains_points(pts)
+        d = difference(a, b)
+        u = union(a, b)
+        x = symmetric_difference(a, b)
+        # Skip points within a hair of any box edge (boundary ties).
+        def far_from_edges(region):
+            mask = np.ones(len(pts), dtype=bool)
+            for piece in region.pieces:
+                box = BoundingBox.of_points(piece)
+                for edge in (box.xmin, box.xmax):
+                    mask &= np.abs(pts[:, 0] - edge) > 1e-6
+                for edge in (box.ymin, box.ymax):
+                    mask &= np.abs(pts[:, 1] - edge) > 1e-6
+            return mask
+
+        ok = far_from_edges(a) & far_from_edges(b)
+        assert (
+            d.contains_points(pts)[ok] == (in_a & ~in_b)[ok]
+        ).all()
+        assert (u.contains_points(pts)[ok] == (in_a | in_b)[ok]).all()
+        assert (x.contains_points(pts)[ok] == (in_a ^ in_b)[ok]).all()
+
+
+class TestBooleanBuiltGeography:
+    def test_merged_units_form_valid_system(self):
+        """Union-built districts feed the normal overlay pipeline."""
+        from repro.partitions import VectorUnitSystem, build_intersection
+
+        left = box_region(0, 0, 2, 4)
+        right = box_region(2, 0, 4, 4)
+        merged = union(left, box_region(2, 0, 3, 4))  # L-shaped-ish
+        rest = difference(right, box_region(2, 0, 3, 4))
+        system_a = VectorUnitSystem(["m", "r"], [merged, rest])
+        system_b = VectorUnitSystem(
+            ["top", "bottom"],
+            [box_region(0, 2, 4, 4), box_region(0, 0, 4, 2)],
+        )
+        overlay = build_intersection(system_a, system_b)
+        assert overlay.measure.sum() == pytest.approx(16.0, rel=1e-9)
+        dm = overlay.area_dm()
+        assert np.allclose(dm.row_sums(), system_a.measures())
+        assert np.allclose(dm.col_sums(), system_b.measures())
+
+@st.composite
+def random_convex_regions(draw):
+    """Convex polygons (not just boxes) for the algebra laws."""
+    n = draw(st.integers(3, 9))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    angles = np.sort(rng.uniform(0, 2 * np.pi, n))
+    if len(np.unique(np.round(angles, 6))) < n:
+        angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    radius = draw(st.floats(0.5, 4))
+    cx = draw(st.floats(-3, 3))
+    cy = draw(st.floats(-3, 3))
+    ring = np.column_stack(
+        (cx + radius * np.cos(angles), cy + radius * np.sin(angles))
+    )
+    return Region([ring])
+
+
+class TestBooleanOnConvexPolygons:
+    @settings(max_examples=40, deadline=None)
+    @given(random_convex_regions(), random_convex_regions())
+    def test_inclusion_exclusion_convex(self, a, b):
+        u = union(a, b)
+        assert u.area == pytest.approx(
+            a.area + b.area - a.intersection_area(b), rel=1e-8, abs=1e-8
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_convex_regions(), random_convex_regions())
+    def test_difference_partition_convex(self, a, b):
+        d = difference(a, b)
+        assert d.area + a.intersection_area(b) == pytest.approx(
+            a.area, rel=1e-8, abs=1e-8
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_convex_regions(), random_convex_regions())
+    def test_xor_is_union_minus_intersection(self, a, b):
+        x = symmetric_difference(a, b)
+        expected = a.area + b.area - 2 * a.intersection_area(b)
+        assert x.area == pytest.approx(expected, rel=1e-8, abs=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        random_convex_regions(),
+        random_convex_regions(),
+        random_convex_regions(),
+    )
+    def test_difference_chain_associativity(self, a, b, c):
+        """(A \\ B) \\ C covers the same area as A \\ (B | C)."""
+        left = difference(difference(a, b), c)
+        right = difference(a, union(b, c))
+        assert left.area == pytest.approx(right.area, rel=1e-7, abs=1e-8)

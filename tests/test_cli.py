@@ -1,0 +1,134 @@
+"""Tests for the geoalign-repro command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import TEST_SCALE
+
+
+def _run(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5a"])
+        assert args.scale == 1.0
+        assert args.seed is None
+        assert args.out is None
+
+    def test_fig6_trials_flag(self):
+        args = build_parser().parse_args(["fig6", "--trials", "3"])
+        assert args.trials == 3
+
+    def test_fig7_replicates_flag(self):
+        args = build_parser().parse_args(["fig7", "--replicates", "5"])
+        assert args.replicates == 5
+
+
+class TestExecution:
+    def test_fig5a(self):
+        code, out = _run(["fig5a", "--scale", str(TEST_SCALE)])
+        assert code == 0
+        assert "Figure 5 (New York State)" in out
+        assert "GeoAlign" in out
+
+    def test_fig5b(self):
+        code, out = _run(["fig5b", "--scale", str(TEST_SCALE)])
+        assert code == 0
+        assert "Figure 5 (United States)" in out
+
+    def test_fig6(self):
+        code, out = _run(
+            ["fig6", "--scale", str(TEST_SCALE), "--trials", "1"]
+        )
+        assert code == 0
+        assert "runtime correlation" in out
+
+    def test_fig7(self):
+        code, out = _run(
+            ["fig7", "--scale", str(TEST_SCALE), "--replicates", "1"]
+        )
+        assert code == 0
+        assert "Figure 7" in out
+
+    def test_fig8(self):
+        code, out = _run(["fig8", "--scale", str(TEST_SCALE)])
+        assert code == 0
+        assert "Figure 8" in out
+
+    def test_out_directory(self, tmp_path):
+        code, out = _run(
+            [
+                "fig5a",
+                "--scale",
+                str(TEST_SCALE),
+                "--out",
+                str(tmp_path / "reports"),
+            ]
+        )
+        assert code == 0
+        saved = tmp_path / "reports" / "fig5a.txt"
+        assert saved.is_file()
+        assert "Figure 5" in saved.read_text()
+
+    def test_seed_changes_world(self):
+        _, out_a = _run(
+            ["fig5a", "--scale", str(TEST_SCALE), "--seed", "1"]
+        )
+        _, out_b = _run(
+            ["fig5a", "--scale", str(TEST_SCALE), "--seed", "2"]
+        )
+        assert out_a != out_b
+
+    def test_seed_reproducible(self):
+        _, out_a = _run(
+            ["fig5a", "--scale", str(TEST_SCALE), "--seed", "3"]
+        )
+        _, out_b = _run(
+            ["fig5a", "--scale", str(TEST_SCALE), "--seed", "3"]
+        )
+        # Strip the wall-clock line; the tables must be identical.
+        trim = lambda s: "\n".join(
+            line for line in s.splitlines() if "completed in" not in line
+        )
+        assert trim(out_a) == trim(out_b)
+
+
+class TestAllCommand:
+    def test_all_runs_every_figure(self, tmp_path):
+        code, out = _run(
+            [
+                "all",
+                "--scale",
+                str(TEST_SCALE),
+                "--trials",
+                "1",
+                "--replicates",
+                "1",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        for name in ("fig5a", "fig5b", "fig6", "fig7", "fig8"):
+            assert (tmp_path / f"{name}.txt").is_file(), name
+
+
+class TestBadInput:
+    def test_out_of_range_scale_is_friendly(self, capsys):
+        code, _ = _run(["fig5a", "--scale", "7.5"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,228 @@
+"""Tests for clipping, the grid spatial index, and Voronoi partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.clip import (
+    clip_to_box,
+    clip_to_half_plane,
+    sutherland_hodgman,
+)
+from repro.geometry.primitives import BoundingBox, polygon_area
+from repro.geometry.sindex import GridIndex
+from repro.geometry.voronoi import (
+    lloyd_relaxation,
+    nearest_seed_labels,
+    poisson_disc_seeds,
+    voronoi_partition,
+)
+
+SQUARE = np.array([(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)])
+
+
+class TestHalfPlaneClip:
+    def test_no_clip_when_fully_inside(self):
+        out = clip_to_half_plane(SQUARE, 1.0, 0.0, 10.0)  # x <= 10
+        assert polygon_area(out) == pytest.approx(4.0)
+
+    def test_clip_half(self):
+        out = clip_to_half_plane(SQUARE, 1.0, 0.0, 1.0)  # x <= 1
+        assert polygon_area(out) == pytest.approx(2.0)
+
+    def test_clip_everything(self):
+        out = clip_to_half_plane(SQUARE, 1.0, 0.0, -1.0)  # x <= -1
+        assert len(out) == 0
+
+    def test_diagonal_clip(self):
+        out = clip_to_half_plane(SQUARE, 1.0, 1.0, 2.0)  # x + y <= 2
+        assert polygon_area(out) == pytest.approx(2.0)
+
+    def test_empty_input(self):
+        out = clip_to_half_plane(np.empty((0, 2)), 1.0, 0.0, 1.0)
+        assert len(out) == 0
+
+    @given(st.floats(-3, 3))
+    def test_monotone_in_threshold(self, c):
+        """Growing the half-plane never shrinks the clipped area."""
+        tighter = clip_to_half_plane(SQUARE, 1.0, 0.0, c)
+        looser = clip_to_half_plane(SQUARE, 1.0, 0.0, c + 0.5)
+        area_tight = polygon_area(tighter) if len(tighter) else 0.0
+        area_loose = polygon_area(looser) if len(looser) else 0.0
+        assert area_loose >= area_tight - 1e-9
+
+
+class TestSutherlandHodgman:
+    def test_overlapping_squares(self):
+        other = SQUARE + 1.0
+        out = sutherland_hodgman(SQUARE, other)
+        assert polygon_area(out) == pytest.approx(1.0)
+
+    def test_identical(self):
+        out = sutherland_hodgman(SQUARE, SQUARE)
+        assert polygon_area(out) == pytest.approx(4.0)
+
+    def test_disjoint(self):
+        out = sutherland_hodgman(SQUARE, SQUARE + 10.0)
+        assert len(out) == 0
+
+    def test_contained(self):
+        inner = SQUARE * 0.25 + 0.5
+        out = sutherland_hodgman(inner, SQUARE)
+        assert polygon_area(out) == pytest.approx(polygon_area(inner))
+
+    def test_rejects_degenerate_clipper(self):
+        with pytest.raises(GeometryError):
+            sutherland_hodgman(SQUARE, np.array([(0.0, 0.0), (1.0, 1.0)]))
+
+    def test_clip_to_box(self):
+        out = clip_to_box(SQUARE, BoundingBox(0.5, 0.5, 1.5, 3.0))
+        assert polygon_area(out) == pytest.approx(1.0 * 1.5)
+
+
+class TestGridIndex:
+    def test_bulk_load_and_query(self):
+        boxes = [
+            BoundingBox(i, 0, i + 0.9, 1) for i in range(10)
+        ]
+        index = GridIndex.bulk_load(boxes)
+        hits = index.query(BoundingBox(2.5, 0.2, 3.5, 0.8))
+        assert set(hits) == {2, 3}
+
+    def test_query_point(self):
+        index = GridIndex.bulk_load([BoundingBox(0, 0, 1, 1)])
+        assert index.query_point((0.5, 0.5)) == [0]
+        assert index.query_point((5.0, 5.0)) == []
+
+    def test_duplicate_id_rejected(self):
+        index = GridIndex(BoundingBox(0, 0, 10, 10))
+        index.insert("a", BoundingBox(0, 0, 1, 1))
+        with pytest.raises(GeometryError, match="duplicate"):
+            index.insert("a", BoundingBox(1, 1, 2, 2))
+
+    def test_empty_bulk_load_rejected(self):
+        with pytest.raises(GeometryError):
+            GridIndex.bulk_load([])
+
+    def test_len_and_contains(self):
+        index = GridIndex.bulk_load({"x": BoundingBox(0, 0, 1, 1)})
+        assert len(index) == 1 and "x" in index
+
+    def test_query_is_exact_superset_filter(self, rng):
+        """Index results equal brute-force bbox intersection."""
+        boxes = {}
+        for i in range(200):
+            x, y = rng.uniform(0, 50, 2)
+            boxes[i] = BoundingBox(x, y, x + rng.uniform(0.1, 5), y + rng.uniform(0.1, 5))
+        index = GridIndex.bulk_load(boxes)
+        for _ in range(30):
+            x, y = rng.uniform(0, 50, 2)
+            probe = BoundingBox(x, y, x + 3, y + 3)
+            expected = {
+                i for i, b in boxes.items() if b.intersects(probe)
+            }
+            assert set(index.query(probe)) == expected
+
+
+class TestVoronoi:
+    def test_partition_tiles_box(self, rng):
+        box = BoundingBox(0, 0, 7, 5)
+        seeds = rng.uniform([0.1, 0.1], [6.9, 4.9], size=(60, 2))
+        cells = voronoi_partition(seeds, box)
+        assert len(cells) == 60
+        total = sum(polygon_area(c) for c in cells)
+        assert total == pytest.approx(box.area, rel=1e-9)
+
+    def test_each_seed_inside_its_cell(self, rng):
+        box = BoundingBox(0, 0, 4, 4)
+        seeds = rng.uniform(0.2, 3.8, size=(25, 2))
+        cells = voronoi_partition(seeds, box)
+        from repro.geometry.primitives import point_in_ring
+
+        for seed, cell in zip(seeds, cells):
+            assert point_in_ring(seed, cell)
+
+    def test_single_seed_owns_box(self):
+        box = BoundingBox(0, 0, 2, 3)
+        cells = voronoi_partition(np.array([[1.0, 1.0]]), box)
+        assert polygon_area(cells[0]) == pytest.approx(6.0)
+
+    def test_two_seeds_split_by_bisector(self):
+        box = BoundingBox(0, 0, 2, 2)
+        cells = voronoi_partition(
+            np.array([[0.5, 1.0], [1.5, 1.0]]), box
+        )
+        assert polygon_area(cells[0]) == pytest.approx(2.0)
+        assert polygon_area(cells[1]) == pytest.approx(2.0)
+
+    def test_duplicate_seeds_rejected(self):
+        box = BoundingBox(0, 0, 1, 1)
+        with pytest.raises(GeometryError, match="distinct"):
+            voronoi_partition(
+                np.array([[0.5, 0.5], [0.5, 0.5]]), box
+            )
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(GeometryError):
+            voronoi_partition(np.empty((0, 2)), BoundingBox(0, 0, 1, 1))
+
+    def test_cells_match_nearest_seed_classification(self, rng):
+        """Points decisively nearest one seed land in that seed's cell."""
+        box = BoundingBox(0, 0, 5, 5)
+        seeds = rng.uniform(0.1, 4.9, size=(40, 2))
+        cells = voronoi_partition(seeds, box)
+        from repro.geometry.primitives import point_in_ring
+
+        probes = rng.uniform(0, 5, size=(200, 2))
+        d2 = ((probes[:, None, :] - seeds[None, :, :]) ** 2).sum(axis=2)
+        ordered = np.sort(d2, axis=1)
+        decisive = ordered[:, 1] - ordered[:, 0] > 1e-6
+        nearest = d2.argmin(axis=1)
+        assert decisive.sum() > 150  # nearly all probes are decisive
+        for probe, owner in zip(probes[decisive], nearest[decisive]):
+            assert point_in_ring(probe, cells[int(owner)])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000), st.integers(3, 80))
+    def test_partition_area_invariant(self, seed, n):
+        rng = np.random.default_rng(seed)
+        box = BoundingBox(0, 0, 3, 2)
+        seeds = rng.uniform([0.01, 0.01], [2.99, 1.99], size=(n, 2))
+        if len(np.unique(np.round(seeds, 9), axis=0)) < n:
+            return
+        cells = voronoi_partition(seeds, box)
+        total = sum(polygon_area(c) for c in cells)
+        assert total == pytest.approx(box.area, rel=1e-8)
+
+    def test_nearest_seed_labels_exact(self, rng):
+        box = BoundingBox(0, 0, 6, 4)
+        seeds = rng.uniform([0, 0], [6, 4], size=(150, 2))
+        pts = rng.uniform([0, 0], [6, 4], size=(400, 2))
+        labels = nearest_seed_labels(pts, seeds, box)
+        d2 = ((pts[:, None, :] - seeds[None, :, :]) ** 2).sum(axis=2)
+        assert (labels == d2.argmin(axis=1)).all()
+
+    def test_poisson_disc_spacing(self):
+        box = BoundingBox(0, 0, 10, 10)
+        pts = poisson_disc_seeds(50, box, seed=0)
+        d = np.sqrt(
+            ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        )
+        np.fill_diagonal(d, np.inf)
+        # Best-candidate sampling spreads points: min spacing well above
+        # what uniform sampling typically yields.
+        assert d.min() > 0.3
+
+    def test_lloyd_relaxation_reduces_spread(self):
+        box = BoundingBox(0, 0, 10, 10)
+        rng = np.random.default_rng(5)
+        seeds = rng.uniform(0, 10, size=(40, 2))
+        relaxed = lloyd_relaxation(seeds, box, iterations=3)
+        before = [
+            polygon_area(c) for c in voronoi_partition(seeds, box)
+        ]
+        after = [
+            polygon_area(c) for c in voronoi_partition(relaxed, box)
+        ]
+        assert np.std(after) < np.std(before)

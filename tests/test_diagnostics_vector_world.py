@@ -1,0 +1,221 @@
+"""Tests for bootstrap diagnostics, DM composition and vector worlds."""
+
+import numpy as np
+import pytest
+
+from repro import DisaggregationMatrix, GeoAlign, Reference, nrmse
+from repro.core.diagnostics import (
+    bootstrap_weights,
+    weight_stability_report,
+)
+from repro.errors import ShapeMismatchError, ValidationError
+from repro.geometry.primitives import BoundingBox
+from repro.synth.datasets import NEW_YORK_DATASETS
+from repro.synth.vector_geography import build_vector_world
+
+SRC = [f"s{i}" for i in range(20)]
+TGT = [f"t{j}" for j in range(5)]
+
+
+def _reference(seed, name):
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((20, 5)) * (rng.random((20, 5)) < 0.7)
+    matrix[:, 0] += 0.01
+    return Reference.from_dm(name, DisaggregationMatrix(matrix, SRC, TGT))
+
+
+class TestBootstrap:
+    @pytest.fixture
+    def refs(self):
+        return [_reference(i, f"r{i}") for i in range(3)]
+
+    def test_shapes(self, refs):
+        result = bootstrap_weights(
+            refs, refs[0].source_vector, n_boot=50, seed=0
+        )
+        assert result.weights.shape == (50, 3)
+        assert result.point_estimate.shape == (3,)
+        assert result.reference_names == ["r0", "r1", "r2"]
+
+    def test_rows_are_simplex(self, refs):
+        result = bootstrap_weights(
+            refs, refs[0].source_vector, n_boot=30, seed=1
+        )
+        assert np.allclose(result.weights.sum(axis=1), 1.0)
+        assert (result.weights >= -1e-12).all()
+
+    def test_dominant_reference_detected(self, refs):
+        """Objective == one reference: that reference is selected in
+        (nearly) every resample with weight ~1."""
+        result = bootstrap_weights(
+            refs, refs[1].source_vector * 4.0, n_boot=60, seed=2
+        )
+        freq = result.selection_frequency()
+        assert freq[1] > 0.95
+        assert result.mean()[1] > 0.8
+
+    def test_reproducible(self, refs):
+        a = bootstrap_weights(refs, refs[0].source_vector, n_boot=20, seed=5)
+        b = bootstrap_weights(refs, refs[0].source_vector, n_boot=20, seed=5)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_redundant_pair_trades_weight(self):
+        """Two near-identical references: individual weights unstable,
+        fitted values stable (the USPS-pair phenomenon)."""
+        rng = np.random.default_rng(9)
+        base = rng.random((40, 3)) + 0.1
+        # Twins differ far less than the objective's own noise, so the
+        # regression cannot tell them apart on a resample.
+        base[:, 1] = base[:, 0] * (1 + rng.normal(0, 0.001, 40))
+        refs = []
+        for k in range(3):
+            matrix = np.outer(base[:, k], rng.dirichlet(np.ones(4)))
+            refs.append(
+                Reference.from_dm(
+                    f"r{k}",
+                    DisaggregationMatrix(
+                        matrix,
+                        [f"s{i}" for i in range(40)],
+                        [f"t{j}" for j in range(4)],
+                    ),
+                )
+            )
+        objective = np.abs(
+            refs[0].source_vector * (1 + rng.normal(0, 0.05, 40))
+        )
+        result = bootstrap_weights(refs, objective, n_boot=80, seed=3)
+        spread = result.std()
+        # The twins share weight freely; fitted values barely move.
+        assert max(spread[0], spread[1]) > 0.05
+        assert result.fit_dispersion < 0.02
+
+    def test_report_renders(self, refs):
+        result = bootstrap_weights(
+            refs, refs[0].source_vector, n_boot=25, seed=4
+        )
+        text = weight_stability_report(result)
+        assert "bootstrap resamples" in text
+        for name in result.reference_names:
+            assert name in text
+
+    def test_validation(self, refs):
+        with pytest.raises(ValidationError):
+            bootstrap_weights([], [1.0])
+        with pytest.raises(ValidationError):
+            bootstrap_weights(refs, refs[0].source_vector, n_boot=0)
+        with pytest.raises(ValidationError):
+            bootstrap_weights(refs, np.ones(3))
+
+
+class TestComposition:
+    def test_chain_preserves_source_totals(self):
+        rng = np.random.default_rng(0)
+        mid = [f"m{k}" for k in range(8)]
+        a = DisaggregationMatrix(
+            rng.random((5, 8)) + 0.01, [f"s{i}" for i in range(5)], mid
+        )
+        b = DisaggregationMatrix(
+            rng.random((8, 3)) + 0.01, mid, [f"t{j}" for j in range(3)]
+        )
+        composed = a.compose(b)
+        assert composed.source_labels == a.source_labels
+        assert composed.target_labels == b.target_labels
+        assert np.allclose(composed.row_sums(), a.row_sums())
+
+    def test_empty_mid_row_drops_mass(self):
+        a = DisaggregationMatrix(
+            [[1.0, 1.0]], ["s"], ["m0", "m1"]
+        )
+        b = DisaggregationMatrix(
+            [[3.0], [0.0]], ["m0", "m1"], ["t"]
+        )
+        composed = a.compose(b)
+        # m1's share of a's mass has nowhere to go.
+        assert composed.total() == pytest.approx(1.0)
+
+    def test_label_mismatch_rejected(self, small_dm):
+        with pytest.raises(ShapeMismatchError, match="composition"):
+            small_dm.compose(small_dm)
+
+    def test_type_check(self, small_dm):
+        with pytest.raises(ValidationError):
+            small_dm.compose(np.ones((2, 2)))
+
+    def test_identity_composition(self, small_dm):
+        eye = DisaggregationMatrix(
+            np.eye(2), small_dm.target_labels, ["u0", "u1"]
+        )
+        composed = small_dm.compose(eye)
+        assert np.allclose(composed.to_dense(), small_dm.to_dense())
+
+
+@pytest.fixture(scope="module")
+def vector_world():
+    return build_vector_world(
+        extent=BoundingBox(0, 0, 2.0, 1.5),
+        n_zips=180,
+        n_counties=9,
+        n_metros=140,
+        datasets=tuple(
+            type(spec)(**{**spec.__dict__, "expected_total": spec.expected_total * 0.05})
+            if not spec.deterministic
+            else spec
+            for spec in NEW_YORK_DATASETS
+        ),
+        seed=17,
+        name="vector-NY-mini",
+    )
+
+
+class TestVectorWorld:
+    def test_partitions_tile_extent(self, vector_world):
+        extent_area = vector_world.extent.area
+        assert vector_world.zips.measures().sum() == pytest.approx(
+            extent_area, rel=1e-6
+        )
+        assert vector_world.counties.measures().sum() == pytest.approx(
+            extent_area, rel=1e-6
+        )
+
+    def test_overlay_marginals(self, vector_world):
+        dm = vector_world.intersections().area_dm()
+        assert np.allclose(
+            dm.row_sums(), vector_world.zips.measures(), rtol=1e-6
+        )
+        assert np.allclose(
+            dm.col_sums(), vector_world.counties.measures(), rtol=1e-6
+        )
+
+    def test_references_self_consistent(self, vector_world):
+        refs = vector_world.references()
+        assert len(refs) == len(NEW_YORK_DATASETS)
+        for ref in refs:
+            assert np.allclose(ref.source_vector, ref.dm.row_sums())
+
+    def test_area_reference_is_exact_geometry(self, vector_world):
+        area = vector_world.area_reference()
+        assert np.allclose(
+            area.source_vector,
+            vector_world.zips.measures(),
+            rtol=1e-6,
+        )
+
+    def test_geoalign_runs_end_to_end(self, vector_world):
+        refs = vector_world.references()
+        test, pool = refs[0], refs[1:]
+        estimate = GeoAlign().fit_predict(pool, test.source_vector)
+        value = nrmse(estimate, test.dm.col_sums())
+        # Exact-geometry world, same generative structure: GeoAlign is
+        # accurate and far from degenerate.
+        assert value < 0.25
+
+    def test_reference_lookup(self, vector_world):
+        assert vector_world.reference_for("Population").name == "Population"
+        with pytest.raises(KeyError):
+            vector_world.reference_for("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="more zips"):
+            build_vector_world(
+                BoundingBox(0, 0, 1, 1), 5, 5, 10, NEW_YORK_DATASETS
+            )

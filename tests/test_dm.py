@@ -1,0 +1,162 @@
+"""Tests for the labelled sparse DisaggregationMatrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeMismatchError, ValidationError
+from repro.partitions.dm import DisaggregationMatrix
+
+SRC = ["s0", "s1", "s2"]
+TGT = ["t0", "t1"]
+
+
+@st.composite
+def random_dms(draw):
+    seed = draw(st.integers(0, 100_000))
+    rng = np.random.default_rng(seed)
+    m = draw(st.integers(1, 12))
+    n = draw(st.integers(1, 8))
+    matrix = rng.random((m, n)) * (rng.random((m, n)) < 0.6)
+    src = [f"s{i}" for i in range(m)]
+    tgt = [f"t{j}" for j in range(n)]
+    return DisaggregationMatrix(matrix, src, tgt)
+
+
+class TestConstruction:
+    def test_from_dense(self, small_dm):
+        assert small_dm.shape == (3, 2)
+        assert small_dm.nnz == 4
+
+    def test_labels_must_match_shape(self):
+        with pytest.raises(ShapeMismatchError):
+            DisaggregationMatrix(np.ones((2, 2)), SRC, TGT)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            DisaggregationMatrix([[1.0, -2.0]], ["s"], TGT)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            DisaggregationMatrix([[1.0, float("nan")]], ["s"], TGT)
+
+    def test_from_pairs_sums_duplicates(self):
+        dm = DisaggregationMatrix.from_pairs(
+            [0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0], SRC, TGT
+        )
+        assert dm.to_dense()[0, 0] == 3.0
+        assert dm.to_dense()[1, 1] == 5.0
+
+    def test_zeros(self):
+        dm = DisaggregationMatrix.zeros(SRC, TGT)
+        assert dm.nnz == 0
+        assert dm.total() == 0.0
+
+
+class TestSums:
+    def test_row_and_col_sums(self, small_dm):
+        assert np.allclose(small_dm.row_sums(), [2.0, 4.0, 4.0])
+        assert np.allclose(small_dm.col_sums(), [3.0, 7.0])
+
+    def test_total_consistency(self, small_dm):
+        assert small_dm.total() == pytest.approx(
+            small_dm.row_sums().sum()
+        )
+        assert small_dm.total() == pytest.approx(
+            small_dm.col_sums().sum()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_dms())
+    def test_sum_identities_hold(self, dm):
+        assert dm.row_sums().sum() == pytest.approx(dm.total())
+        assert dm.col_sums().sum() == pytest.approx(dm.total())
+
+
+class TestAlgebra:
+    def test_blend_weights(self, small_dm):
+        other = DisaggregationMatrix(
+            [[0.0, 2.0], [2.0, 0.0], [1.0, 1.0]], SRC, TGT
+        )
+        blended = DisaggregationMatrix.blend(
+            [small_dm, other], [0.25, 0.75]
+        )
+        expected = 0.25 * small_dm.to_dense() + 0.75 * other.to_dense()
+        assert np.allclose(blended.to_dense(), expected)
+
+    def test_blend_requires_same_labels(self, small_dm):
+        other = DisaggregationMatrix(
+            np.ones((3, 2)), SRC, ["x", "y"]
+        )
+        with pytest.raises(ShapeMismatchError):
+            DisaggregationMatrix.blend([small_dm, other], [0.5, 0.5])
+
+    def test_blend_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            DisaggregationMatrix.blend([], [])
+
+    def test_blend_weight_count_mismatch(self, small_dm):
+        with pytest.raises(ShapeMismatchError):
+            DisaggregationMatrix.blend([small_dm], [0.5, 0.5])
+
+    def test_rescale_rows_hits_new_totals(self, small_dm):
+        new_totals = np.array([10.0, 20.0, 30.0])
+        rescaled = small_dm.rescale_rows(new_totals)
+        assert np.allclose(rescaled.row_sums(), new_totals)
+
+    def test_rescale_rows_zero_denominator_zeroes_row(self):
+        dm = DisaggregationMatrix([[0.0, 0.0], [1.0, 1.0]], ["a", "b"], TGT)
+        rescaled = dm.rescale_rows([5.0, 8.0])
+        assert rescaled.row_sums()[0] == 0.0  # nothing to scale up
+        assert rescaled.row_sums()[1] == pytest.approx(8.0)
+
+    def test_rescale_rows_custom_denominator(self, small_dm):
+        rescaled = small_dm.rescale_rows(
+            [1.0, 1.0, 1.0], denominators=[2.0, 4.0, 4.0]
+        )
+        assert np.allclose(rescaled.row_sums(), [1.0, 1.0, 1.0])
+
+    def test_rescale_rows_shape_check(self, small_dm):
+        with pytest.raises(ShapeMismatchError):
+            small_dm.rescale_rows([1.0, 2.0])
+        with pytest.raises(ShapeMismatchError):
+            small_dm.rescale_rows(
+                [1.0, 2.0, 3.0], denominators=[1.0]
+            )
+
+    def test_row_shares_are_stochastic(self, small_dm):
+        shares = small_dm.row_shares()
+        assert np.allclose(shares.row_sums(), 1.0)
+
+    def test_transposed(self, small_dm):
+        t = small_dm.transposed()
+        assert t.shape == (2, 3)
+        assert t.source_labels == TGT
+        assert np.allclose(t.to_dense(), small_dm.to_dense().T)
+
+    def test_allclose(self, small_dm):
+        assert small_dm.allclose(small_dm)
+        bumped = DisaggregationMatrix(
+            small_dm.to_dense() + 1e-15, SRC, TGT
+        )
+        assert small_dm.allclose(bumped)
+        different = DisaggregationMatrix(
+            small_dm.to_dense() * 2.0, SRC, TGT
+        )
+        assert not small_dm.allclose(different)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_dms(), st.floats(0.1, 10.0))
+    def test_rescale_preserves_shares(self, dm, scale):
+        """Rescaling rows never changes within-row proportions."""
+        totals = dm.row_sums() * scale
+        rescaled = dm.rescale_rows(totals)
+        original = dm.to_dense()
+        new = rescaled.to_dense()
+        for i in range(dm.shape[0]):
+            if original[i].sum() > 0:
+                assert np.allclose(
+                    new[i] / max(new[i].sum(), 1e-300),
+                    original[i] / original[i].sum(),
+                    atol=1e-9,
+                )

@@ -1,0 +1,189 @@
+"""Tests for geometric predicates, measures and bounding boxes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import (
+    BoundingBox,
+    is_ccw,
+    orientation,
+    point_in_ring,
+    points_in_ring,
+    polygon_area,
+    polygon_centroid,
+    segment_intersection_point,
+    segments_intersect,
+    signed_polygon_area,
+)
+
+SQUARE = np.array([(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)])
+
+
+class TestOrientation:
+    def test_counter_clockwise_positive(self):
+        assert orientation((0, 0), (1, 0), (0, 1)) > 0
+
+    def test_clockwise_negative(self):
+        assert orientation((0, 0), (0, 1), (1, 0)) < 0
+
+    def test_collinear_zero(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == pytest.approx(0.0)
+
+
+class TestArea:
+    def test_unit_square(self):
+        assert polygon_area(SQUARE) == pytest.approx(4.0)
+
+    def test_signed_area_flips_with_winding(self):
+        assert signed_polygon_area(SQUARE) == pytest.approx(4.0)
+        assert signed_polygon_area(SQUARE[::-1]) == pytest.approx(-4.0)
+
+    def test_triangle(self):
+        tri = [(0, 0), (1, 0), (0, 1)]
+        assert polygon_area(tri) == pytest.approx(0.5)
+
+    def test_degenerate_returns_zero(self):
+        assert polygon_area([(0, 0), (1, 1)]) == 0.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            polygon_area(np.ones((3, 3)))
+
+    @given(
+        st.floats(0.1, 50),
+        st.floats(0.1, 50),
+        st.floats(-10, 10),
+        st.floats(-10, 10),
+    )
+    def test_rectangle_area_formula(self, w, h, x0, y0):
+        rect = [(x0, y0), (x0 + w, y0), (x0 + w, y0 + h), (x0, y0 + h)]
+        assert polygon_area(rect) == pytest.approx(w * h, rel=1e-9)
+
+
+class TestCentroid:
+    def test_square_centroid(self):
+        assert polygon_centroid(SQUARE) == pytest.approx((1.0, 1.0))
+
+    def test_translation_equivariance(self):
+        shifted = SQUARE + np.array([5.0, -3.0])
+        cx, cy = polygon_centroid(shifted)
+        assert (cx, cy) == pytest.approx((6.0, -2.0))
+
+    def test_degenerate_falls_back_to_mean(self):
+        cx, cy = polygon_centroid([(0, 0), (2, 0), (4, 0)])
+        assert (cx, cy) == pytest.approx((2.0, 0.0))
+
+
+class TestWinding:
+    def test_ccw_detection(self):
+        assert is_ccw(SQUARE)
+        assert not is_ccw(SQUARE[::-1])
+
+
+class TestSegments:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect((0, 0), (1, 0), (1, 0), (2, 5))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_intersection_point_of_cross(self):
+        pt = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert pt == pytest.approx((1.0, 1.0))
+
+    def test_intersection_point_none_when_disjoint(self):
+        assert (
+            segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1))
+            is None
+        )
+
+    def test_intersection_point_none_when_beyond_segment(self):
+        assert (
+            segment_intersection_point((0, 0), (1, 1), (3, 0), (0, 3))
+            is None
+        )
+
+
+class TestPointInRing:
+    def test_inside(self):
+        assert point_in_ring((1.0, 1.0), SQUARE)
+
+    def test_outside(self):
+        assert not point_in_ring((3.0, 1.0), SQUARE)
+
+    def test_concave_pocket_excluded(self):
+        arrow = [(0, 0), (4, 0), (4, 4), (2, 1), (0, 4)]
+        assert not point_in_ring((2.0, 3.0), arrow)  # in the notch
+        assert point_in_ring((3.6, 1.0), arrow)
+
+    def test_vectorised_matches_scalar(self, rng):
+        pts = rng.uniform(-1, 3, size=(300, 2))
+        vec = points_in_ring(pts, SQUARE)
+        scalar = np.array([point_in_ring(p, SQUARE) for p in pts])
+        assert (vec == scalar).all()
+
+    def test_vectorised_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            points_in_ring(np.ones(3), SQUARE)
+
+
+class TestBoundingBox:
+    def test_rejects_inverted(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_of_points(self):
+        box = BoundingBox.of_points([(1, 2), (-1, 5), (0, 0)])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (-1, 0, 1, 5)
+
+    def test_of_points_empty(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.of_points(np.empty((0, 2)))
+
+    def test_measures(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.width == 4 and box.height == 2
+        assert box.area == 8
+        assert box.center == (2.0, 1.0)
+
+    def test_intersects_true_on_touch(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(1, 0, 2, 1)
+        assert a.intersects(b)
+
+    def test_intersects_false_when_apart(self):
+        a = BoundingBox(0, 0, 1, 1)
+        assert not a.intersects(BoundingBox(2, 2, 3, 3))
+
+    def test_contains_point_boundary(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains_point((0.0, 0.5))
+        assert not box.contains_point((1.0001, 0.5))
+
+    def test_union_and_expand(self):
+        a = BoundingBox(0, 0, 1, 1)
+        u = a.union(BoundingBox(2, -1, 3, 0.5))
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, -1, 3, 1)
+        e = a.expanded(0.5)
+        assert (e.xmin, e.ymin, e.xmax, e.ymax) == (-0.5, -0.5, 1.5, 1.5)
+
+    def test_corners_are_ccw(self):
+        corners = BoundingBox(0, 0, 2, 1).corners()
+        assert is_ccw(corners)
+        assert polygon_area(corners) == pytest.approx(2.0)
+
+    def test_equality_and_hash(self):
+        assert BoundingBox(0, 0, 1, 1) == BoundingBox(0, 0, 1, 1)
+        assert hash(BoundingBox(0, 0, 1, 1)) == hash(BoundingBox(0, 0, 1, 1))
+        assert BoundingBox(0, 0, 1, 1) != BoundingBox(0, 0, 1, 2)

@@ -1,0 +1,192 @@
+"""Tests for the 1-D interval and n-D box unit-system backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import build_intersection
+from repro.boxes import BoxUnitSystem, HyperBox
+from repro.errors import GeometryError, PartitionError, ShapeMismatchError
+from repro.intervals import IntervalUnitSystem
+
+
+class TestIntervalSystem:
+    def test_uniform_constructor(self):
+        sys = IntervalUnitSystem.uniform(0, 10, 5)
+        assert len(sys) == 5
+        assert np.allclose(sys.measures(), 2.0)
+        assert sys.span() == (0.0, 10.0)
+
+    def test_default_labels(self):
+        sys = IntervalUnitSystem([0, 1, 3])
+        assert sys.labels == ["[0, 1)", "[1, 3)"]
+
+    def test_rejects_descending_edges(self):
+        with pytest.raises(PartitionError, match="ascending"):
+            IntervalUnitSystem([0, 2, 1])
+
+    def test_rejects_single_edge(self):
+        with pytest.raises(PartitionError):
+            IntervalUnitSystem([0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(PartitionError, match="finite"):
+            IntervalUnitSystem([0, float("inf")])
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            IntervalUnitSystem([0, 1, 2], labels=["only-one"])
+
+    def test_overlap_pairs_conserve_length(self):
+        a = IntervalUnitSystem.uniform(0, 30, 10)
+        b = IntervalUnitSystem([0, 7, 13, 30])
+        src, tgt, measure = a.overlap_pairs(b)
+        assert measure.sum() == pytest.approx(30.0)
+        assert (measure > 0).all()
+
+    def test_overlap_with_partial_cover(self):
+        a = IntervalUnitSystem([0, 10])
+        b = IntervalUnitSystem([5, 15])
+        _, _, measure = a.overlap_pairs(b)
+        assert measure.sum() == pytest.approx(5.0)
+
+    def test_overlap_rejects_other_backend(self):
+        a = IntervalUnitSystem([0, 10])
+        with pytest.raises(ShapeMismatchError):
+            a.overlap_pairs(
+                BoxUnitSystem.regular_grid([0], [1], (1,))
+            )
+
+    def test_locate_points(self):
+        sys = IntervalUnitSystem([0, 2, 5, 10])
+        idx = sys.locate_points([-1, 0, 1.9, 2, 9.99, 10, 42])
+        assert list(idx) == [-1, 0, 0, 1, 2, -1, -1]
+
+    def test_aggregate_points(self):
+        sys = IntervalUnitSystem([0, 5, 10])
+        totals = sys.aggregate_points([1, 2, 3, 7], weights=[1, 1, 1, 10])
+        assert np.allclose(totals, [3.0, 10.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_intersection_dm_marginals(self, seed):
+        rng = np.random.default_rng(seed)
+        edges_a = np.unique(rng.uniform(0, 100, 8))
+        edges_b = np.unique(rng.uniform(0, 100, 5))
+        if len(edges_a) < 2 or len(edges_b) < 2:
+            return
+        # Force a shared span so marginals match exactly.
+        edges_a[0] = edges_b[0] = 0.0
+        edges_a[-1] = edges_b[-1] = 100.0
+        a = IntervalUnitSystem(edges_a)
+        b = IntervalUnitSystem(edges_b)
+        dm = build_intersection(a, b).area_dm()
+        assert np.allclose(dm.row_sums(), a.measures(), rtol=1e-9)
+        assert np.allclose(dm.col_sums(), b.measures(), rtol=1e-9)
+
+
+class TestHyperBox:
+    def test_volume(self):
+        box = HyperBox([0, 0, 0], [2, 3, 4])
+        assert box.volume == pytest.approx(24.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(GeometryError):
+            HyperBox([0, 0], [1, 0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(GeometryError):
+            HyperBox([0], [float("inf")])
+
+    def test_overlap_volume(self):
+        a = HyperBox([0, 0], [2, 2])
+        b = HyperBox([1, 1], [3, 3])
+        assert a.overlap_volume(b) == pytest.approx(1.0)
+        assert b.overlap_volume(a) == pytest.approx(1.0)
+
+    def test_overlap_volume_disjoint(self):
+        a = HyperBox([0], [1])
+        assert a.overlap_volume(HyperBox([2], [3])) == 0.0
+
+    def test_overlap_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            HyperBox([0], [1]).overlap_volume(HyperBox([0, 0], [1, 1]))
+
+    def test_contains_points_half_open(self):
+        box = HyperBox([0, 0], [1, 1])
+        inside = box.contains_points([[0.0, 0.0], [1.0, 0.5], [0.5, 0.5]])
+        assert list(inside) == [True, False, True]
+
+
+class TestBoxUnitSystem:
+    def test_regular_grid_partitions_volume(self):
+        sys = BoxUnitSystem.regular_grid([0, 0, 0], [6, 6, 6], (3, 2, 1))
+        assert len(sys) == 6
+        assert sys.measures().sum() == pytest.approx(216.0)
+
+    def test_grid_shape_validation(self):
+        with pytest.raises(ShapeMismatchError):
+            BoxUnitSystem.regular_grid([0, 0], [1, 1], (2,))
+        with pytest.raises(PartitionError):
+            BoxUnitSystem.regular_grid([0], [1], (0,))
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(PartitionError):
+            BoxUnitSystem(
+                ["a", "b"],
+                [HyperBox([0], [1]), HyperBox([0, 0], [1, 1])],
+            )
+
+    def test_overlap_volume_conserved_2d(self):
+        a = BoxUnitSystem.regular_grid([0, 0], [12, 12], (4, 3))
+        b = BoxUnitSystem.regular_grid([0, 0], [12, 12], (3, 5))
+        overlay = build_intersection(a, b)
+        assert overlay.measure.sum() == pytest.approx(144.0)
+        dm = overlay.area_dm()
+        assert np.allclose(dm.row_sums(), a.measures())
+        assert np.allclose(dm.col_sums(), b.measures())
+
+    def test_overlap_volume_conserved_4d(self):
+        a = BoxUnitSystem.regular_grid(
+            [0, 0, 0, 0], [2, 2, 2, 2], (2, 2, 1, 2)
+        )
+        b = BoxUnitSystem.regular_grid(
+            [0, 0, 0, 0], [2, 2, 2, 2], (1, 3, 2, 1)
+        )
+        overlay = build_intersection(a, b)
+        assert overlay.measure.sum() == pytest.approx(16.0)
+
+    def test_locate_and_aggregate_points(self, rng):
+        sys = BoxUnitSystem.regular_grid([0, 0], [10, 10], (2, 2))
+        pts = rng.uniform(0, 10, size=(200, 2))
+        labels = sys.locate_points(pts)
+        assert (labels >= 0).all()
+        totals = sys.aggregate_points(pts)
+        assert totals.sum() == pytest.approx(200.0)
+
+    def test_points_outside_dropped(self):
+        sys = BoxUnitSystem.regular_grid([0, 0], [1, 1], (1, 1))
+        totals = sys.aggregate_points([[2.0, 2.0], [0.5, 0.5]])
+        assert totals.sum() == pytest.approx(1.0)
+
+    def test_interval_box_agreement_1d(self):
+        """1-D boxes and intervals produce identical overlap structure."""
+        intervals_a = IntervalUnitSystem([0, 3, 7, 10])
+        intervals_b = IntervalUnitSystem([0, 5, 10])
+        boxes_a = BoxUnitSystem(
+            intervals_a.labels,
+            [
+                HyperBox([lo], [hi])
+                for lo, hi in zip(intervals_a.lows, intervals_a.highs)
+            ],
+        )
+        boxes_b = BoxUnitSystem(
+            intervals_b.labels,
+            [
+                HyperBox([lo], [hi])
+                for lo, hi in zip(intervals_b.lows, intervals_b.highs)
+            ],
+        )
+        dm_i = build_intersection(intervals_a, intervals_b).area_dm()
+        dm_b = build_intersection(boxes_a, boxes_b).area_dm()
+        assert dm_i.allclose(dm_b)

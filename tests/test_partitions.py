@@ -1,0 +1,235 @@
+"""Tests for UnitSystem, VectorUnitSystem, IntersectionUnits, crosswalks."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import CrosswalkError, PartitionError, ShapeMismatchError
+from repro.geometry.primitives import BoundingBox
+from repro.geometry.region import Region
+from repro.geometry.voronoi import voronoi_partition
+from repro.partitions import (
+    VectorUnitSystem,
+    build_intersection,
+    read_crosswalk_csv,
+    write_crosswalk_csv,
+)
+from repro.partitions.crosswalk import crosswalk_to_string
+
+
+def _voronoi_system(seeds, box, prefix):
+    cells = voronoi_partition(np.asarray(seeds, dtype=float), box)
+    return VectorUnitSystem(
+        [f"{prefix}{i}" for i in range(len(cells))],
+        [Region([cell]) for cell in cells],
+    )
+
+
+@pytest.fixture
+def vector_pair(rng):
+    box = BoundingBox(0, 0, 8, 6)
+    source = _voronoi_system(
+        rng.uniform([0.2, 0.2], [7.8, 5.8], size=(30, 2)), box, "z"
+    )
+    target = _voronoi_system(
+        rng.uniform([0.5, 0.5], [7.5, 5.5], size=(5, 2)), box, "c"
+    )
+    return box, source, target
+
+
+class TestVectorUnitSystem:
+    def test_duplicate_labels_rejected(self):
+        region = Region.from_box(BoundingBox(0, 0, 1, 1))
+        with pytest.raises(PartitionError, match="unique"):
+            VectorUnitSystem(["a", "a"], [region, region])
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(PartitionError):
+            VectorUnitSystem([], [])
+
+    def test_label_region_count_mismatch(self):
+        region = Region.from_box(BoundingBox(0, 0, 1, 1))
+        with pytest.raises(ShapeMismatchError):
+            VectorUnitSystem(["a", "b"], [region])
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(PartitionError, match="empty"):
+            VectorUnitSystem(["a"], [Region([])])
+
+    def test_index_of(self, vector_pair):
+        _, source, _ = vector_pair
+        assert source.index_of("z3") == 3
+        with pytest.raises(KeyError):
+            source.index_of("nope")
+
+    def test_measures_tile_box(self, vector_pair):
+        box, source, target = vector_pair
+        assert source.measures().sum() == pytest.approx(box.area)
+        source.validate_partition(box)
+        target.validate_partition(box)
+
+    def test_validate_partition_catches_gap(self):
+        box = BoundingBox(0, 0, 2, 1)
+        system = VectorUnitSystem(
+            ["only"], [Region.from_box(BoundingBox(0, 0, 1, 1))]
+        )
+        with pytest.raises(PartitionError, match="not a partition"):
+            system.validate_partition(box)
+
+    def test_locate_points(self, vector_pair, rng):
+        _, source, _ = vector_pair
+        pts = rng.uniform([0, 0], [8, 6], size=(100, 2))
+        labels = source.locate_points(pts)
+        assert (labels >= 0).all()
+        for p, lab in zip(pts[:20], labels[:20]):
+            assert source.regions[lab].contains_point(p)
+
+    def test_locate_points_outside(self, vector_pair):
+        _, source, _ = vector_pair
+        labels = source.locate_points(np.array([[100.0, 100.0]]))
+        assert labels[0] == -1
+
+    def test_require_same_labels(self, vector_pair):
+        _, source, _ = vector_pair
+        arr = source.require_same_labels(np.ones(len(source)))
+        assert arr.shape == (len(source),)
+        with pytest.raises(ShapeMismatchError):
+            source.require_same_labels(np.ones(3))
+
+
+class TestIntersection:
+    def test_overlay_measure_conserved(self, vector_pair):
+        box, source, target = vector_pair
+        overlay = build_intersection(source, target)
+        assert overlay.measure.sum() == pytest.approx(box.area, rel=1e-6)
+        assert len(overlay) >= max(len(source), len(target))
+
+    def test_area_dm_marginals(self, vector_pair):
+        _, source, target = vector_pair
+        overlay = build_intersection(source, target)
+        dm = overlay.area_dm()
+        assert np.allclose(
+            dm.row_sums(), source.measures(), rtol=1e-6
+        )
+        assert np.allclose(
+            dm.col_sums(), target.measures(), rtol=1e-6
+        )
+
+    def test_min_measure_filters_slivers(self, vector_pair):
+        _, source, target = vector_pair
+        full = build_intersection(source, target)
+        filtered = build_intersection(
+            source, target, min_measure=np.median(full.measure)
+        )
+        assert len(filtered) < len(full)
+
+    def test_aggregate_roundtrip(self, vector_pair, rng):
+        _, source, target = vector_pair
+        overlay = build_intersection(source, target)
+        values = rng.random(len(overlay))
+        up_source = overlay.aggregate_to_source(values)
+        up_target = overlay.aggregate_to_target(values)
+        assert up_source.sum() == pytest.approx(values.sum())
+        assert up_target.sum() == pytest.approx(values.sum())
+
+    def test_dm_from_unit_values(self, vector_pair, rng):
+        _, source, target = vector_pair
+        overlay = build_intersection(source, target)
+        values = rng.random(len(overlay))
+        dm = overlay.dm_from_unit_values(values)
+        assert dm.total() == pytest.approx(values.sum())
+        with pytest.raises(ShapeMismatchError):
+            overlay.dm_from_unit_values(values[:-1])
+
+    def test_dm_from_point_assignments(self, vector_pair, rng):
+        _, source, target = vector_pair
+        overlay = build_intersection(source, target)
+        pts = rng.uniform([0, 0], [8, 6], size=(500, 2))
+        src_of = source.locate_points(pts)
+        tgt_of = target.locate_points(pts)
+        dm = overlay.dm_from_point_assignments(src_of, tgt_of)
+        assert dm.total() == pytest.approx(
+            np.count_nonzero((src_of >= 0) & (tgt_of >= 0))
+        )
+        # Weighted variant.
+        weights = rng.random(500)
+        dm_w = overlay.dm_from_point_assignments(src_of, tgt_of, weights)
+        keep = (src_of >= 0) & (tgt_of >= 0)
+        assert dm_w.total() == pytest.approx(weights[keep].sum())
+
+    def test_pair_lookup(self, vector_pair):
+        _, source, target = vector_pair
+        overlay = build_intersection(source, target)
+        for k in range(0, len(overlay), 7):
+            i, j = int(overlay.src_idx[k]), int(overlay.tgt_idx[k])
+            assert overlay.pair_lookup[(i, j)] == k
+
+
+class TestCrosswalkIO:
+    def test_roundtrip(self, small_dm):
+        text = crosswalk_to_string(small_dm)
+        loaded = read_crosswalk_csv(
+            io.StringIO(text),
+            source_labels=small_dm.source_labels,
+            target_labels=small_dm.target_labels,
+        )
+        assert small_dm.allclose(loaded)
+
+    def test_roundtrip_inferred_labels(self, small_dm):
+        text = crosswalk_to_string(small_dm)
+        loaded = read_crosswalk_csv(io.StringIO(text))
+        assert loaded.total() == pytest.approx(small_dm.total())
+
+    def test_file_roundtrip(self, small_dm, tmp_path):
+        path = tmp_path / "cw.csv"
+        write_crosswalk_csv(small_dm, path)
+        loaded = read_crosswalk_csv(
+            path,
+            source_labels=small_dm.source_labels,
+            target_labels=small_dm.target_labels,
+        )
+        assert small_dm.allclose(loaded)
+
+    def test_duplicate_rows_summed(self):
+        text = "source,target,value\na,x,1\na,x,2\n"
+        dm = read_crosswalk_csv(io.StringIO(text))
+        assert dm.total() == pytest.approx(3.0)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(CrosswalkError, match="empty"):
+            read_crosswalk_csv(io.StringIO(""))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(CrosswalkError, match="header"):
+            read_crosswalk_csv(io.StringIO("a,b,c\n1,2,3\n"))
+
+    def test_bad_value_rejected(self):
+        text = "source,target,value\na,x,notanumber\n"
+        with pytest.raises(CrosswalkError, match="not a number"):
+            read_crosswalk_csv(io.StringIO(text))
+
+    def test_negative_value_rejected(self):
+        text = "source,target,value\na,x,-1\n"
+        with pytest.raises(CrosswalkError, match="non-negative"):
+            read_crosswalk_csv(io.StringIO(text))
+
+    def test_unknown_unit_rejected(self):
+        text = "source,target,value\nmystery,x,1\n"
+        with pytest.raises(CrosswalkError, match="unknown source"):
+            read_crosswalk_csv(io.StringIO(text), source_labels=["a"])
+
+    def test_wrong_column_count_rejected(self):
+        text = "source,target,value\na,x\n"
+        with pytest.raises(CrosswalkError, match="3 columns"):
+            read_crosswalk_csv(io.StringIO(text))
+
+    def test_units_missing_from_file_become_empty_rows(self, small_dm):
+        text = "source,target,value\ns0,t0,5\n"
+        dm = read_crosswalk_csv(
+            io.StringIO(text),
+            source_labels=small_dm.source_labels,
+            target_labels=small_dm.target_labels,
+        )
+        assert dm.shape == (3, 2)
+        assert dm.row_sums()[1] == 0.0

@@ -1,0 +1,235 @@
+"""Tests for Polygon (validation, triangulation) and Region (overlay)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.polygon import Polygon
+from repro.geometry.primitives import BoundingBox, polygon_area
+from repro.geometry.region import Region
+
+CONCAVE = [(0, 0), (4, 0), (4, 4), (2, 1), (0, 4)]
+
+
+@st.composite
+def random_convex_polygons(draw):
+    """Convex polygons via convex position sampling on a circle."""
+    n = draw(st.integers(3, 10))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    angles = np.sort(rng.uniform(0, 2 * np.pi, n))
+    if len(np.unique(np.round(angles, 6))) < n:
+        angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    radius = draw(st.floats(0.5, 5))
+    cx = draw(st.floats(-3, 3))
+    cy = draw(st.floats(-3, 3))
+    return np.column_stack(
+        (cx + radius * np.cos(angles), cy + radius * np.sin(angles))
+    )
+
+
+class TestPolygonValidation:
+    def test_accepts_square(self):
+        assert Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]).area == 1.0
+
+    def test_normalises_to_ccw(self):
+        p = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])  # clockwise input
+        from repro.geometry.primitives import is_ccw
+
+        assert is_ccw(p.vertices)
+
+    def test_drops_repeated_closing_vertex(self):
+        p = Polygon([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(p) == 3
+
+    def test_rejects_two_vertices(self):
+        with pytest.raises(GeometryError, match="at least 3"):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError, match="NaN"):
+            Polygon([(0, 0), (1, float("nan")), (1, 1)])
+
+    def test_rejects_duplicate_consecutive(self):
+        with pytest.raises(GeometryError, match="duplicate"):
+            Polygon([(0, 0), (0, 0), (1, 1), (0, 1)])
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(GeometryError, match="zero area"):
+            Polygon([(0, 0), (1, 1), (2, 2)])
+
+    def test_rejects_bowtie(self):
+        # An asymmetric bowtie (non-zero net area, crossing edges).
+        with pytest.raises(GeometryError, match="self-intersecting"):
+            Polygon([(0, 0), (4, 0), (4, 3), (2, -1)])
+
+    def test_validate_flag_skips_checks(self):
+        # Degenerate input allowed when validation is off.
+        p = Polygon([(0, 0), (1, 1), (1, 0), (0, 1)], validate=False)
+        assert len(p) == 4
+
+    def test_vertices_are_immutable(self):
+        p = Polygon([(0, 0), (1, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            p.vertices[0, 0] = 9.0
+
+
+class TestPolygonPredicates:
+    def test_convexity(self):
+        assert Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]).is_convex()
+        assert not Polygon(CONCAVE).is_convex()
+
+    def test_contains_point(self):
+        p = Polygon(CONCAVE)
+        assert p.contains_point((0.5, 0.5))
+        assert not p.contains_point((2.0, 3.0))
+
+    def test_contains_points_vectorised(self, rng):
+        p = Polygon(CONCAVE)
+        pts = rng.uniform(-1, 5, size=(200, 2))
+        mask = p.contains_points(pts)
+        expected = np.array([p.contains_point(q) for q in pts])
+        assert (mask == expected).all()
+
+    def test_bbox(self):
+        box = Polygon(CONCAVE).bbox
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 0, 4, 4)
+
+
+class TestTriangulation:
+    def test_triangle_is_identity(self):
+        tris = Polygon([(0, 0), (1, 0), (0, 1)]).triangulate()
+        assert len(tris) == 1
+
+    def test_square_two_triangles(self):
+        tris = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]).triangulate()
+        assert len(tris) == 2
+
+    def test_concave_area_preserved(self):
+        p = Polygon(CONCAVE)
+        total = sum(polygon_area(t) for t in p.triangulate())
+        assert total == pytest.approx(p.area, rel=1e-9)
+
+    def test_triangle_count_is_n_minus_2(self):
+        p = Polygon(CONCAVE)
+        assert len(p.triangulate()) == len(p) - 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_convex_polygons())
+    def test_convex_triangulation_area_invariant(self, vertices):
+        p = Polygon(vertices)
+        total = sum(polygon_area(t) for t in p.triangulate())
+        assert total == pytest.approx(p.area, rel=1e-7)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5_000))
+    def test_star_polygon_triangulation(self, seed):
+        """Random star-shaped (possibly concave) polygons triangulate."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 14))
+        angles = np.sort(rng.uniform(0, 2 * np.pi, n))
+        if len(np.unique(np.round(angles, 9))) < n:
+            return
+        radii = rng.uniform(0.3, 2.0, n)
+        verts = np.column_stack(
+            (radii * np.cos(angles), radii * np.sin(angles))
+        )
+        try:
+            p = Polygon(verts)
+        except GeometryError:
+            return  # degenerate random ring; not this test's subject
+        total = sum(polygon_area(t) for t in p.triangulate())
+        assert total == pytest.approx(p.area, rel=1e-6)
+
+
+class TestRegion:
+    def test_from_convex_polygon_single_piece(self):
+        r = Region.from_polygon(Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]))
+        assert len(r.pieces) == 1
+        assert r.area == pytest.approx(1.0)
+
+    def test_from_concave_polygon_triangulates(self):
+        r = Region.from_polygon(Polygon(CONCAVE))
+        assert len(r.pieces) >= 2
+        assert r.area == pytest.approx(Polygon(CONCAVE).area)
+
+    def test_from_box(self):
+        r = Region.from_box(BoundingBox(0, 0, 3, 2))
+        assert r.area == pytest.approx(6.0)
+
+    def test_empty_region(self):
+        r = Region([])
+        assert r.is_empty
+        with pytest.raises(GeometryError):
+            _ = r.bbox
+        with pytest.raises(GeometryError):
+            _ = r.centroid
+
+    def test_intersection_of_overlapping_boxes(self):
+        a = Region.from_box(BoundingBox(0, 0, 2, 2))
+        b = Region.from_box(BoundingBox(1, 1, 3, 3))
+        assert a.intersection(b).area == pytest.approx(1.0)
+
+    def test_intersection_symmetry(self):
+        a = Region.from_polygon(Polygon(CONCAVE))
+        b = Region.from_box(BoundingBox(1, 0, 3, 3))
+        assert a.intersection_area(b) == pytest.approx(
+            b.intersection_area(a), rel=1e-9
+        )
+
+    def test_intersection_disjoint_is_empty(self):
+        a = Region.from_box(BoundingBox(0, 0, 1, 1))
+        b = Region.from_box(BoundingBox(2, 2, 3, 3))
+        assert a.intersection(b).is_empty
+
+    def test_intersection_bounded_by_operands(self):
+        a = Region.from_polygon(Polygon(CONCAVE))
+        b = Region.from_box(BoundingBox(0.5, 0.5, 3, 2))
+        inter = a.intersection(b)
+        assert inter.area <= min(a.area, b.area) + 1e-12
+
+    def test_self_intersection_is_identity(self):
+        a = Region.from_polygon(Polygon(CONCAVE))
+        assert a.intersection_area(a) == pytest.approx(a.area, rel=1e-9)
+
+    def test_union_of_disjoint_pieces(self):
+        a = Region.from_box(BoundingBox(0, 0, 1, 1))
+        b = Region.from_box(BoundingBox(2, 0, 3, 1))
+        u = Region.from_pieces([a, b])
+        assert u.area == pytest.approx(2.0)
+
+    def test_centroid_of_symmetric_region(self):
+        r = Region.from_box(BoundingBox(-1, -2, 1, 2))
+        assert r.centroid == pytest.approx((0.0, 0.0))
+
+    def test_contains_points(self, rng):
+        r = Region.from_polygon(Polygon(CONCAVE))
+        pts = rng.uniform(-1, 5, size=(300, 2))
+        mask = r.contains_points(pts)
+        expected = np.array([r.contains_point(p) for p in pts])
+        assert (mask == expected).all()
+
+    def test_sample_points_inside(self):
+        r = Region.from_polygon(Polygon(CONCAVE))
+        pts = r.sample_points(500, seed=0)
+        assert r.contains_points(pts).all()
+
+    def test_sample_points_uniformity(self):
+        """Halves of a rectangle receive ~half the samples each."""
+        r = Region.from_box(BoundingBox(0, 0, 2, 1))
+        pts = r.sample_points(4000, seed=1)
+        left = (pts[:, 0] < 1.0).mean()
+        assert 0.45 < left < 0.55
+
+    def test_sample_from_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Region([]).sample_points(5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_convex_polygons(), random_convex_polygons())
+    def test_intersection_area_never_exceeds_min(self, va, vb):
+        a = Region.from_polygon(Polygon(va))
+        b = Region.from_polygon(Polygon(vb))
+        inter = a.intersection_area(b)
+        assert -1e-9 <= inter <= min(a.area, b.area) + 1e-7

@@ -1,0 +1,183 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin the library's global invariants on randomly generated inputs:
+crosswalk-file round-trips, tabular algebra laws, end-to-end GeoAlign
+conservation on random worlds, and the interval backend against a brute
+force oracle.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    DisaggregationMatrix,
+    GeoAlign,
+    Reference,
+    build_intersection,
+)
+from repro.intervals import IntervalUnitSystem
+from repro.partitions.crosswalk import crosswalk_to_string, read_crosswalk_csv
+from repro.tabular import Table
+
+
+@st.composite
+def labelled_dms(draw):
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    m = draw(st.integers(1, 10))
+    n = draw(st.integers(1, 6))
+    matrix = np.round(
+        rng.random((m, n)) * (rng.random((m, n)) < 0.5) * 100, 6
+    )
+    matrix[0, 0] += 1.0
+    return DisaggregationMatrix(
+        matrix, [f"s{i}" for i in range(m)], [f"t{j}" for j in range(n)]
+    )
+
+
+class TestCrosswalkRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(labelled_dms())
+    def test_roundtrip_exact(self, dm):
+        text = crosswalk_to_string(dm)
+        loaded = read_crosswalk_csv(
+            io.StringIO(text),
+            source_labels=dm.source_labels,
+            target_labels=dm.target_labels,
+        )
+        assert dm.allclose(loaded, rtol=0, atol=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(labelled_dms())
+    def test_totals_survive_label_inference(self, dm):
+        loaded = read_crosswalk_csv(io.StringIO(crosswalk_to_string(dm)))
+        assert loaded.total() == pytest.approx(dm.total())
+
+
+class TestTableLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 40))
+    def test_groupby_sum_partitions_total(self, seed, n):
+        rng = np.random.default_rng(seed)
+        keys = [f"k{int(k)}" for k in rng.integers(0, 5, n)]
+        values = rng.random(n)
+        table = Table({"k": keys, "v": values})
+        grouped = table.group_by("k", {"total": ("v", "sum")})
+        assert np.sum(grouped.column("total")) == pytest.approx(
+            values.sum()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 30), st.integers(1, 30))
+    def test_inner_join_row_count_is_match_count(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        left_keys = [f"k{int(k)}" for k in rng.integers(0, 8, n)]
+        right_keys = [f"k{int(k)}" for k in rng.integers(0, 8, m)]
+        left = Table({"k": left_keys, "a": np.arange(n, dtype=float)})
+        right = Table({"k": right_keys, "b": np.arange(m, dtype=float)})
+        joined = left.join(right, on="k")
+        expected = sum(
+            right_keys.count(key) for key in left_keys
+        )
+        assert len(joined) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 30))
+    def test_left_join_preserves_left_rows(self, seed, n):
+        rng = np.random.default_rng(seed)
+        left = Table(
+            {
+                "k": [f"k{int(x)}" for x in rng.integers(0, 10, n)],
+                "a": rng.random(n),
+            }
+        )
+        right = Table({"k": ["k0", "k1"], "b": [1.0, 2.0]})
+        joined = left.join(right, on="k", how="left")
+        assert len(joined) >= len(left)
+        # With unique right keys, row count is exactly preserved.
+        assert len(joined) == len(left)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(2, 25))
+    def test_sort_is_permutation(self, seed, n):
+        rng = np.random.default_rng(seed)
+        table = Table({"v": rng.random(n)})
+        ordered = table.sort_by("v")
+        assert sorted(table.column("v")) == list(ordered.column("v"))
+
+
+class TestIntervalOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_overlap_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        edges_a = np.unique(np.round(rng.uniform(0, 50, 7), 4))
+        edges_b = np.unique(np.round(rng.uniform(0, 50, 5), 4))
+        if len(edges_a) < 2 or len(edges_b) < 2:
+            return
+        a = IntervalUnitSystem(edges_a)
+        b = IntervalUnitSystem(edges_b)
+        src, tgt, measure = a.overlap_pairs(b)
+        sparse = {
+            (int(i), int(j)): m for i, j, m in zip(src, tgt, measure)
+        }
+        for i in range(len(a)):
+            for j in range(len(b)):
+                lo = max(edges_a[i], edges_b[j])
+                hi = min(edges_a[i + 1], edges_b[j + 1])
+                expected = max(0.0, hi - lo)
+                got = sparse.get((i, j), 0.0)
+                assert got == pytest.approx(expected, abs=1e-9)
+
+
+class TestGeoAlignConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 4))
+    def test_total_mass_conserved_when_rows_covered(self, seed, n_refs):
+        """On references covering every source unit, the estimate's
+        total equals the objective's total exactly."""
+        rng = np.random.default_rng(seed)
+        m, n = 9, 4
+        src = [f"s{i}" for i in range(m)]
+        tgt = [f"t{j}" for j in range(n)]
+        refs = []
+        for k in range(n_refs):
+            matrix = rng.random((m, n)) * (rng.random((m, n)) < 0.6)
+            matrix[:, k % n] += 0.01  # every row occupied
+            refs.append(
+                Reference.from_dm(
+                    f"r{k}", DisaggregationMatrix(matrix, src, tgt)
+                )
+            )
+        objective = rng.random(m) * 10 + 0.1
+        estimate = GeoAlign().fit_predict(refs, objective)
+        assert estimate.sum() == pytest.approx(objective.sum(), rel=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_interval_end_to_end_conservation(self, seed):
+        """Full pipeline over the 1-D backend: build overlay, make a
+        reference from point data, realign, conserve mass."""
+        rng = np.random.default_rng(seed)
+        narrow = IntervalUnitSystem.uniform(0, 100, 10)
+        wide = IntervalUnitSystem(
+            np.unique(
+                np.concatenate(
+                    ([0.0, 100.0], np.round(rng.uniform(1, 99, 3), 3))
+                )
+            )
+        )
+        overlay = build_intersection(narrow, wide)
+        points = rng.uniform(0, 100, 400)
+        dm = overlay.dm_from_point_assignments(
+            narrow.locate_points(points), wide.locate_points(points)
+        )
+        ref = Reference.from_dm("pts", dm)
+        objective = narrow.aggregate_points(rng.uniform(0, 100, 300))
+        if objective.sum() == 0 or np.any(ref.source_vector == 0):
+            return
+        estimate = GeoAlign().fit_predict([ref], objective)
+        assert estimate.sum() == pytest.approx(objective.sum(), rel=1e-9)

@@ -1,0 +1,119 @@
+"""Tests for Tobler's pycnophylactic interpolation (raster extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pycnophylactic import Pycnophylactic
+from repro.errors import ShapeMismatchError, ValidationError
+from repro.geometry.primitives import BoundingBox
+from repro.raster import RasterGrid, RasterUnitSystem
+
+
+@pytest.fixture
+def systems(rng):
+    grid = RasterGrid(BoundingBox(0, 0, 10, 10), 60, 60)
+    source = RasterUnitSystem.from_seeds(
+        [f"s{i}" for i in range(12)],
+        grid,
+        rng.uniform([0.5, 0.5], [9.5, 9.5], size=(12, 2)),
+    )
+    target = RasterUnitSystem.from_seeds(
+        [f"t{i}" for i in range(5)],
+        grid,
+        rng.uniform([1, 1], [9, 9], size=(5, 2)),
+    )
+    return source, target
+
+
+class TestPycnophylactic:
+    def test_mass_conserved(self, systems, rng):
+        source, target = systems
+        vector = rng.random(len(source)) * 100
+        estimate = Pycnophylactic(source, target, iterations=10).fit_predict(
+            vector
+        )
+        assert estimate.sum() == pytest.approx(vector.sum(), rel=1e-9)
+
+    def test_zone_totals_preserved_in_density(self, systems, rng):
+        source, target = systems
+        vector = rng.random(len(source)) * 50
+        model = Pycnophylactic(source, target, iterations=10).fit(vector)
+        zone_totals = source.aggregate_cells(model.density_)
+        assert np.allclose(zone_totals, vector, rtol=1e-9)
+
+    def test_density_nonnegative(self, systems, rng):
+        source, target = systems
+        model = Pycnophylactic(source, target, iterations=15).fit(
+            rng.random(len(source))
+        )
+        assert (model.density_ >= 0).all()
+
+    def test_smoothing_reduces_roughness(self, systems, rng):
+        """More iterations yield a smoother surface (smaller gradient)."""
+        source, target = systems
+        vector = rng.random(len(source)) * 100
+
+        def roughness(iterations):
+            model = Pycnophylactic(
+                source, target, iterations=iterations
+            ).fit(vector)
+            field = model.density_.reshape(
+                source.grid.ny, source.grid.nx
+            )
+            # Squared-gradient energy: the quantity smoothing minimises.
+            # (Total variation would be invariant: spreading one zone-
+            # boundary jump over many small steps keeps |diff| constant.)
+            return (np.diff(field, axis=0) ** 2).sum() + (
+                np.diff(field, axis=1) ** 2
+            ).sum()
+
+        assert roughness(20) < roughness(0)
+
+    def test_zero_iterations_is_uniform_within_zones(self, systems):
+        source, target = systems
+        vector = np.ones(len(source))
+        model = Pycnophylactic(source, target, iterations=0).fit(vector)
+        # Within each zone, density is constant.
+        for zone in range(3):
+            cells = source.zone_of_cell == zone
+            values = model.density_[cells]
+            assert np.allclose(values, values[0])
+
+    def test_uniform_truth_recovered(self, systems):
+        """If mass is proportional to zone size, the estimate matches the
+        area split (smoothing cannot break an already-flat surface)."""
+        source, target = systems
+        vector = source.measures() * 3.0
+        estimate = Pycnophylactic(source, target, iterations=10).fit_predict(
+            vector
+        )
+        assert np.allclose(
+            estimate, target.measures() * 3.0, rtol=1e-6
+        )
+
+    def test_validation(self, systems, rng):
+        source, target = systems
+        with pytest.raises(ValidationError):
+            Pycnophylactic(source, target, relaxation=0.0)
+        with pytest.raises(ValidationError):
+            Pycnophylactic(source, target, iterations=-1)
+        with pytest.raises(ValidationError):
+            Pycnophylactic("not-a-system", target)
+        model = Pycnophylactic(source, target)
+        with pytest.raises(ShapeMismatchError):
+            model.fit(np.ones(3))
+        with pytest.raises(ValidationError, match="non-negative"):
+            model.fit(-np.ones(len(source)))
+        with pytest.raises(ValidationError, match="fit"):
+            Pycnophylactic(source, target).predict()
+
+    def test_grid_mismatch_rejected(self, systems, rng):
+        source, _ = systems
+        other_grid = RasterGrid(BoundingBox(0, 0, 10, 10), 30, 30)
+        other = RasterUnitSystem.from_seeds(
+            ["x", "y"],
+            other_grid,
+            rng.uniform([1, 1], [9, 9], size=(2, 2)),
+        )
+        with pytest.raises(ShapeMismatchError):
+            Pycnophylactic(source, other)

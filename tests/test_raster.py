@@ -1,0 +1,177 @@
+"""Tests for the raster grid and zone-raster unit systems."""
+
+import numpy as np
+import pytest
+
+from repro import build_intersection
+from repro.errors import GeometryError, PartitionError, ShapeMismatchError
+from repro.geometry.primitives import BoundingBox
+from repro.geometry.voronoi import nearest_seed_labels
+from repro.raster import RasterGrid, RasterUnitSystem, voronoi_zone_raster
+
+
+@pytest.fixture
+def grid():
+    return RasterGrid(BoundingBox(0, 0, 10, 8), 50, 40)
+
+
+class TestRasterGrid:
+    def test_basic_measures(self, grid):
+        assert grid.n_cells == 2000
+        assert grid.cell_area == pytest.approx(0.04)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            RasterGrid(BoundingBox(0, 0, 1, 1), 0, 5)
+
+    def test_cell_centers_inside_extent(self, grid):
+        centers = grid.cell_centers()
+        assert len(centers) == grid.n_cells
+        assert centers[:, 0].min() > 0 and centers[:, 0].max() < 10
+        assert centers[:, 1].min() > 0 and centers[:, 1].max() < 8
+
+    def test_locate_points(self, grid):
+        cells = grid.locate_points([[0.1, 0.1], [9.9, 7.9], [-1, 0]])
+        assert cells[0] == 0
+        assert cells[1] == grid.n_cells - 1
+        assert cells[2] == -1
+
+    def test_max_edge_belongs_to_border_cell(self, grid):
+        cells = grid.locate_points([[10.0, 8.0]])
+        assert cells[0] == grid.n_cells - 1
+
+    def test_locate_points_bad_shape(self, grid):
+        with pytest.raises(GeometryError):
+            grid.locate_points(np.ones(5))
+
+    def test_cell_box_roundtrip(self, grid):
+        box = grid.cell_box(123)
+        center = box.center
+        assert grid.locate_points([center])[0] == 123
+
+    def test_cell_box_out_of_range(self, grid):
+        with pytest.raises(GeometryError):
+            grid.cell_box(grid.n_cells)
+
+    def test_window_mask(self, grid):
+        mask = grid.window_mask(BoundingBox(0, 0, 5, 8))
+        assert 0.45 < mask.mean() < 0.55
+
+
+class TestZoneRaster:
+    def test_voronoi_zone_raster_matches_nearest(self, grid, rng):
+        seeds = rng.uniform([0, 0], [10, 8], size=(20, 2))
+        zones = voronoi_zone_raster(grid, seeds)
+        expected = nearest_seed_labels(
+            grid.cell_centers(), seeds, grid.extent
+        )
+        assert (zones == expected).all()
+
+    def test_active_mask(self, grid, rng):
+        seeds = rng.uniform([0, 0], [10, 8], size=(5, 2))
+        mask = grid.window_mask(BoundingBox(0, 0, 5, 8))
+        zones = voronoi_zone_raster(grid, seeds, active_mask=mask)
+        assert (zones[~mask] == -1).all()
+        assert (zones[mask] >= 0).all()
+
+    def test_bad_seed_shape(self, grid):
+        with pytest.raises(PartitionError):
+            voronoi_zone_raster(grid, np.ones(4))
+
+
+class TestRasterUnitSystem:
+    @pytest.fixture
+    def systems(self, grid, rng):
+        zips = RasterUnitSystem.from_seeds(
+            [f"z{i}" for i in range(30)],
+            grid,
+            rng.uniform([0.2, 0.2], [9.8, 7.8], size=(30, 2)),
+        )
+        counties = RasterUnitSystem.from_seeds(
+            [f"c{i}" for i in range(4)],
+            grid,
+            rng.uniform([1, 1], [9, 7], size=(4, 2)),
+        )
+        return zips, counties
+
+    def test_measures_tile_extent(self, grid, systems):
+        zips, counties = systems
+        assert zips.measures().sum() == pytest.approx(grid.extent.area)
+        assert counties.measures().sum() == pytest.approx(grid.extent.area)
+
+    def test_empty_unit_rejected(self, grid):
+        zones = np.zeros(grid.n_cells, dtype=int)  # unit 1 owns nothing
+        with pytest.raises(PartitionError, match="no raster cells"):
+            RasterUnitSystem(["a", "b"], grid, zones)
+
+    def test_zone_array_shape_checked(self, grid):
+        with pytest.raises(ShapeMismatchError):
+            RasterUnitSystem(["a"], grid, np.zeros(7, dtype=int))
+
+    def test_zone_label_overflow_rejected(self, grid):
+        zones = np.full(grid.n_cells, 5, dtype=int)
+        with pytest.raises(PartitionError):
+            RasterUnitSystem(["a"], grid, zones)
+
+    def test_overlap_pairs_conserve_area(self, grid, systems):
+        zips, counties = systems
+        overlay = build_intersection(zips, counties)
+        assert overlay.measure.sum() == pytest.approx(grid.extent.area)
+        dm = overlay.area_dm()
+        assert np.allclose(dm.row_sums(), zips.measures())
+        assert np.allclose(dm.col_sums(), counties.measures())
+
+    def test_overlap_requires_shared_grid(self, grid, systems, rng):
+        zips, _ = systems
+        other_grid = RasterGrid(BoundingBox(0, 0, 10, 8), 25, 20)
+        other = RasterUnitSystem.from_seeds(
+            ["x"], other_grid, rng.uniform([4, 4], [6, 6], size=(1, 2))
+        )
+        with pytest.raises(ShapeMismatchError, match="share one grid"):
+            zips.overlap_pairs(other)
+
+    def test_overlap_rejects_other_backend(self, systems):
+        zips, _ = systems
+        from repro.intervals import IntervalUnitSystem
+
+        with pytest.raises(ShapeMismatchError):
+            zips.overlap_pairs(IntervalUnitSystem([0, 1]))
+
+    def test_joint_tabulate_matches_manual(self, grid, systems, rng):
+        zips, counties = systems
+        values = rng.random(grid.n_cells)
+        src, tgt, mass = zips.joint_tabulate(counties, values)
+        assert mass.sum() == pytest.approx(values.sum())
+        # Spot-check one pair against a manual mask.
+        i, j = int(src[0]), int(tgt[0])
+        manual = values[
+            (zips.zone_of_cell == i) & (counties.zone_of_cell == j)
+        ].sum()
+        assert mass[0] == pytest.approx(manual)
+
+    def test_joint_tabulate_shape_check(self, grid, systems):
+        zips, counties = systems
+        with pytest.raises(ShapeMismatchError):
+            zips.joint_tabulate(counties, np.ones(5))
+
+    def test_aggregate_cells(self, grid, systems, rng):
+        zips, _ = systems
+        values = rng.random(grid.n_cells)
+        totals = zips.aggregate_cells(values)
+        assert totals.sum() == pytest.approx(values.sum())
+        assert totals.shape == (30,)
+
+    def test_locate_points_consistent_with_zones(self, grid, systems, rng):
+        zips, _ = systems
+        pts = rng.uniform([0, 0], [10, 8], size=(200, 2))
+        labels = zips.locate_points(pts)
+        cells = grid.locate_points(pts)
+        assert (labels == zips.zone_of_cell[cells]).all()
+
+    def test_locate_points_outside(self, systems):
+        zips, _ = systems
+        assert zips.locate_points([[99.0, 99.0]])[0] == -1
+
+    def test_cell_counts(self, grid, systems):
+        zips, _ = systems
+        assert zips.cell_counts().sum() == grid.n_cells

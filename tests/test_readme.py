@@ -1,0 +1,28 @@
+"""The README's quickstart block must run exactly as printed."""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def test_quickstart_block_executes():
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README has no python code block"
+    namespace = {}
+    exec(compile(blocks[0], "README.md", "exec"), namespace)  # noqa: S102
+    # The block ends by printing the weight report and county estimates;
+    # sanity-check the objects it built.
+    assert namespace["estimator"].weights_ is not None
+    assert len(namespace["steam_by_county"]) == 2
+
+
+def test_architecture_tree_mentions_every_subpackage():
+    import repro
+
+    text = README.read_text()
+    root = pathlib.Path(repro.__file__).parent
+    for child in root.iterdir():
+        if child.is_dir() and (child / "__init__.py").exists():
+            assert child.name in text, f"README omits repro.{child.name}"

@@ -1,0 +1,48 @@
+"""Tests for benchmark report persistence."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.reporting import (
+    load_report,
+    results_dir,
+    save_report,
+    slugify,
+)
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Figure 5 (New York)") == "figure-5-new-york"
+
+    def test_collapses_punctuation(self):
+        assert slugify("a / b -- c") == "a-b-c"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            slugify("!!!")
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "r"))
+        path = save_report("My Figure", "line one\nline two")
+        assert path.endswith("my-figure.txt")
+        assert load_report("My Figure") == "line one\nline two\n"
+
+    def test_overwrite(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        save_report("x", "first")
+        save_report("x", "second")
+        assert load_report("x") == "second\n"
+
+    def test_results_dir_created(self, tmp_path, monkeypatch):
+        target = tmp_path / "deep" / "dir"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+        assert results_dir() == str(target)
+        assert target.is_dir()
+
+    def test_missing_report_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        with pytest.raises(FileNotFoundError):
+            load_report("never-saved")

@@ -1,0 +1,184 @@
+"""Unit and property tests for the simplex-constrained LS solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.solver import (
+    project_to_simplex,
+    scipy_reference_solution,
+    simplex_lstsq,
+)
+from repro.errors import ValidationError
+
+METHODS = ("active-set", "projected-gradient", "frank-wolfe")
+
+
+def _random_problem(seed, m=None, k=None):
+    rng = np.random.default_rng(seed)
+    m = m or int(rng.integers(4, 50))
+    k = k or int(rng.integers(2, 9))
+    scales = rng.random(k) + 0.05
+    A = rng.random((m, k)) * scales
+    b = rng.random(m)
+    return A, b
+
+
+def _feasible(w, tol=1e-8):
+    return abs(w.sum() - 1.0) <= tol and np.all(w >= -tol)
+
+
+class TestProjection:
+    def test_already_on_simplex(self):
+        w = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(project_to_simplex(w), w)
+
+    def test_uniform_from_equal_entries(self):
+        assert np.allclose(
+            project_to_simplex(np.array([5.0, 5.0])), [0.5, 0.5]
+        )
+
+    def test_negative_entries_clipped(self):
+        w = project_to_simplex(np.array([-1.0, 2.0]))
+        assert _feasible(w)
+        assert w[0] == 0.0
+
+    def test_single_entry(self):
+        assert project_to_simplex(np.array([42.0])) == pytest.approx([1.0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError):
+            project_to_simplex(np.ones((2, 2)))
+
+    @given(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=20
+        )
+    )
+    def test_projection_always_feasible(self, values):
+        w = project_to_simplex(np.array(values))
+        assert _feasible(w)
+
+    @given(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=2, max_size=10
+        ),
+        st.integers(0, 1000),
+    )
+    def test_projection_is_closest_point(self, values, seed):
+        """No random feasible point is closer than the projection."""
+        v = np.array(values)
+        w = project_to_simplex(v)
+        rng = np.random.default_rng(seed)
+        other = rng.dirichlet(np.ones(len(v)))
+        assert np.linalg.norm(v - w) <= np.linalg.norm(v - other) + 1e-9
+
+
+class TestSimplexLstsq:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_feasibility(self, method):
+        A, b = _random_problem(0)
+        result = simplex_lstsq(A, b, method=method)
+        assert _feasible(result.weights)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_exact_recovery_of_interior_solution(self, method):
+        """When b = A @ w* with w* in the simplex interior, recover w*."""
+        rng = np.random.default_rng(1)
+        A = rng.random((40, 3))
+        w_true = np.array([0.2, 0.5, 0.3])
+        b = A @ w_true
+        result = simplex_lstsq(A, b, method=method, tol=1e-14)
+        assert np.allclose(result.weights, w_true, atol=2e-4)
+        assert result.objective < 1e-6
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_vertex_solution(self, method):
+        """Objective equal to one column picks that column."""
+        rng = np.random.default_rng(2)
+        A = rng.random((30, 4))
+        b = A[:, 2].copy()
+        result = simplex_lstsq(A, b, method=method, tol=1e-14)
+        assert result.weights[2] > 0.99
+
+    def test_single_reference_is_pinned(self):
+        A = np.arange(6, dtype=float).reshape(6, 1)
+        result = simplex_lstsq(A, np.ones(6))
+        assert result.weights == pytest.approx([1.0])
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_active_set_matches_scipy(self, seed):
+        A, b = _random_problem(seed)
+        ours = simplex_lstsq(A, b, method="active-set")
+        ref = scipy_reference_solution(A, b)
+        assert ours.objective <= ref.objective * (1 + 1e-6) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_methods_agree_on_objective(self, seed):
+        A, b = _random_problem(seed + 100)
+        objectives = [
+            simplex_lstsq(A, b, method=m, tol=1e-12).objective
+            for m in METHODS
+        ]
+        best = min(objectives)
+        scale = max(best, 1e-12)
+        assert max(objectives) - best <= 1e-4 * scale + 1e-7
+
+    def test_collinear_columns_do_not_crash(self):
+        rng = np.random.default_rng(3)
+        col = rng.random(20)
+        A = np.column_stack([col, col, col * 2])
+        result = simplex_lstsq(A, col * 1.5)
+        assert _feasible(result.weights)
+
+    def test_zero_matrix(self):
+        A = np.zeros((5, 3))
+        result = simplex_lstsq(A, np.ones(5), method="projected-gradient")
+        assert _feasible(result.weights)
+
+    def test_zero_rhs(self):
+        A, _ = _random_problem(4)
+        result = simplex_lstsq(A, np.zeros(A.shape[0]))
+        assert _feasible(result.weights)
+
+    def test_rejects_bad_method(self):
+        A, b = _random_problem(5)
+        with pytest.raises(ValidationError, match="unknown method"):
+            simplex_lstsq(A, b, method="magic")
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            simplex_lstsq(np.ones((3, 2)), np.ones(4))
+
+    def test_rejects_nan(self):
+        A = np.ones((3, 2))
+        A[0, 0] = np.nan
+        with pytest.raises(ValidationError, match="non-finite"):
+            simplex_lstsq(A, np.ones(3))
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValidationError):
+            simplex_lstsq(np.ones((3, 0)), np.ones(3))
+
+    def test_rejects_scalar_b(self):
+        with pytest.raises(ValidationError):
+            simplex_lstsq(np.ones((3, 2)), 1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_active_set_never_beaten_by_random_feasible_point(self, seed):
+        """Optimality spot-check against random simplex points."""
+        A, b = _random_problem(seed)
+        result = simplex_lstsq(A, b, method="active-set")
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(20):
+            w = rng.dirichlet(np.ones(A.shape[1]))
+            alt = 0.5 * np.sum((A @ w - b) ** 2)
+            assert result.objective <= alt + 1e-9
+
+    def test_result_metadata(self):
+        A, b = _random_problem(6)
+        result = simplex_lstsq(A, b)
+        assert result.method == "active-set"
+        assert result.iterations >= 1
+        assert result.objective >= 0.0

@@ -1,0 +1,237 @@
+"""Tests for the columnar Table, CSV io and aggregate integration."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import DisaggregationMatrix, Reference
+from repro.errors import ShapeMismatchError, ValidationError
+from repro.tabular import Table, align_and_join, read_csv, write_csv
+from repro.tabular.integrate import align_table, table_to_vector
+
+
+@pytest.fixture
+def people():
+    return Table(
+        {
+            "city": ["ann arbor", "flint", "detroit"],
+            "population": [120_000.0, 80_000.0, 640_000.0],
+        }
+    )
+
+
+class TestTable:
+    def test_basic_shape(self, people):
+        assert len(people) == 3
+        assert people.column_names == ["city", "population"]
+        assert "city" in people
+
+    def test_numeric_columns_become_arrays(self, people):
+        assert isinstance(people.column("population"), np.ndarray)
+        assert isinstance(people.column("city"), list)
+
+    def test_missing_column(self, people):
+        with pytest.raises(KeyError, match="available"):
+            people.column("nope")
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ShapeMismatchError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Table({})
+
+    def test_select(self, people):
+        t = people.select(["population"])
+        assert t.column_names == ["population"]
+
+    def test_where(self, people):
+        t = people.where(lambda row: row["population"] > 100_000)
+        assert len(t) == 2
+
+    def test_with_column(self, people):
+        t = people.with_column("state", ["MI"] * 3)
+        assert "state" in t
+        assert "state" not in people  # original untouched
+
+    def test_rename(self, people):
+        t = people.rename({"city": "place"})
+        assert "place" in t
+        with pytest.raises(KeyError):
+            people.rename({"ghost": "x"})
+
+    def test_sort_by_numeric(self, people):
+        t = people.sort_by("population", descending=True)
+        assert t.column("city")[0] == "detroit"
+
+    def test_sort_by_text(self, people):
+        t = people.sort_by("city")
+        assert t.column("city") == ["ann arbor", "detroit", "flint"]
+
+    def test_group_by(self):
+        t = Table(
+            {"k": ["a", "b", "a", "a"], "v": [1.0, 10.0, 2.0, 3.0]}
+        )
+        g = t.group_by(
+            "k", {"total": ("v", "sum"), "n": ("v", "count")}
+        )
+        lookup = {
+            k: (tot, n)
+            for k, tot, n in zip(
+                g.column("k"), g.column("total"), g.column("n")
+            )
+        }
+        assert lookup == {"a": (6.0, 3), "b": (10.0, 1)}
+
+    def test_group_by_unknown_aggregator(self, people):
+        with pytest.raises(ValidationError, match="unknown aggregator"):
+            people.group_by("city", {"x": ("population", "median")})
+
+    def test_inner_join(self, people):
+        other = Table(
+            {"city": ["flint", "detroit"], "county": ["genesee", "wayne"]}
+        )
+        joined = people.join(other, on="city")
+        assert len(joined) == 2
+        assert set(joined.column("county")) == {"genesee", "wayne"}
+
+    def test_left_join_fills_missing(self, people):
+        other = Table({"city": ["flint"], "county": ["genesee"]})
+        joined = people.join(other, on="city", how="left")
+        assert len(joined) == 3
+        assert joined.column("county").count(None) == 2
+
+    def test_join_collision_suffix(self, people):
+        other = Table(
+            {"city": ["flint"], "population": [999.0]}
+        )
+        joined = people.join(other, on="city")
+        assert "population_right" in joined
+
+    def test_join_bad_how(self, people):
+        with pytest.raises(ValidationError):
+            people.join(people, on="city", how="outer")
+
+    def test_to_text_truncates(self):
+        t = Table({"x": list(range(100))})
+        text = t.to_text(max_rows=5)
+        assert "100 rows total" in text
+
+
+class TestCsv:
+    def test_roundtrip(self, people, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(people, path)
+        loaded = read_csv(path)
+        assert loaded.column_names == people.column_names
+        assert np.allclose(
+            loaded.column("population"), people.column("population")
+        )
+
+    def test_numeric_detection(self):
+        loaded = read_csv(io.StringIO("a,b\n1,x\n2,y\n"))
+        assert isinstance(loaded.column("a"), np.ndarray)
+        assert loaded.column("b") == ["x", "y"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            read_csv(io.StringIO(""))
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValidationError, match="expected 2 fields"):
+            read_csv(io.StringIO("a,b\n1\n"))
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            read_csv(io.StringIO("a,a\n1,2\n"))
+
+
+def _crosswalk_refs():
+    src = ["z1", "z2", "z3"]
+    tgt = ["A", "B"]
+    pop = Reference.from_dm(
+        "pop",
+        DisaggregationMatrix(
+            [[5.0, 0.0], [2.0, 2.0], [0.0, 7.0]], src, tgt
+        ),
+    )
+    biz = Reference.from_dm(
+        "biz",
+        DisaggregationMatrix(
+            [[1.0, 0.0], [3.0, 1.0], [0.0, 2.0]], src, tgt
+        ),
+    )
+    return [pop, biz]
+
+
+class TestIntegration:
+    def test_table_to_vector_orders_and_fills(self):
+        table = Table({"unit": ["z3", "z1"], "v": [30.0, 10.0]})
+        vec = table_to_vector(table, "unit", "v", ["z1", "z2", "z3"])
+        assert np.allclose(vec, [10.0, 0.0, 30.0])
+
+    def test_table_to_vector_unknown_unit(self):
+        table = Table({"unit": ["mystery"], "v": [1.0]})
+        with pytest.raises(ValidationError, match="not a unit"):
+            table_to_vector(table, "unit", "v", ["z1"])
+
+    def test_table_to_vector_sums_duplicates(self):
+        table = Table({"unit": ["z1", "z1"], "v": [1.0, 2.0]})
+        vec = table_to_vector(table, "unit", "v", ["z1"])
+        assert vec[0] == 3.0
+
+    def test_align_table_realigns_all_numeric_columns(self):
+        refs = _crosswalk_refs()
+        table = Table(
+            {
+                "zip": ["z1", "z2", "z3"],
+                "steam": [10.0, 4.0, 14.0],
+                "crime": [1.0, 1.0, 2.0],
+            }
+        )
+        aligned, weights = align_table(table, "zip", refs)
+        assert aligned.column("zip") == ["A", "B"]
+        assert set(weights) == {"steam", "crime"}
+        # Mass conserved per column.
+        assert np.asarray(aligned.column("steam")).sum() == pytest.approx(
+            28.0
+        )
+
+    def test_align_table_requires_numeric_columns(self):
+        refs = _crosswalk_refs()
+        table = Table({"zip": ["z1"], "note": ["hello"]})
+        with pytest.raises(ValidationError, match="numeric"):
+            align_table(table, "zip", refs)
+
+    def test_align_and_join_end_to_end(self):
+        refs = _crosswalk_refs()
+        left = Table(
+            {"zip": ["z1", "z2", "z3"], "steam": [10.0, 4.0, 14.0]}
+        )
+        right = Table({"county": ["A", "B"], "income": [50.0, 60.0]})
+        joined, weights = align_and_join(
+            left, right, "zip", "county", refs
+        )
+        assert len(joined) == 2
+        assert set(joined.column_names) == {"county", "steam", "income"}
+        assert "steam" in weights
+
+    def test_align_and_join_objective_following_reference(self):
+        """Steam proportional to pop: the join reproduces pop's split."""
+        refs = _crosswalk_refs()
+        pop = refs[0]
+        left = Table(
+            {
+                "zip": list(pop.dm.source_labels),
+                "steam": pop.source_vector * 3.0,
+            }
+        )
+        right = Table({"county": ["A", "B"], "income": [1.0, 2.0]})
+        joined, _ = align_and_join(left, right, "zip", "county", refs)
+        assert np.allclose(
+            np.asarray(joined.column("steam")),
+            pop.dm.col_sums() * 3.0,
+            rtol=1e-6,
+        )
