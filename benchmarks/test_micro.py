@@ -18,6 +18,7 @@ from repro.metrics.errors import nrmse
 from repro.partitions.dm import DisaggregationMatrix
 from repro.partitions.intersection import build_intersection
 from repro.partitions.system import VectorUnitSystem
+from repro.utils.rng import as_generator
 
 
 def test_dm_blend_and_rescale_sparse(benchmark, us_world):
@@ -80,7 +81,7 @@ def test_raster_overlay(benchmark, us_world):
 
 @pytest.fixture(scope="module")
 def vector_geography():
-    rng = np.random.default_rng(4)
+    rng = as_generator(4)
     box = BoundingBox(0, 0, 12, 9)
     zip_seeds = rng.uniform([0.1, 0.1], [11.9, 8.9], size=(400, 2))
     county_seeds = rng.uniform([1, 1], [11, 8], size=(25, 2))
@@ -104,7 +105,7 @@ def test_vector_overlay(benchmark, vector_geography):
 
 def test_voronoi_partition_build(benchmark):
     """Bounded Voronoi construction, 2,000 seeds (NY-ish zip count)."""
-    rng = np.random.default_rng(11)
+    rng = as_generator(11)
     box = BoundingBox(0, 0, 10, 8)
     seeds = rng.uniform([0.01, 0.01], [9.99, 7.99], size=(2000, 2))
     cells = benchmark.pedantic(

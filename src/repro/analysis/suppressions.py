@@ -1,0 +1,67 @@
+"""Suppression comments for ``repro-lint``.
+
+Two forms are recognised:
+
+* ``# repro-lint: allow[rule-id]`` (optionally several ids separated by
+  commas) on the **same line** as the violation silences those rules for
+  that line.  Anything after the closing bracket is free-form
+  justification text, which the satellite convention requires for
+  intentional exact-zero sentinels and similar.
+* ``# repro-lint: skip-file`` anywhere in the file skips the whole file.
+
+Suppressions are extracted with :mod:`tokenize` rather than regexes over
+raw lines so string literals containing the magic text do not count.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_ALLOW = re.compile(r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_,\s-]+)\]")
+_SKIP_FILE = re.compile(r"#\s*repro-lint:\s*skip-file\b")
+
+
+@dataclass
+class Suppressions:
+    """Per-line rule suppressions plus the whole-file skip flag."""
+
+    skip_file: bool = False
+    #: line number -> set of rule ids allowed on that line.
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True when ``rule_id`` is allowed on ``line`` (or file skipped)."""
+        if self.skip_file:
+            return True
+        return rule_id in self.by_line.get(line, set())
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for suppression comments.
+
+    Unparseable files produce an empty suppression table; the engine
+    reports the syntax error separately.
+    """
+    result = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            if _SKIP_FILE.search(tok.string):
+                result.skip_file = True
+            match = _ALLOW.search(tok.string)
+            if match:
+                ids = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                line = tok.start[0]
+                result.by_line.setdefault(line, set()).update(ids)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return result

@@ -13,6 +13,13 @@ pytest::
 Scale 1.0 (the default) is paper scale: 30,238 zip units at the top
 rung.  Reports print to stdout and, with ``--out``, are also written as
 text files.
+
+The project's numerical-correctness linter is exposed as a subcommand
+too (see ``docs/static-analysis.md``)::
+
+    geoalign-repro lint src
+    geoalign-repro lint src --format json
+    geoalign-repro lint --list-rules
 """
 
 from __future__ import annotations
@@ -80,6 +87,35 @@ def build_parser():
                 default=20,
                 help="noise replicates per level (paper: 20)",
             )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run repro-lint, the numerical-correctness static analysis",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (e.g. 'src')",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
 
 
@@ -121,10 +157,37 @@ def _emit(name, text, out_dir, stream):
         print(f"[written {path}]", file=stream)
 
 
+def _run_lint(args, stream):
+    """Run ``repro-lint``; exit code 0 clean, 1 violations, 2 bad input."""
+    from repro.analysis import all_rules, lint_paths, render
+
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(all_rules().items()):
+            print(f"{rule_id:18s} {rule_cls.summary}", file=stream)
+        return 0
+    if not args.paths:
+        print("error: no paths given (try 'lint src')", file=sys.stderr)
+        return 2
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render(violations, args.fmt), file=stream)
+    return 1 if violations else 0
+
+
 def main(argv=None, stream=None):
     """Entry point; returns a process exit code (0 ok, 2 bad input)."""
     stream = stream or sys.stdout
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args, stream)
     figures = (
         ["fig5a", "fig5b", "fig6", "fig7", "fig8"]
         if args.command == "all"

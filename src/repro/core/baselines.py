@@ -15,13 +15,23 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 from scipy import optimize
 
 from repro.errors import NotFittedError, ShapeMismatchError, ValidationError
 from repro.core.reference import Reference
 from repro.utils.arrays import as_nonnegative_vector
 from repro.utils.timer import StageTimer
+
+if TYPE_CHECKING:
+    from repro.partitions.dm import DisaggregationMatrix
+    from repro.partitions.intersection import IntersectionUnits
+
+FloatArray = NDArray[np.float64]
 
 
 class Dasymetric:
@@ -39,21 +49,21 @@ class Dasymetric:
         The single :class:`~repro.core.reference.Reference` to follow.
     """
 
-    def __init__(self, reference):
+    def __init__(self, reference: Reference) -> None:
         if not isinstance(reference, Reference):
             raise ValidationError(
                 f"reference must be a Reference, got {type(reference).__name__}"
             )
         self.reference = reference
-        self.objective_source_ = None
+        self.objective_source_: FloatArray | None = None
         self.timer_ = StageTimer()
-        self._estimated_dm = None
+        self._estimated_dm: "DisaggregationMatrix | None" = None
 
     @property
-    def name(self):
+    def name(self) -> str:
         return f"dasymetric[{self.reference.name}]"
 
-    def fit(self, objective_source):
+    def fit(self, objective_source: ArrayLike) -> "Dasymetric":
         """Record the objective's source aggregates; no learning happens."""
         objective = as_nonnegative_vector(
             objective_source, name="objective_source"
@@ -68,11 +78,11 @@ class Dasymetric:
         self.timer_.reset()
         return self
 
-    def _require_fitted(self):
+    def _require_fitted(self) -> None:
         if self.objective_source_ is None:
             raise NotFittedError("call fit() before predict()")
 
-    def predict_dm(self):
+    def predict_dm(self) -> "DisaggregationMatrix":
         """Estimated objective DM under the single-reference split."""
         self._require_fitted()
         if self._estimated_dm is None:
@@ -83,16 +93,16 @@ class Dasymetric:
                 )
         return self._estimated_dm
 
-    def predict(self):
+    def predict(self) -> FloatArray:
         """Estimated target aggregates."""
         dm = self.predict_dm()
         with self.timer_.stage("reaggregation"):
             return dm.col_sums()
 
-    def fit_predict(self, objective_source):
+    def fit_predict(self, objective_source: ArrayLike) -> FloatArray:
         return self.fit(objective_source).predict()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Dasymetric(reference={self.reference.name!r})"
 
 
@@ -110,16 +120,16 @@ class ArealWeighting(Dasymetric):
         overlay from which intersection areas are taken.
     """
 
-    def __init__(self, intersections):
+    def __init__(self, intersections: "IntersectionUnits") -> None:
         area_dm = intersections.area_dm()
         reference = Reference("Area", area_dm.row_sums(), area_dm)
         super().__init__(reference)
 
     @property
-    def name(self):
+    def name(self) -> str:
         return "areal-weighting"
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "ArealWeighting()"
 
 
@@ -140,19 +150,21 @@ class RegressionCrosswalk:
         Include a constant regressor (default True).
     """
 
-    def __init__(self, references, intercept=True):
+    def __init__(
+        self, references: Iterable[Reference], intercept: bool = True
+    ) -> None:
         references = list(references)
         if not references:
             raise ValidationError("regression needs at least one reference")
         self.references = references
         self.intercept = intercept
-        self.coefficients_ = None
+        self.coefficients_: FloatArray | None = None
 
     @property
-    def name(self):
+    def name(self) -> str:
         return "regression-substitution"
 
-    def fit(self, objective_source):
+    def fit(self, objective_source: ArrayLike) -> "RegressionCrosswalk":
         objective = as_nonnegative_vector(
             objective_source, name="objective_source"
         )
@@ -169,7 +181,7 @@ class RegressionCrosswalk:
         self.coefficients_ = coefficients
         return self
 
-    def predict(self):
+    def predict(self) -> FloatArray:
         if self.coefficients_ is None:
             raise NotFittedError("call fit() before predict()")
         design_t = np.column_stack(
@@ -181,9 +193,9 @@ class RegressionCrosswalk:
             )
         return design_t @ self.coefficients_
 
-    def fit_predict(self, objective_source):
+    def fit_predict(self, objective_source: ArrayLike) -> FloatArray:
         return self.fit(objective_source).predict()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         names = [ref.name for ref in self.references]
         return f"RegressionCrosswalk(references={names!r})"

@@ -20,14 +20,22 @@ the fitted values themselves.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import ValidationError
 from repro.core.solver import simplex_lstsq
 from repro.utils.arrays import as_nonnegative_vector
-from repro.utils.rng import as_rng
+from repro.utils.rng import RngLike, as_rng
+
+if TYPE_CHECKING:
+    from repro.core.reference import Reference
+
+FloatArray = NDArray[np.float64]
 
 #: Weights below this count as "not selected" for frequency purposes.
 SELECTION_THRESHOLD = 0.01
@@ -51,29 +59,37 @@ class BootstrapResult:
         weights flags redundant references.
     """
 
-    reference_names: list
-    weights: np.ndarray
-    point_estimate: np.ndarray
+    reference_names: list[str]
+    weights: FloatArray
+    point_estimate: FloatArray
     fit_dispersion: float
 
-    def mean(self):
+    def mean(self) -> FloatArray:
         return self.weights.mean(axis=0)
 
-    def std(self):
+    def std(self) -> FloatArray:
         return self.weights.std(axis=0)
 
-    def quantiles(self, q=(0.05, 0.5, 0.95)):
+    def quantiles(
+        self, q: Sequence[float] = (0.05, 0.5, 0.95)
+    ) -> FloatArray:
         """``(len(q), k)`` array of weight quantiles."""
         return np.quantile(self.weights, q, axis=0)
 
-    def selection_frequency(self, threshold=SELECTION_THRESHOLD):
+    def selection_frequency(
+        self, threshold: float = SELECTION_THRESHOLD
+    ) -> FloatArray:
         """Fraction of resamples giving each reference weight > threshold."""
         return (self.weights > threshold).mean(axis=0)
 
 
 def bootstrap_weights(
-    references, objective_source, n_boot=200, seed=None, solver_method="active-set"
-):
+    references: Iterable["Reference"],
+    objective_source: ArrayLike,
+    n_boot: int = 200,
+    seed: RngLike = None,
+    solver_method: str = "active-set",
+) -> BootstrapResult:
     """Bootstrap the Eq. 15 weights over source units.
 
     Parameters
@@ -131,7 +147,7 @@ def bootstrap_weights(
     )
 
 
-def weight_stability_report(result):
+def weight_stability_report(result: BootstrapResult) -> str:
     """Human-readable summary of a :class:`BootstrapResult`."""
     lows, medians, highs = result.quantiles((0.05, 0.5, 0.95))
     freq = result.selection_frequency()

@@ -20,7 +20,10 @@ class realigns 2-D maps, 1-D histograms and n-D box systems (paper §3.4,
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import (
     NotFittedError,
@@ -28,10 +31,12 @@ from repro.errors import (
     ValidationError,
 )
 from repro.core.reference import Reference
-from repro.core.solver import simplex_lstsq
+from repro.core.solver import SimplexLstsqResult, simplex_lstsq
 from repro.partitions.dm import DisaggregationMatrix
 from repro.utils.arrays import as_nonnegative_vector
 from repro.utils.timer import StageTimer
+
+FloatArray = NDArray[np.float64]
 
 #: Valid choices for the Eq. 14 denominator (see ``GeoAlign`` docs).
 _DENOMINATORS = ("source-vectors", "row-sums")
@@ -78,10 +83,10 @@ class GeoAlign:
 
     def __init__(
         self,
-        solver_method="active-set",
-        normalize=True,
-        denominator="row-sums",
-    ):
+        solver_method: str = "active-set",
+        normalize: bool = True,
+        denominator: str = "row-sums",
+    ) -> None:
         if denominator not in _DENOMINATORS:
             raise ValidationError(
                 f"denominator must be one of {_DENOMINATORS}, "
@@ -90,16 +95,20 @@ class GeoAlign:
         self.solver_method = solver_method
         self.normalize = normalize
         self.denominator = denominator
-        self.weights_ = None
-        self.blend_weights_ = None
-        self.references_ = None
-        self.objective_source_ = None
-        self.solver_result_ = None
+        self.weights_: FloatArray | None = None
+        self.blend_weights_: FloatArray | None = None
+        self.references_: list[Reference] | None = None
+        self.objective_source_: FloatArray | None = None
+        self.solver_result_: SimplexLstsqResult | None = None
         self.timer_ = StageTimer()
-        self._estimated_dm = None
+        self._estimated_dm: DisaggregationMatrix | None = None
 
     # ------------------------------------------------------------------
-    def fit(self, references, objective_source):
+    def fit(
+        self,
+        references: Iterable[Reference],
+        objective_source: ArrayLike,
+    ) -> "GeoAlign":
         """Learn reference weights (Algorithm 1, step 1).
 
         Parameters
@@ -168,14 +177,14 @@ class GeoAlign:
         self._estimated_dm = None
         return self
 
-    def _require_fitted(self):
-        if self.weights_ is None:
+    def _require_fitted(self) -> None:
+        if self.weights_ is None or self.references_ is None:
             raise NotFittedError(
                 "this GeoAlign instance is not fitted; call fit() first"
             )
 
     # ------------------------------------------------------------------
-    def predict_dm(self):
+    def predict_dm(self) -> DisaggregationMatrix:
         """Estimated disaggregation matrix of the objective (Eq. 14).
 
         The result is cached; volume preservation (Eq. 16) holds exactly
@@ -183,6 +192,9 @@ class GeoAlign:
         consistency under the paper's ``"source-vectors"``.
         """
         self._require_fitted()
+        assert self.weights_ is not None  # _require_fitted guarantees it
+        assert self.references_ is not None
+        assert self.objective_source_ is not None
         if self._estimated_dm is not None:
             return self._estimated_dm
         with self.timer_.stage("disaggregation"):
@@ -209,7 +221,7 @@ class GeoAlign:
             if self.denominator == "source-vectors":
                 denom = np.zeros(len(self.objective_source_))
                 for ref, weight in zip(self.references_, blend_weights):
-                    if weight != 0.0:
+                    if weight != 0.0:  # repro-lint: allow[float-eq] exact-zero skip is a no-op optimisation; tiny weights must still contribute
                         denom += weight * ref.source_vector
             else:
                 denom = blended.row_sums()
@@ -218,27 +230,32 @@ class GeoAlign:
             )
         return self._estimated_dm
 
-    def predict(self):
+    def predict(self) -> FloatArray:
         """Estimated target-unit aggregates ``â^t_o`` (Eq. 17)."""
         dm = self.predict_dm()
         with self.timer_.stage("reaggregation"):
             estimates = dm.col_sums()
         return estimates
 
-    def fit_predict(self, references, objective_source):
+    def fit_predict(
+        self,
+        references: Iterable[Reference],
+        objective_source: ArrayLike,
+    ) -> FloatArray:
         """Convenience: ``fit(...)`` then ``predict()``."""
         return self.fit(references, objective_source).predict()
 
     # ------------------------------------------------------------------
-    def weight_report(self):
+    def weight_report(self) -> dict[str, float]:
         """Mapping of reference name to learned weight (fitted only)."""
         self._require_fitted()
+        assert self.references_ is not None and self.weights_ is not None
         return {
             ref.name: float(w)
             for ref, w in zip(self.references_, self.weights_)
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         status = "fitted" if self.weights_ is not None else "unfitted"
         return (
             f"GeoAlign(solver={self.solver_method!r}, "

@@ -16,9 +16,12 @@ non-negativity clamp after every pass.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import ShapeMismatchError, ValidationError
 from repro.raster.zones import RasterUnitSystem
+
+FloatArray = NDArray[np.float64]
 
 
 class Pycnophylactic:
@@ -37,11 +40,11 @@ class Pycnophylactic:
 
     def __init__(
         self,
-        source_system,
-        target_system,
-        iterations=30,
-        relaxation=0.5,
-    ):
+        source_system: RasterUnitSystem,
+        target_system: RasterUnitSystem,
+        iterations: int = 30,
+        relaxation: float = 0.5,
+    ) -> None:
         if not isinstance(source_system, RasterUnitSystem) or not isinstance(
             target_system, RasterUnitSystem
         ):
@@ -65,9 +68,9 @@ class Pycnophylactic:
         self.target = target_system
         self.iterations = iterations
         self.relaxation = relaxation
-        self.density_ = None
+        self.density_: FloatArray | None = None
 
-    def fit(self, source_vector):
+    def fit(self, source_vector: ArrayLike) -> "Pycnophylactic":
         """Estimate the smooth per-cell density for ``source_vector``."""
         source_vector = np.asarray(source_vector, dtype=float)
         if source_vector.shape != (len(self.source),):
@@ -114,17 +117,17 @@ class Pycnophylactic:
         self.density_ = field.ravel()
         return self
 
-    def predict(self):
+    def predict(self) -> FloatArray:
         """Target-zone totals of the fitted density."""
         if self.density_ is None:
             raise ValidationError("call fit() before predict()")
         return self.target.aggregate_cells(self.density_)
 
-    def fit_predict(self, source_vector):
+    def fit_predict(self, source_vector: ArrayLike) -> FloatArray:
         return self.fit(source_vector).predict()
 
 
-def _neighbour_mean(field):
+def _neighbour_mean(field: FloatArray) -> FloatArray:
     """Mean of the 4-neighbourhood with reflecting borders."""
     padded = np.pad(field, 1, mode="edge")
     return 0.25 * (

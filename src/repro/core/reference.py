@@ -9,10 +9,13 @@ target-level aggregate vector is implied by the DM's column sums.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import ShapeMismatchError, ValidationError
 from repro.partitions.dm import DisaggregationMatrix
-from repro.utils.arrays import as_nonnegative_vector
+from repro.utils.arrays import as_nonnegative_vector, is_zero
+
+FloatArray = NDArray[np.float64]
 
 
 class Reference:
@@ -34,7 +37,16 @@ class Reference:
 
     __slots__ = ("name", "source_vector", "dm")
 
-    def __init__(self, name, source_vector, dm):
+    name: str
+    source_vector: FloatArray
+    dm: DisaggregationMatrix
+
+    def __init__(
+        self,
+        name: object,
+        source_vector: ArrayLike,
+        dm: DisaggregationMatrix,
+    ) -> None:
         if not isinstance(dm, DisaggregationMatrix):
             raise ValidationError(
                 f"reference {name!r}: dm must be a DisaggregationMatrix, "
@@ -57,7 +69,7 @@ class Reference:
         self.dm = dm
 
     @classmethod
-    def from_dm(cls, name, dm):
+    def from_dm(cls, name: object, dm: DisaggregationMatrix) -> "Reference":
         """Build a reference whose source vector is the DM's row sums.
 
         This is the self-consistent case: the aggregate vector and the
@@ -66,15 +78,15 @@ class Reference:
         return cls(name, dm.row_sums(), dm)
 
     @property
-    def target_vector(self):
+    def target_vector(self) -> FloatArray:
         """Aggregates of the reference in target units (DM column sums)."""
         return self.dm.col_sums()
 
-    def with_source_vector(self, new_vector):
+    def with_source_vector(self, new_vector: ArrayLike) -> "Reference":
         """Copy with a replaced source vector (used by noise injection)."""
         return Reference(self.name, new_vector, self.dm)
 
-    def normalized_source(self):
+    def normalized_source(self) -> FloatArray:
         """Max-normalised source vector ``a'^s_r`` (paper §3.4)."""
         peak = float(self.source_vector.max())
         if peak <= 0:
@@ -83,7 +95,7 @@ class Reference:
             )
         return self.source_vector / peak
 
-    def correlation_with(self, other_vector):
+    def correlation_with(self, other_vector: ArrayLike) -> float:
         """Pearson correlation with another source-level vector.
 
         Used by the reference-selection experiment (§4.4.2) to rank
@@ -96,11 +108,11 @@ class Reference:
                 "correlation requires vectors over the same source units"
             )
         mine = self.source_vector
-        if mine.std() == 0.0 or other.std() == 0.0:
+        if is_zero(float(mine.std())) or is_zero(float(other.std())):
             return 0.0
         return float(np.corrcoef(mine, other)[0, 1])
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"Reference({self.name!r}, |Us|={len(self.source_vector)}, "
             f"dm_nnz={self.dm.nnz})"

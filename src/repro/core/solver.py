@@ -28,8 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import SolverError, ValidationError
+
+FloatArray = NDArray[np.float64]
 
 _METHODS = ("active-set", "projected-gradient", "frank-wolfe")
 
@@ -50,13 +53,15 @@ class SimplexLstsqResult:
         Which solver produced the result.
     """
 
-    weights: np.ndarray
+    weights: FloatArray
     objective: float
     iterations: int
     method: str
 
 
-def _validate_inputs(A, b):
+def _validate_inputs(
+    A: ArrayLike, b: ArrayLike
+) -> tuple[FloatArray, FloatArray]:
     A = np.asarray(A, dtype=float)
     b = np.asarray(b, dtype=float)
     if A.ndim != 2:
@@ -76,12 +81,18 @@ def _validate_inputs(A, b):
     return A, b
 
 
-def _objective(A, b, w):
+def _objective(A: FloatArray, b: FloatArray, w: FloatArray) -> float:
     r = A @ w - b
     return 0.5 * float(r @ r)
 
 
-def simplex_lstsq(A, b, method="active-set", max_iter=None, tol=1e-12):
+def simplex_lstsq(
+    A: ArrayLike,
+    b: ArrayLike,
+    method: str = "active-set",
+    max_iter: int | None = None,
+    tol: float = 1e-12,
+) -> SimplexLstsqResult:
     """Solve ``min 0.5||A w - b||^2  s.t.  sum(w)=1, w>=0``.
 
     Parameters
@@ -124,7 +135,7 @@ def simplex_lstsq(A, b, method="active-set", max_iter=None, tol=1e-12):
 # ----------------------------------------------------------------------
 # Simplex projection (Duchi, Shalev-Shwartz, Singer, Chandra 2008)
 # ----------------------------------------------------------------------
-def project_to_simplex(v):
+def project_to_simplex(v: ArrayLike) -> FloatArray:
     """Euclidean projection of a vector onto the probability simplex."""
     v = np.asarray(v, dtype=float)
     if v.ndim != 1:
@@ -141,7 +152,9 @@ def project_to_simplex(v):
 # ----------------------------------------------------------------------
 # Active set
 # ----------------------------------------------------------------------
-def _equality_solve(gram, atb, free):
+def _equality_solve(
+    gram: FloatArray, atb: FloatArray, free: NDArray[np.bool_]
+) -> tuple[FloatArray, float]:
     """Solve the KKT system of min ||A_F w - b||^2 s.t. sum(w_F) = 1.
 
     Returns ``(w_free, lam)`` where ``lam`` is the equality multiplier,
@@ -161,7 +174,9 @@ def _equality_solve(gram, atb, free):
     return solution[:k], float(solution[k])
 
 
-def _active_set(A, b, max_iter, tol):
+def _active_set(
+    A: FloatArray, b: FloatArray, max_iter: int, tol: float
+) -> SimplexLstsqResult:
     n = A.shape[1]
     gram = A.T @ A
     atb = A.T @ b
@@ -228,7 +243,7 @@ def _active_set(A, b, max_iter, tol):
     return _projected_gradient(A, b, 5000, tol)
 
 
-def _unit(n, j):
+def _unit(n: int, j: int) -> FloatArray:
     e = np.zeros(n)
     e[j] = 1.0
     return e
@@ -237,7 +252,9 @@ def _unit(n, j):
 # ----------------------------------------------------------------------
 # Projected gradient (FISTA-style acceleration)
 # ----------------------------------------------------------------------
-def _projected_gradient(A, b, max_iter, tol):
+def _projected_gradient(
+    A: FloatArray, b: FloatArray, max_iter: int, tol: float
+) -> SimplexLstsqResult:
     n = A.shape[1]
     gram = A.T @ A
     atb = A.T @ b
@@ -275,7 +292,9 @@ def _projected_gradient(A, b, max_iter, tol):
 # ----------------------------------------------------------------------
 # Frank-Wolfe
 # ----------------------------------------------------------------------
-def _frank_wolfe(A, b, max_iter, tol):
+def _frank_wolfe(
+    A: FloatArray, b: FloatArray, max_iter: int, tol: float
+) -> SimplexLstsqResult:
     n = A.shape[1]
     gram = A.T @ A
     atb = A.T @ b
@@ -297,7 +316,7 @@ def _frank_wolfe(A, b, max_iter, tol):
             gamma = 0.0
         else:
             gamma = min(max(gap / denom, 0.0), 1.0)
-        if gamma == 0.0:
+        if gamma <= 0.0:
             return SimplexLstsqResult(
                 w, _objective(A, b, w), iteration, "frank-wolfe"
             )
@@ -307,7 +326,9 @@ def _frank_wolfe(A, b, max_iter, tol):
     )
 
 
-def scipy_reference_solution(A, b):
+def scipy_reference_solution(
+    A: ArrayLike, b: ArrayLike
+) -> SimplexLstsqResult:
     """Cross-check solver built on ``scipy.optimize.minimize`` (SLSQP).
 
     Used by tests and the solver ablation benchmark to validate the

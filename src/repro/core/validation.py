@@ -10,12 +10,22 @@ crosswalk data.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.errors import ValidationError
+from repro.utils.arrays import is_zero
+
+if TYPE_CHECKING:
+    from repro.core.reference import Reference
+    from repro.partitions.dm import DisaggregationMatrix
 
 
-def volume_preservation_error(dm, source_vector):
+def volume_preservation_error(
+    dm: "DisaggregationMatrix", source_vector: ArrayLike
+) -> float:
     """Largest relative row-sum deviation from the source aggregates.
 
     Returns ``max_i |rowsum_i - a^s_o[i]| / max(a^s_o)``; zero means the
@@ -29,12 +39,16 @@ def volume_preservation_error(dm, source_vector):
             f"{source_vector.shape[0]} entries"
         )
     scale = float(np.abs(source_vector).max())
-    if scale == 0.0:
+    if is_zero(scale):
         return float(np.abs(rows).max()) if len(rows) else 0.0
     return float(np.abs(rows - source_vector).max() / scale)
 
 
-def check_volume_preserving(dm, source_vector, rtol=1e-9):
+def check_volume_preserving(
+    dm: "DisaggregationMatrix",
+    source_vector: ArrayLike,
+    rtol: float = 1e-9,
+) -> None:
     """Raise :class:`ValidationError` unless Eq. 16 holds within ``rtol``.
 
     Note: rows where the blended denominator was zero legitimately drop
@@ -50,17 +64,19 @@ def check_volume_preserving(dm, source_vector, rtol=1e-9):
         )
 
 
-def mass_conservation_error(dm, source_vector):
+def mass_conservation_error(
+    dm: "DisaggregationMatrix", source_vector: ArrayLike
+) -> float:
     """Relative difference between total estimated and total source mass."""
     source_vector = np.asarray(source_vector, dtype=float)
     total_source = float(source_vector.sum())
     total_dm = dm.total()
-    if total_source == 0.0:
+    if is_zero(total_source):
         return abs(total_dm)
     return abs(total_dm - total_source) / total_source
 
 
-def reference_consistency_error(reference):
+def reference_consistency_error(reference: "Reference") -> float:
     """Relative gap between a reference's source vector and DM row sums.
 
     Zero for self-consistent references; grows with injected noise (the
@@ -68,6 +84,6 @@ def reference_consistency_error(reference):
     """
     rows = reference.dm.row_sums()
     scale = float(np.abs(reference.source_vector).max())
-    if scale == 0.0:
+    if is_zero(scale):
         return 0.0
     return float(np.abs(rows - reference.source_vector).max() / scale)

@@ -20,6 +20,7 @@ from repro.errors import ValidationError
 from repro.core.geoalign import GeoAlign
 from repro.metrics.errors import rmse
 from repro.synth.universes import build_united_states_world
+from repro.utils.arrays import is_zero
 from repro.utils.rng import as_rng
 
 #: The paper's noise levels, in percent.
@@ -135,8 +136,8 @@ def run_noise_robustness(
                     noisy_pool, test.source_vector
                 )
                 noisy_rmse = rmse(estimate, truth)
-                if baseline_rmse == 0.0:
-                    ratio = 1.0 if noisy_rmse == 0.0 else float("inf")
+                if is_zero(baseline_rmse):
+                    ratio = 1.0 if is_zero(noisy_rmse) else float("inf")
                 else:
                     ratio = noisy_rmse / baseline_rmse
                 by_level[level].append(ratio)

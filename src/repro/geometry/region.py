@@ -56,7 +56,7 @@ class Region:
             if len(ring) < 3:
                 continue
             area = signed_polygon_area(ring)
-            if area == 0.0:
+            if area == 0.0:  # repro-lint: allow[float-eq] exact-zero sentinel: collinear/degenerate rings give exactly 0.0; slivers are thresholded in intersection()
                 continue
             if area < 0.0:
                 ring = ring[::-1]
@@ -249,7 +249,7 @@ def _convex_centroid(ring):
     yn = np.roll(y, -1)
     cross = x * yn - xn * y
     a = 0.5 * float(cross.sum())
-    if a == 0.0:
+    if a == 0.0:  # repro-lint: allow[float-eq] exact-zero sentinel guarding the division below; callers pass non-degenerate pieces
         return (float(x.mean()), float(y.mean()))
     cx = float(np.sum((x + xn) * cross) / (6.0 * a))
     cy = float(np.sum((y + yn) * cross) / (6.0 * a))

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeMismatchError, ValidationError
+from repro.utils.arrays import is_zero
 
 
 def _paired(estimated, actual):
@@ -42,9 +43,9 @@ def nrmse(estimated, actual):
     """
     est, act = _paired(estimated, actual)
     denom = float(np.mean(act))
-    if denom == 0.0:
+    if is_zero(denom):
         raise ValidationError(
-            "NRMSE undefined: measured data has zero mean"
+            "NRMSE undefined: measured data has (numerically) zero mean"
         )
     return rmse(est, act) / abs(denom)
 
@@ -71,6 +72,6 @@ def mean_absolute_percentage_error(estimated, actual, epsilon=1e-12):
 def pearson_correlation(x, y):
     """Pearson correlation, 0.0 when either vector is constant."""
     a, b = _paired(x, y)
-    if a.std() == 0.0 or b.std() == 0.0:
+    if is_zero(float(a.std())) or is_zero(float(b.std())):
         return 0.0
     return float(np.corrcoef(a, b)[0, 1])

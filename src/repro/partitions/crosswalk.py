@@ -20,14 +20,20 @@ from __future__ import annotations
 
 import csv
 import io
+from collections.abc import Sequence
+from typing import IO, Union
 
 from repro.errors import CrosswalkError
 from repro.partitions.dm import DisaggregationMatrix
 
 _HEADER = ("source", "target", "value")
 
+PathOrFile = Union[str, IO[str]]
 
-def write_crosswalk_csv(dm, path_or_file):
+
+def write_crosswalk_csv(
+    dm: DisaggregationMatrix, path_or_file: PathOrFile
+) -> None:
     """Serialise a :class:`DisaggregationMatrix` to crosswalk CSV.
 
     Only stored (non-zero) intersections are written, matching how real
@@ -40,7 +46,7 @@ def write_crosswalk_csv(dm, path_or_file):
             _write_rows(dm, handle)
 
 
-def _write_rows(dm, handle):
+def _write_rows(dm: DisaggregationMatrix, handle: IO[str]) -> None:
     writer = csv.writer(handle)
     writer.writerow(_HEADER)
     coo = dm.matrix.tocoo()
@@ -54,7 +60,11 @@ def _write_rows(dm, handle):
         )
 
 
-def read_crosswalk_csv(path_or_file, source_labels=None, target_labels=None):
+def read_crosswalk_csv(
+    path_or_file: PathOrFile,
+    source_labels: Sequence[str] | None = None,
+    target_labels: Sequence[str] | None = None,
+) -> DisaggregationMatrix:
     """Parse a crosswalk CSV into a :class:`DisaggregationMatrix`.
 
     Parameters
@@ -74,7 +84,11 @@ def read_crosswalk_csv(path_or_file, source_labels=None, target_labels=None):
         return _read_rows(handle, source_labels, target_labels)
 
 
-def _read_rows(handle, source_labels, target_labels):
+def _read_rows(
+    handle: IO[str],
+    source_labels: Sequence[str] | None,
+    target_labels: Sequence[str] | None,
+) -> DisaggregationMatrix:
     reader = csv.reader(handle)
     try:
         header = next(reader)
@@ -85,7 +99,7 @@ def _read_rows(handle, source_labels, target_labels):
             f"crosswalk header must be {','.join(_HEADER)!r}, got "
             f"{','.join(header)!r}"
         )
-    rows = []
+    rows: list[tuple[str, str, float]] = []
     for lineno, row in enumerate(reader, start=2):
         if not row:
             continue
@@ -113,9 +127,9 @@ def _read_rows(handle, source_labels, target_labels):
     src_pos = {label: i for i, label in enumerate(source_labels)}
     tgt_pos = {label: j for j, label in enumerate(target_labels)}
 
-    src_idx = []
-    tgt_idx = []
-    values = []
+    src_idx: list[int] = []
+    tgt_idx: list[int] = []
+    values: list[float] = []
     for source, target, value in rows:
         if source not in src_pos:
             raise CrosswalkError(
@@ -133,7 +147,7 @@ def _read_rows(handle, source_labels, target_labels):
     )
 
 
-def crosswalk_to_string(dm):
+def crosswalk_to_string(dm: DisaggregationMatrix) -> str:
     """Serialise to an in-memory CSV string (round-trips with read)."""
     buffer = io.StringIO()
     write_crosswalk_csv(dm, buffer)

@@ -15,10 +15,17 @@ speed to sparse storage of DMs.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+from typing import Any
+
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 from scipy import sparse
 
 from repro.errors import ShapeMismatchError, ValidationError
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
 
 
 class DisaggregationMatrix:
@@ -34,7 +41,12 @@ class DisaggregationMatrix:
         Unit labels for rows and columns; lengths must match the shape.
     """
 
-    def __init__(self, matrix, source_labels, target_labels):
+    def __init__(
+        self,
+        matrix: Any,
+        source_labels: Iterable[object],
+        target_labels: Iterable[object],
+    ) -> None:
         mat = sparse.csr_matrix(matrix, dtype=float)
         mat.eliminate_zeros()
         source_labels = [str(s) for s in source_labels]
@@ -60,7 +72,14 @@ class DisaggregationMatrix:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_pairs(cls, src_idx, tgt_idx, values, source_labels, target_labels):
+    def from_pairs(
+        cls,
+        src_idx: ArrayLike,
+        tgt_idx: ArrayLike,
+        values: ArrayLike,
+        source_labels: Sequence[object],
+        target_labels: Sequence[object],
+    ) -> "DisaggregationMatrix":
         """Build from COO triplets (duplicate pairs are summed)."""
         mat = sparse.coo_matrix(
             (
@@ -72,7 +91,11 @@ class DisaggregationMatrix:
         return cls(mat.tocsr(), source_labels, target_labels)
 
     @classmethod
-    def zeros(cls, source_labels, target_labels):
+    def zeros(
+        cls,
+        source_labels: Sequence[object],
+        target_labels: Sequence[object],
+    ) -> "DisaggregationMatrix":
         """All-zero DM with the given labelling."""
         mat = sparse.csr_matrix((len(source_labels), len(target_labels)))
         return cls(mat, source_labels, target_labels)
@@ -81,34 +104,35 @@ class DisaggregationMatrix:
     # Views and measures
     # ------------------------------------------------------------------
     @property
-    def shape(self):
-        return self.matrix.shape
+    def shape(self) -> tuple[int, int]:
+        shape = self.matrix.shape
+        return (int(shape[0]), int(shape[1]))
 
     @property
-    def nnz(self):
+    def nnz(self) -> int:
         """Number of stored non-zero intersections."""
-        return self.matrix.nnz
+        return int(self.matrix.nnz)
 
-    def row_sums(self):
+    def row_sums(self) -> FloatArray:
         """Source-level aggregate vector implied by the matrix."""
-        return np.asarray(self.matrix.sum(axis=1)).ravel()
+        return np.asarray(self.matrix.sum(axis=1), dtype=float).ravel()
 
-    def col_sums(self):
+    def col_sums(self) -> FloatArray:
         """Target-level aggregate vector implied by the matrix."""
-        return np.asarray(self.matrix.sum(axis=0)).ravel()
+        return np.asarray(self.matrix.sum(axis=0), dtype=float).ravel()
 
-    def total(self):
+    def total(self) -> float:
         """Grand total of the attribute over the universe."""
         return float(self.matrix.sum())
 
-    def to_dense(self):
+    def to_dense(self) -> FloatArray:
         """Dense ``numpy`` copy (small matrices / tests only)."""
-        return self.matrix.toarray()
+        return np.asarray(self.matrix.toarray(), dtype=float)
 
     # ------------------------------------------------------------------
     # Algebra used by GeoAlign
     # ------------------------------------------------------------------
-    def _require_same_labels(self, other):
+    def _require_same_labels(self, other: "DisaggregationMatrix") -> None:
         if (
             self.source_labels != other.source_labels
             or self.target_labels != other.target_labels
@@ -119,7 +143,9 @@ class DisaggregationMatrix:
             )
 
     @staticmethod
-    def blend(dms, weights):
+    def blend(
+        dms: Iterable["DisaggregationMatrix"], weights: ArrayLike
+    ) -> "DisaggregationMatrix":
         """Weighted sum ``sum_k w_k * DM_k`` of same-labelled matrices.
 
         This is the numerator of the paper's Eq. 14.  Weights may be any
@@ -138,13 +164,17 @@ class DisaggregationMatrix:
         acc = first.matrix * float(weights[0])
         for dm, w in zip(dms[1:], weights[1:]):
             first._require_same_labels(dm)
-            if w != 0.0:
+            if w != 0.0:  # repro-lint: allow[float-eq] exact-zero skip is a no-op optimisation; tiny weights must still contribute
                 acc = acc + dm.matrix * float(w)
         return DisaggregationMatrix(
             acc, first.source_labels, first.target_labels
         )
 
-    def rescale_rows(self, new_totals, denominators=None):
+    def rescale_rows(
+        self,
+        new_totals: ArrayLike,
+        denominators: ArrayLike | None = None,
+    ) -> "DisaggregationMatrix":
         """Per-row rescale: row ``i`` becomes ``row_i * new/denom``.
 
         With ``denominators=None`` the current row sums are used, making
@@ -177,17 +207,17 @@ class DisaggregationMatrix:
             scaler @ self.matrix, self.source_labels, self.target_labels
         )
 
-    def row_shares(self):
+    def row_shares(self) -> "DisaggregationMatrix":
         """Row-stochastic version: each non-empty row rescaled to sum 1."""
         return self.rescale_rows(np.ones(self.shape[0]))
 
-    def transposed(self):
+    def transposed(self) -> "DisaggregationMatrix":
         """The same matrix viewed from target to source."""
         return DisaggregationMatrix(
             self.matrix.T.tocsr(), self.target_labels, self.source_labels
         )
 
-    def compose(self, other):
+    def compose(self, other: "DisaggregationMatrix") -> "DisaggregationMatrix":
         """Chain two crosswalks: source -> mid -> target.
 
         ``self`` disaggregates an attribute from source units to mid
@@ -220,7 +250,12 @@ class DisaggregationMatrix:
             other.target_labels,
         )
 
-    def allclose(self, other, rtol=1e-9, atol=1e-12):
+    def allclose(
+        self,
+        other: "DisaggregationMatrix",
+        rtol: float = 1e-9,
+        atol: float = 1e-12,
+    ) -> bool:
         """Numerically compare two same-labelled matrices."""
         self._require_same_labels(other)
         diff = (self.matrix - other.matrix).tocoo()
@@ -229,7 +264,7 @@ class DisaggregationMatrix:
         scale = max(abs(self.matrix).max(), abs(other.matrix).max())
         return bool(np.all(np.abs(diff.data) <= atol + rtol * scale))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"DisaggregationMatrix({self.shape[0]}x{self.shape[1]}, "
             f"nnz={self.nnz}, total={self.total():.6g})"

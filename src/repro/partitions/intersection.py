@@ -13,10 +13,19 @@ experiments need:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import PartitionError, ShapeMismatchError
 from repro.partitions.dm import DisaggregationMatrix
+
+if TYPE_CHECKING:
+    from repro.partitions.system import UnitSystem
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
 
 
 class IntersectionUnits:
@@ -33,7 +42,14 @@ class IntersectionUnits:
         Overlap size (area / length / volume) of each intersection unit.
     """
 
-    def __init__(self, source, target, src_idx, tgt_idx, measure):
+    def __init__(
+        self,
+        source: "UnitSystem",
+        target: "UnitSystem",
+        src_idx: ArrayLike,
+        tgt_idx: ArrayLike,
+        measure: ArrayLike,
+    ) -> None:
         self.source = source
         self.target = target
         self.src_idx = np.asarray(src_idx, dtype=np.int64)
@@ -55,13 +71,13 @@ class IntersectionUnits:
             raise PartitionError("tgt_idx out of range for target system")
         # |U^st| >= max(|U^s|, |U^t|) holds for true partitions of one
         # universe; not enforced because callers may overlay subsets.
-        self._pair_lookup = None
+        self._pair_lookup: dict[tuple[int, int], int] | None = None
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.src_idx)
 
     @property
-    def pair_lookup(self):
+    def pair_lookup(self) -> dict[tuple[int, int], int]:
         """Dict mapping ``(i, j)`` source/target index pairs to unit index."""
         if self._pair_lookup is None:
             self._pair_lookup = {
@@ -70,7 +86,7 @@ class IntersectionUnits:
             }
         return self._pair_lookup
 
-    def area_dm(self):
+    def area_dm(self) -> DisaggregationMatrix:
         """The overlap-measure DM -- the areal-weighting reference."""
         return DisaggregationMatrix.from_pairs(
             self.src_idx,
@@ -80,7 +96,7 @@ class IntersectionUnits:
             self.target.labels,
         )
 
-    def dm_from_unit_values(self, values):
+    def dm_from_unit_values(self, values: ArrayLike) -> DisaggregationMatrix:
         """DM whose entry for intersection ``k`` is ``values[k]``.
 
         ``values`` is any per-intersection-unit aggregate (point counts,
@@ -100,7 +116,12 @@ class IntersectionUnits:
             self.target.labels,
         )
 
-    def dm_from_point_assignments(self, src_of_point, tgt_of_point, weights=None):
+    def dm_from_point_assignments(
+        self,
+        src_of_point: ArrayLike,
+        tgt_of_point: ArrayLike,
+        weights: ArrayLike | None = None,
+    ) -> DisaggregationMatrix:
         """DM of point counts given per-point parent-unit indices.
 
         Points whose source or target index is negative (outside the
@@ -126,28 +147,32 @@ class IntersectionUnits:
             self.target.labels,
         )
 
-    def aggregate_to_source(self, values):
+    def aggregate_to_source(self, values: ArrayLike) -> FloatArray:
         """Sum per-intersection values up to source units."""
         values = np.asarray(values, dtype=float)
         out = np.zeros(len(self.source))
         np.add.at(out, self.src_idx, values)
         return out
 
-    def aggregate_to_target(self, values):
+    def aggregate_to_target(self, values: ArrayLike) -> FloatArray:
         """Sum per-intersection values up to target units (Eq. 9)."""
         values = np.asarray(values, dtype=float)
         out = np.zeros(len(self.target))
         np.add.at(out, self.tgt_idx, values)
         return out
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"IntersectionUnits(|Us|={len(self.source)}, "
             f"|Ut|={len(self.target)}, |Ust|={len(self)})"
         )
 
 
-def build_intersection(source, target, min_measure=0.0):
+def build_intersection(
+    source: "UnitSystem",
+    target: "UnitSystem",
+    min_measure: float = 0.0,
+) -> IntersectionUnits:
     """Overlay two unit systems of the same backend into U^st.
 
     Parameters

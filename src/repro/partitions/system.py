@@ -11,12 +11,22 @@ is backend-agnostic.
 from __future__ import annotations
 
 import abc
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import PartitionError, ShapeMismatchError
 from repro.geometry.region import Region
 from repro.geometry.sindex import GridIndex
+
+if TYPE_CHECKING:
+    from repro.geometry.primitives import BoundingBox
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
+OverlapTriplets = tuple[IntArray, IntArray, FloatArray]
 
 
 class UnitSystem(abc.ABC):
@@ -26,7 +36,7 @@ class UnitSystem(abc.ABC):
     else (labels, sizes, lookups) is shared here.
     """
 
-    def __init__(self, labels):
+    def __init__(self, labels: Iterable[object]) -> None:
         labels = [str(label) for label in labels]
         if len(set(labels)) != len(labels):
             dupes = sorted(
@@ -40,19 +50,19 @@ class UnitSystem(abc.ABC):
         self.labels = labels
         self._label_index = {label: i for i, label in enumerate(labels)}
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.labels)
 
-    def index_of(self, label):
+    def index_of(self, label: str) -> int:
         """Position of ``label``; raises ``KeyError`` when absent."""
         return self._label_index[label]
 
     @abc.abstractmethod
-    def measures(self):
+    def measures(self) -> FloatArray:
         """Per-unit size (area / length / volume) as a float array."""
 
     @abc.abstractmethod
-    def overlap_pairs(self, other):
+    def overlap_pairs(self, other: "UnitSystem") -> OverlapTriplets:
         """Pairwise overlap with another unit system of the same backend.
 
         Returns ``(src_idx, tgt_idx, measure)`` arrays listing every pair
@@ -61,7 +71,9 @@ class UnitSystem(abc.ABC):
         units and area disaggregation matrices are built.
         """
 
-    def require_same_labels(self, values, name="values"):
+    def require_same_labels(
+        self, values: ArrayLike, name: str = "values"
+    ) -> FloatArray:
         """Validate that ``values`` has one entry per unit, return as array."""
         arr = np.asarray(values, dtype=float)
         if arr.shape != (len(self),):
@@ -85,7 +97,9 @@ class VectorUnitSystem(UnitSystem):
         they also exactly tile a given universe box.
     """
 
-    def __init__(self, labels, regions):
+    def __init__(
+        self, labels: Iterable[object], regions: Iterable[Region]
+    ) -> None:
         super().__init__(labels)
         regions = list(regions)
         if len(regions) != len(self.labels):
@@ -100,10 +114,10 @@ class VectorUnitSystem(UnitSystem):
             if region.is_empty:
                 raise PartitionError(f"unit {label!r} has an empty region")
         self.regions = regions
-        self._index = None
+        self._index: GridIndex | None = None
 
     @property
-    def bbox(self):
+    def bbox(self) -> "BoundingBox":
         """Bounding box over every unit."""
         box = self.regions[0].bbox
         for region in self.regions[1:]:
@@ -111,7 +125,7 @@ class VectorUnitSystem(UnitSystem):
         return box
 
     @property
-    def spatial_index(self):
+    def spatial_index(self) -> GridIndex:
         """Lazily built grid index over unit bounding boxes."""
         if self._index is None:
             self._index = GridIndex.bulk_load(
@@ -120,10 +134,10 @@ class VectorUnitSystem(UnitSystem):
             )
         return self._index
 
-    def measures(self):
+    def measures(self) -> FloatArray:
         return np.array([region.area for region in self.regions])
 
-    def overlap_pairs(self, other):
+    def overlap_pairs(self, other: "UnitSystem") -> OverlapTriplets:
         if not isinstance(other, VectorUnitSystem):
             raise ShapeMismatchError(
                 "can only overlay VectorUnitSystem with VectorUnitSystem, "
@@ -146,7 +160,7 @@ class VectorUnitSystem(UnitSystem):
             np.asarray(measure, dtype=float),
         )
 
-    def locate_points(self, points):
+    def locate_points(self, points: ArrayLike) -> IntArray:
         """Unit index containing each point, or -1 for points outside all.
 
         Uses the spatial index for candidate pruning, then exact
@@ -162,7 +176,9 @@ class VectorUnitSystem(UnitSystem):
                     break
         return labels
 
-    def validate_partition(self, universe_box, rel_tol=1e-6):
+    def validate_partition(
+        self, universe_box: "BoundingBox", rel_tol: float = 1e-6
+    ) -> None:
         """Check the units tile ``universe_box``: areas sum to box area.
 
         Pairwise disjointness is not re-checked geometrically (it is
@@ -177,7 +193,7 @@ class VectorUnitSystem(UnitSystem):
                 f"{expected:.6g}; the system is not a partition"
             )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"VectorUnitSystem(n={len(self)}, "
             f"area={float(self.measures().sum()):.6g})"

@@ -161,7 +161,7 @@ class RasterUnitSystem(UnitSystem):
             )
         mine = self.zone_of_cell
         theirs = other.zone_of_cell
-        both = (mine >= 0) & (theirs >= 0) & (cell_values != 0.0)
+        both = (mine >= 0) & (theirs >= 0) & (cell_values != 0.0)  # repro-lint: allow[float-eq] exact zeros contribute no mass; skipping them is a pure optimisation
         joint = mine[both] * np.int64(len(other)) + theirs[both]
         mat = sparse.coo_matrix(
             (

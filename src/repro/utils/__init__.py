@@ -1,18 +1,26 @@
 """Shared low-level helpers: RNG handling, array checks, timers, caching."""
 
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import RngLike, as_generator, as_rng, spawn_rngs
 from repro.utils.arrays import (
+    ZERO_ATOL,
+    all_close,
     as_float_vector,
     as_nonnegative_vector,
     check_finite,
+    is_zero,
 )
 from repro.utils.timer import StageTimer
 
 __all__ = [
-    "as_rng",
-    "spawn_rngs",
+    "RngLike",
+    "ZERO_ATOL",
+    "all_close",
     "as_float_vector",
+    "as_generator",
     "as_nonnegative_vector",
+    "as_rng",
     "check_finite",
+    "is_zero",
+    "spawn_rngs",
     "StageTimer",
 ]

@@ -5,16 +5,23 @@ All stochastic code in the library accepts a ``seed`` argument that may be
 :class:`numpy.random.Generator`.  Centralising the coercion here keeps every
 experiment reproducible: passing the same integer seed anywhere in the
 library yields the same stream.
+
+This module is the **only** place allowed to construct numpy generators
+directly -- the ``rng-discipline`` lint rule enforces it.  Everything
+else (library, benchmarks, examples) goes through :func:`as_generator`
+(alias :func:`as_rng`) or :func:`spawn_rngs`.
 """
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
-RngLike = "int | None | np.random.Generator"
+RngLike = Union[int, None, np.random.SeedSequence, np.random.Generator]
 
 
-def as_rng(seed=None):
+def as_rng(seed: RngLike = None) -> np.random.Generator:
     """Coerce ``seed`` into a :class:`numpy.random.Generator`.
 
     Parameters
@@ -29,7 +36,11 @@ def as_rng(seed=None):
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed, n):
+#: Canonical name for RNG coercion; ``as_rng`` is the historical alias.
+as_generator = as_rng
+
+
+def spawn_rngs(seed: RngLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent generators from one seed.
 
     Uses :class:`numpy.random.SeedSequence` spawning so the children are
@@ -40,6 +51,10 @@ def spawn_rngs(seed, n):
     if isinstance(seed, np.random.Generator):
         # Spawn through the generator's bit generator seed sequence.
         seq = seed.bit_generator.seed_seq
+        if not isinstance(seq, np.random.SeedSequence):
+            raise TypeError(
+                "generator's bit generator does not expose a SeedSequence"
+            )
     elif isinstance(seed, np.random.SeedSequence):
         seq = seed
     else:

@@ -4,12 +4,19 @@ Section 4.3 of the paper reports that over 90 % of GeoAlign's runtime is
 spent constructing the disaggregation matrix after the weights are
 estimated.  :class:`StageTimer` records wall-clock per named stage so the
 scalability benchmark can verify the same decomposition on our build.
+
+Timing uses the monotonic ``time.perf_counter``; the ``wallclock`` lint
+rule bans ``time.time()`` in benchmarked paths precisely so these
+decompositions stay NTP-jump-proof.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
+
+from repro.utils.arrays import is_zero
 
 
 class StageTimer:
@@ -24,11 +31,11 @@ class StageTimer:
     True
     """
 
-    def __init__(self):
-        self.totals = {}
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
 
     @contextmanager
-    def stage(self, name):
+    def stage(self, name: str) -> Iterator["StageTimer"]:
         """Context manager timing one stage; durations accumulate."""
         start = time.perf_counter()
         try:
@@ -38,22 +45,22 @@ class StageTimer:
             self.totals[name] = self.totals.get(name, 0.0) + elapsed
 
     @property
-    def total(self):
+    def total(self) -> float:
         """Sum of all recorded stage durations in seconds."""
         return sum(self.totals.values())
 
-    def fraction(self, name):
+    def fraction(self, name: str) -> float:
         """Fraction of total time spent in ``name`` (0.0 if nothing timed)."""
         total = self.total
-        if total == 0.0:
+        if is_zero(total, atol=0.0):
             return 0.0
         return self.totals.get(name, 0.0) / total
 
-    def reset(self):
+    def reset(self) -> None:
         """Forget all recorded durations."""
         self.totals.clear()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         parts = ", ".join(
             f"{name}={seconds:.6f}s" for name, seconds in self.totals.items()
         )

@@ -1,0 +1,36 @@
+"""Fixture for the bare-except rule (fire / no-fire / suppressed)."""
+
+
+def bad_bare():
+    try:
+        1 / 0
+    except:  # FIRE
+        pass
+
+
+def bad_blanket():
+    try:
+        1 / 0
+    except Exception:  # FIRE
+        pass
+
+
+def good_reraising():
+    try:
+        1 / 0
+    except Exception:
+        raise
+
+
+def good_specific():
+    try:
+        1 / 0
+    except ZeroDivisionError:
+        pass
+
+
+def tolerated():
+    try:
+        1 / 0
+    except:  # repro-lint: allow[bare-except] fixture demonstrating suppression
+        pass

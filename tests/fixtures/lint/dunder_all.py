@@ -1,0 +1,22 @@
+"""Fixture for the dunder-all rule (fire / no-fire / suppressed)."""
+
+__all__ = [
+    "exported",
+    "ghost",  # FIRE
+]
+
+
+def exported():
+    return 1
+
+
+def orphan():  # FIRE
+    return 2
+
+
+def _private():
+    return 3
+
+
+def tolerated():  # repro-lint: allow[dunder-all] fixture demonstrating suppression
+    return 4

@@ -1,0 +1,30 @@
+"""Fixture for the error-types rule (fire / no-fire / suppressed).
+
+Linted with an explicit ``module="repro.core.fixture"`` override so the
+core-scoped rule applies.
+"""
+
+from repro.errors import ValidationError
+
+
+def bad_builtin(x):
+    if x < 0:
+        raise ValueError("negative")  # FIRE
+    return x
+
+
+def good_project_error(x):
+    if x < 0:
+        raise ValidationError("negative")
+    return x
+
+
+def good_bare_reraise():
+    try:
+        good_project_error(-1)
+    except ValidationError:
+        raise
+
+
+def tolerated():
+    raise NotImplementedError("stub")  # repro-lint: allow[error-types] fixture demonstrating suppression

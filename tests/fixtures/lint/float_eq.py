@@ -1,0 +1,31 @@
+"""Fixture for the float-eq rule (fire / no-fire / suppressed)."""
+
+from repro.utils.arrays import is_zero
+
+
+def bad_eq(x):
+    return x == 0.0  # FIRE
+
+
+def bad_ne(x):
+    return x != 1.5  # FIRE
+
+
+def bad_negative_literal(x):
+    return x == -2.0  # FIRE
+
+
+def good_int_compare(n):
+    return n == 0
+
+
+def good_tolerance(x):
+    return is_zero(x)
+
+
+def good_ordering(x):
+    return x < 0.0
+
+
+def tolerated(x):
+    return x == 0.0  # repro-lint: allow[float-eq] fixture demonstrating suppression

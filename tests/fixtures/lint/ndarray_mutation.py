@@ -1,0 +1,40 @@
+"""Fixture for the ndarray-mutation rule (fire / no-fire / suppressed).
+
+Linted with an explicit ``module="repro.core.fixture"`` override so the
+core-scoped rule applies.
+"""
+
+
+def bad_subscript_write(values):
+    values[:] = 0  # FIRE
+    return values
+
+
+def bad_augmented_assign(values):
+    values *= 2  # FIRE
+    return values
+
+
+def bad_mutator_method(values):
+    values.sort()  # FIRE
+    return values
+
+
+def good_copy_first(values):
+    values = values.copy()
+    values[:] = 0
+    return values
+
+
+def good_pure(values):
+    return values * 2
+
+
+def _private_mutator(values):
+    values[:] = 0
+    return values
+
+
+def tolerated(values):
+    values.fill(0)  # repro-lint: allow[ndarray-mutation] fixture demonstrating suppression
+    return values

@@ -1,0 +1,17 @@
+"""Fixture for the no-print rule (fire / no-fire / suppressed)."""
+
+
+def bad_print():
+    print("progress: 50%")  # FIRE
+
+
+def good_stream(stream):
+    stream.write("progress: 50%\n")
+
+
+def good_return():
+    return "progress: 50%"
+
+
+def tolerated():
+    print("done")  # repro-lint: allow[no-print] fixture demonstrating suppression

@@ -1,0 +1,38 @@
+"""Fixture for the rng-discipline rule (fire / no-fire / suppressed).
+
+Lines expected to fire carry a trailing FIRE marker comment; the test
+derives the expected line set from those markers.
+"""
+
+import numpy as np
+from numpy.random import default_rng
+
+from repro.utils.rng import as_generator
+
+
+def bad_module_call():
+    return np.random.default_rng(0)  # FIRE
+
+
+def bad_bare_call():
+    return default_rng(1)  # FIRE
+
+
+def bad_legacy_call():
+    return np.random.RandomState(2)  # FIRE
+
+
+def bad_global_seed():
+    np.random.seed(3)  # FIRE
+
+
+def good_call(seed):
+    return as_generator(seed)
+
+
+def good_method(rng):
+    return rng.integers(0, 10, size=4)
+
+
+def tolerated_call():
+    return np.random.default_rng(7)  # repro-lint: allow[rng-discipline] fixture demonstrating suppression

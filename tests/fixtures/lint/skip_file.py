@@ -1,0 +1,13 @@
+# repro-lint: skip-file
+"""Fixture full of violations that skip-file silences entirely."""
+
+import numpy as np
+
+
+def everything_wrong(x):
+    print("noisy")
+    rng = np.random.default_rng(0)
+    try:
+        return rng.normal() == 0.0
+    except:
+        return x

@@ -1,0 +1,20 @@
+"""Fixture for the wallclock rule (fire / no-fire / suppressed)."""
+
+import time
+from time import time as wall
+
+
+def bad_module_call():
+    return time.time()  # FIRE
+
+
+def bad_aliased_call():
+    return wall()  # FIRE
+
+
+def good_monotonic():
+    return time.perf_counter()
+
+
+def tolerated():
+    return time.time()  # repro-lint: allow[wallclock] fixture demonstrating suppression
