@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare two directories of BENCH_*.json.
+
+Benchmarks persist machine-readable metrics via
+``repro.experiments.reporting.save_bench_json`` as
+``BENCH_<name>.json`` files holding wall times, error metrics and
+speedup ratios.  This script compares a candidate directory (the current
+run) against a baseline directory (e.g. an artefact from the main
+branch) under per-kind tolerances::
+
+    python benchmarks/check_regression.py BASELINE_DIR CANDIDATE_DIR
+    python benchmarks/check_regression.py base/ cand/ --time-tolerance 1.5
+
+Metric kinds are inferred from the key name:
+
+* ``*seconds*`` -- wall time; regressed when candidate exceeds
+  baseline * ``--time-tolerance`` (timing noise is real, default 1.5x).
+* ``*speedup*`` -- higher is better; regressed when candidate falls
+  below baseline / ``--time-tolerance``.
+* anything else -- an error metric (rmse, nrmse, max_abs_diff, ...);
+  regressed when candidate exceeds baseline * ``--error-tolerance``
+  plus a tiny absolute floor.
+
+Exit codes: 0 no regressions, 1 regressions found, 2 bad input.  CI runs
+this as a non-blocking report step: the exit code marks the step, but
+the job is allowed to continue (benchmark noise must never gate merges
+on its own -- humans read the uploaded report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Absolute slack added to error-metric comparisons so exact-zero
+#: baselines do not make any nonzero candidate a regression.
+ERROR_ATOL = 1e-9
+
+
+def load_bench_dir(path):
+    """Mapping of bench name -> metrics dict from one directory."""
+    if not os.path.isdir(path):
+        raise NotADirectoryError(path)
+    benches = {}
+    for file_path in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
+        with open(file_path) as handle:
+            payload = json.load(handle)
+        name = payload.get("name") or os.path.basename(file_path)
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError(f"{file_path}: no 'metrics' mapping")
+        benches[name] = {key: float(value) for key, value in metrics.items()}
+    return benches
+
+
+def metric_kind(key):
+    """Classify a metric key: 'time', 'speedup' or 'error'."""
+    lowered = key.lower()
+    if "speedup" in lowered:
+        return "speedup"
+    if "seconds" in lowered or lowered.endswith("_s"):
+        return "time"
+    return "error"
+
+
+def compare_metric(key, baseline, candidate, time_tol, error_tol):
+    """(regressed, detail line) for one metric pair."""
+    kind = metric_kind(key)
+    if kind == "time":
+        limit = baseline * time_tol
+        regressed = candidate > limit
+        relation = f"<= {limit:.6g}s (baseline {baseline:.6g}s x {time_tol})"
+    elif kind == "speedup":
+        limit = baseline / time_tol
+        regressed = candidate < limit
+        relation = f">= {limit:.6g} (baseline {baseline:.6g} / {time_tol})"
+    else:
+        limit = baseline * error_tol + ERROR_ATOL
+        regressed = candidate > limit
+        relation = f"<= {limit:.6g} (baseline {baseline:.6g} x {error_tol})"
+    marker = "REGRESSED" if regressed else "ok"
+    detail = (
+        f"    {key:24s} {candidate:>12.6g}  must be {relation}  [{marker}]"
+    )
+    return regressed, detail
+
+
+def compare(baselines, candidates, time_tol, error_tol):
+    """(regressions, report lines) over two bench-dir mappings."""
+    lines = []
+    regressions = []
+    for name in sorted(set(baselines) | set(candidates)):
+        if name not in candidates:
+            lines.append(f"{name}: MISSING from candidate run")
+            regressions.append((name, "<missing>"))
+            continue
+        if name not in baselines:
+            lines.append(f"{name}: new bench (no baseline; skipped)")
+            continue
+        lines.append(f"{name}:")
+        base_metrics = baselines[name]
+        cand_metrics = candidates[name]
+        for key in sorted(set(base_metrics) | set(cand_metrics)):
+            if key not in cand_metrics:
+                lines.append(f"    {key}: missing from candidate")
+                regressions.append((name, key))
+                continue
+            if key not in base_metrics:
+                lines.append(
+                    f"    {key}: new metric (no baseline; skipped)"
+                )
+                continue
+            regressed, detail = compare_metric(
+                key,
+                base_metrics[key],
+                cand_metrics[key],
+                time_tol,
+                error_tol,
+            )
+            lines.append(detail)
+            if regressed:
+                regressions.append((name, key))
+    return regressions, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json metric files against tolerances."
+    )
+    parser.add_argument("baseline", help="directory of baseline BENCH files")
+    parser.add_argument("candidate", help="directory of candidate BENCH files")
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=1.5,
+        help="allowed wall-time ratio (default 1.5x; also bounds speedup)",
+    )
+    parser.add_argument(
+        "--error-tolerance",
+        type=float,
+        default=1.05,
+        help="allowed error-metric ratio (default 1.05x)",
+    )
+    args = parser.parse_args(argv)
+    if args.time_tolerance < 1.0 or args.error_tolerance < 1.0:
+        print("error: tolerances must be >= 1.0", file=sys.stderr)
+        return 2
+    try:
+        baselines = load_bench_dir(args.baseline)
+        candidates = load_bench_dir(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not baselines and not candidates:
+        print("no BENCH_*.json files found in either directory")
+        return 0
+    regressions, lines = compare(
+        baselines, candidates, args.time_tolerance, args.error_tolerance
+    )
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s): "
+            + ", ".join(f"{n}/{k}" for n, k in regressions)
+        )
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

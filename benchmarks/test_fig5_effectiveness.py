@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.geoalign import GeoAlign
 from repro.experiments.effectiveness import run_effectiveness
+from repro.experiments.reporting import save_bench_json
 
 
 def _bench_one_fold(benchmark, world):
@@ -29,9 +30,30 @@ def _bench_one_fold(benchmark, world):
     assert len(estimates) == len(world.counties)
 
 
+def _save_bench(name, result, bench_scale):
+    """Persist the figure's wall-time + error metrics for the gate."""
+    table = result.nrmse_table()
+    geoalign = [row["GeoAlign"] for row in table.values()]
+    seconds = sum(
+        score.runtime_seconds
+        for score in result.crossval.scores
+        if score.method == "GeoAlign"
+    )
+    save_bench_json(
+        name,
+        {
+            "geoalign_seconds": seconds,
+            "geoalign_mean_nrmse": float(np.mean(geoalign)),
+            "geoalign_max_nrmse": float(np.max(geoalign)),
+        },
+        meta={"universe": result.universe, "scale": bench_scale},
+    )
+
+
 def test_fig5a_new_york(benchmark, ny_world, bench_scale, report):
     result = run_effectiveness(ny_world)
     report(result.to_text())
+    _save_bench("fig5a", result, bench_scale)
 
     # Heavy-tailed NRMSE statistics need units to settle: strict at
     # paper scale, tolerant on shrunken quick-pass worlds.
@@ -55,6 +77,7 @@ def test_fig5a_new_york(benchmark, ny_world, bench_scale, report):
 def test_fig5b_united_states(benchmark, us_world, bench_scale, report):
     result = run_effectiveness(us_world)
     report(result.to_text())
+    _save_bench("fig5b", result, bench_scale)
 
     slack = 1.0 if bench_scale >= 0.5 else 2.0
     table = result.nrmse_table()

@@ -16,14 +16,20 @@ Quickstart
 array([12.,  2.])
 """
 
+from repro.cache import PipelineCache, default_cache
 from repro.core.geoalign import GeoAlign
+from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.baselines import (
     ArealWeighting,
     Dasymetric,
     RegressionCrosswalk,
 )
 from repro.core.reference import Reference
-from repro.core.solver import simplex_lstsq, project_to_simplex
+from repro.core.solver import (
+    simplex_lstsq,
+    simplex_lstsq_from_gram,
+    project_to_simplex,
+)
 from repro.partitions.dm import DisaggregationMatrix
 from repro.partitions.intersection import IntersectionUnits, build_intersection
 from repro.partitions.system import UnitSystem, VectorUnitSystem
@@ -34,11 +40,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "GeoAlign",
+    "BatchAligner",
+    "ReferenceStack",
+    "PipelineCache",
+    "default_cache",
     "ArealWeighting",
     "Dasymetric",
     "RegressionCrosswalk",
     "Reference",
     "simplex_lstsq",
+    "simplex_lstsq_from_gram",
     "project_to_simplex",
     "DisaggregationMatrix",
     "IntersectionUnits",

@@ -5,6 +5,9 @@
     independent from-scratch solvers plus a scipy cross-check.
 ``geoalign``
     The three-step GeoAlign estimator (Algorithm 1).
+``batch``
+    The batched multi-attribute engine: N objectives against one shared
+    reference stack, with the design/Gram and union-DM work done once.
 ``baselines``
     Areal weighting, the single-reference dasymetric method, and a
     target-level regression baseline from the related-work taxonomy.
@@ -17,9 +20,11 @@ from repro.core.reference import Reference
 from repro.core.solver import (
     project_to_simplex,
     simplex_lstsq,
+    simplex_lstsq_from_gram,
     SimplexLstsqResult,
 )
 from repro.core.geoalign import GeoAlign
+from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.baselines import ArealWeighting, Dasymetric, RegressionCrosswalk
 from repro.core.diagnostics import (
     BootstrapResult,
@@ -32,8 +37,11 @@ __all__ = [
     "Reference",
     "project_to_simplex",
     "simplex_lstsq",
+    "simplex_lstsq_from_gram",
     "SimplexLstsqResult",
     "GeoAlign",
+    "BatchAligner",
+    "ReferenceStack",
     "ArealWeighting",
     "Dasymetric",
     "RegressionCrosswalk",

@@ -1,0 +1,666 @@
+"""Batched multi-attribute alignment: N objectives, one pass of shared work.
+
+The scalar :class:`~repro.core.geoalign.GeoAlign` estimator re-does three
+expensive pieces of work for every objective attribute aligned against the
+same reference set:
+
+1. stacking the max-normalised reference source vectors into the design
+   matrix ``A`` and forming the Gram matrix ``A^T A`` of Eq. 15,
+2. converting every reference disaggregation matrix to a common sparsity
+   pattern before blending (Eq. 14's numerator), and
+3. the per-row rescale and column re-aggregation scaffolding
+   (Eq. 16 / Eq. 17).
+
+When the paper's workloads align a whole table of attributes (Fig. 5 runs
+every ACS attribute through the same zip->county crosswalk), all of that
+is attribute-independent.  :class:`ReferenceStack` materialises it once --
+the design/Gram pair, a dense ``(k, nnz)`` value matrix over the *union*
+sparsity pattern of the K reference DMs, and one-hot incidence matrices
+mapping union entries to source rows and target columns.
+:class:`BatchAligner` then fits N attributes with N small simplex solves
+over the shared Gram matrix (:func:`~repro.core.solver.simplex_lstsq_from_gram`)
+and produces all N estimated DMs from two dense matmuls.
+
+Per-attribute reference masks make leave-one-out cross-validation and the
+reference-selection series batchable against a single stack: the solve
+for a masked attribute uses the sub-Gram ``G[mask][:, mask]``, and its
+excluded references get an exactly-zero blend weight -- a no-op in the
+blend, matching the scalar path run on the subset.
+
+Numerics are shared with the scalar path (same solver kernels, same
+rescale semantics), so batch results match per-attribute loops to
+tolerance (the golden suite pins 1e-9); bitwise equality is not promised
+because BLAS reassociates the blend sums.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+from scipy import sparse
+
+from repro.core.reference import Reference
+from repro.core.solver import SimplexLstsqResult, simplex_lstsq_from_gram
+from repro.errors import (
+    NotFittedError,
+    ShapeMismatchError,
+    ValidationError,
+)
+from repro.partitions.dm import DisaggregationMatrix
+from repro.utils.arrays import as_nonnegative_vector
+from repro.utils.timer import StageTimer
+
+if TYPE_CHECKING:
+    from repro.cache import PipelineCache
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
+BoolArray = NDArray[np.bool_]
+
+_DENOMINATORS = ("source-vectors", "row-sums")
+
+
+def _validated_references(references: Iterable[Reference]) -> list[Reference]:
+    refs = list(references)
+    if not refs:
+        raise ValidationError("a reference stack needs at least one reference")
+    for ref in refs:
+        if not isinstance(ref, Reference):
+            raise ValidationError(
+                f"references must be Reference instances, got "
+                f"{type(ref).__name__}"
+            )
+    first = refs[0].dm
+    for ref in refs[1:]:
+        if (
+            ref.dm.source_labels != first.source_labels
+            or ref.dm.target_labels != first.target_labels
+        ):
+            raise ShapeMismatchError(
+                f"reference {ref.name!r} is labelled over different units "
+                "than the others"
+            )
+    return refs
+
+
+class ReferenceStack:
+    """All attribute-independent work for one reference set, done once.
+
+    Parameters
+    ----------
+    references:
+        Same-labelled :class:`~repro.core.reference.Reference` sequence.
+    normalize:
+        Whether the design matrix holds max-normalised source vectors
+        (must match the aligner's ``normalize`` setting).
+
+    Attributes
+    ----------
+    design:
+        ``(m, k)`` stacked (normalised) reference source vectors.
+    gram:
+        ``design.T @ design`` -- shared across every attribute's Eq. 15
+        solve.
+    scales:
+        Per-reference source maxima (1.0 each when ``normalize=False``);
+        divides the learned weights back to raw-DM scale before blending.
+    values:
+        Dense ``(k, nnz)`` matrix: reference DM entries laid out over the
+        union sparsity pattern, zero where a reference lacks the entry.
+        Blending N weight vectors is then one matmul ``W @ values``.
+    entry_rows, entry_cols:
+        ``(nnz,)`` source-row / target-column index of each union entry,
+        sorted by ``(row, col)`` (CSR order).
+    """
+
+    def __init__(
+        self, references: Iterable[Reference], normalize: bool = True
+    ) -> None:
+        refs = _validated_references(references)
+        self.references = refs
+        self.normalize = normalize
+        self.source_labels = refs[0].dm.source_labels
+        self.target_labels = refs[0].dm.target_labels
+        self.n_sources = len(self.source_labels)
+        self.n_targets = len(self.target_labels)
+
+        if normalize:
+            self.design = np.column_stack(
+                [ref.normalized_source() for ref in refs]
+            )
+            self.scales = np.array(
+                [float(ref.source_vector.max()) for ref in refs]
+            )
+        else:
+            self.design = np.column_stack(
+                [ref.source_vector for ref in refs]
+            )
+            self.scales = np.ones(len(refs))
+        self.gram = self.design.T @ self.design
+        self.source_vectors = np.vstack([ref.source_vector for ref in refs])
+
+        # Union sparsity pattern of the K reference DMs, via int64 keys
+        # row * n_targets + col.  np.unique returns the keys sorted, which
+        # is exactly CSR (row-major) entry order, so the values matrix can
+        # be turned back into a CSR matrix without re-sorting.
+        per_ref_keys: list[IntArray] = []
+        per_ref_data: list[FloatArray] = []
+        for ref in refs:
+            coo = ref.dm.matrix.tocoo()
+            keys = (
+                coo.row.astype(np.int64) * np.int64(self.n_targets)
+                + coo.col.astype(np.int64)
+            )
+            per_ref_keys.append(keys)
+            per_ref_data.append(np.asarray(coo.data, dtype=float))
+        union_keys = np.unique(
+            np.concatenate(per_ref_keys)
+            if per_ref_keys
+            else np.empty(0, dtype=np.int64)
+        )
+        nnz = len(union_keys)
+        values = np.zeros((len(refs), nnz))
+        for i, (keys, data) in enumerate(zip(per_ref_keys, per_ref_data)):
+            values[i, np.searchsorted(union_keys, keys)] = data
+        self.values = values
+        self.entry_rows = (union_keys // self.n_targets).astype(np.int64)
+        self.entry_cols = (union_keys % self.n_targets).astype(np.int64)
+
+        # One-hot incidence matrices: row sums over union entries and the
+        # Eq. 17 re-aggregation become sparse-dense products.
+        ones = np.ones(nnz)
+        positions = np.arange(nnz)
+        self._row_incidence = sparse.csr_matrix(
+            (ones, (self.entry_rows, positions)),
+            shape=(self.n_sources, nnz),
+        )
+        self._target_incidence = sparse.csr_matrix(
+            (ones, (self.entry_cols, positions)),
+            shape=(self.n_targets, nnz),
+        )
+        self._fingerprint: str | None = None
+
+    @property
+    def n_references(self) -> int:
+        return len(self.references)
+
+    @property
+    def nnz(self) -> int:
+        """Entries in the union sparsity pattern."""
+        return int(self.values.shape[1])
+
+    def fingerprint(self) -> str:
+        """Content fingerprint: the references plus the normalise flag."""
+        if self._fingerprint is None:
+            from repro.cache import combine_fingerprints
+
+            self._fingerprint = combine_fingerprints(
+                "reference-stack",
+                repr(bool(self.normalize)),
+                *[ref.fingerprint() for ref in self.references],
+            )
+        return self._fingerprint
+
+    @classmethod
+    def build(
+        cls,
+        references: Iterable[Reference],
+        normalize: bool = True,
+        cache: "PipelineCache | None" = None,
+    ) -> "ReferenceStack":
+        """Build a stack, optionally through a :class:`PipelineCache`.
+
+        The cache key is content-addressed on the reference fingerprints,
+        so a perturbed reference (e.g. from the noise experiment) can
+        never be served a stale stack, while repeat alignments over the
+        same pool -- the reference-selection series, repeated CLI runs --
+        reuse the union-pattern construction outright.
+        """
+        if cache is None:
+            return cls(references, normalize=normalize)
+        refs = _validated_references(references)
+        from repro.cache import combine_fingerprints
+
+        key = cache.key_for(
+            "reference-stack",
+            combine_fingerprints(
+                repr(bool(normalize)),
+                *[ref.fingerprint() for ref in refs],
+            ),
+        )
+        built = cache.get_or_build(
+            key, lambda: cls(refs, normalize=normalize)
+        )
+        assert isinstance(built, ReferenceStack)
+        return built
+
+    def with_references(
+        self, references: Iterable[Reference]
+    ) -> "ReferenceStack":
+        """A stack over references with the *same DMs*, new source vectors.
+
+        The noise experiment (Fig. 7) perturbs reference source vectors
+        while the crosswalk DMs stay intact, so the expensive union
+        sparsity pattern, value matrix and incidence structures can be
+        shared wholesale; only the design/Gram/scale pieces (cheap,
+        ``O(m k^2)``) are recomputed.  Each new reference must carry the
+        identical DM object (or an equal-fingerprint one) as its
+        positional counterpart.
+        """
+        refs = _validated_references(references)
+        if len(refs) != self.n_references:
+            raise ShapeMismatchError(
+                f"stack holds {self.n_references} references, got "
+                f"{len(refs)}"
+            )
+        for mine, theirs in zip(self.references, refs):
+            if theirs.dm is not mine.dm and (
+                theirs.dm.fingerprint() != mine.dm.fingerprint()
+            ):
+                raise ValidationError(
+                    f"reference {theirs.name!r} carries a different DM "
+                    "than the stack; build a fresh stack instead"
+                )
+        clone = object.__new__(ReferenceStack)
+        clone.references = refs
+        clone.normalize = self.normalize
+        clone.source_labels = self.source_labels
+        clone.target_labels = self.target_labels
+        clone.n_sources = self.n_sources
+        clone.n_targets = self.n_targets
+        if self.normalize:
+            clone.design = np.column_stack(
+                [ref.normalized_source() for ref in refs]
+            )
+            clone.scales = np.array(
+                [float(ref.source_vector.max()) for ref in refs]
+            )
+        else:
+            clone.design = np.column_stack(
+                [ref.source_vector for ref in refs]
+            )
+            clone.scales = np.ones(len(refs))
+        clone.gram = clone.design.T @ clone.design
+        clone.source_vectors = np.vstack(
+            [ref.source_vector for ref in refs]
+        )
+        clone.values = self.values
+        clone.entry_rows = self.entry_rows
+        clone.entry_cols = self.entry_cols
+        clone._row_incidence = self._row_incidence
+        clone._target_incidence = self._target_incidence
+        clone._fingerprint = None
+        return clone
+
+    def row_sums(self, blended: FloatArray) -> FloatArray:
+        """Per-source-row sums of ``(n, nnz)`` blended value matrices."""
+        result: FloatArray = np.asarray(
+            (self._row_incidence @ blended.T).T, dtype=float
+        )
+        return result
+
+    def reaggregate(self, scaled: FloatArray) -> FloatArray:
+        """Eq. 17 column sums of ``(n, nnz)`` scaled value matrices."""
+        result: FloatArray = np.asarray(
+            (self._target_incidence @ scaled.T).T, dtype=float
+        )
+        return result
+
+    def dm_from_values(self, entry_values: FloatArray) -> DisaggregationMatrix:
+        """Materialise one ``(nnz,)`` value vector as a labelled DM."""
+        mat = sparse.csr_matrix(
+            (entry_values, (self.entry_rows, self.entry_cols)),
+            shape=(self.n_sources, self.n_targets),
+        )
+        return DisaggregationMatrix(
+            mat, self.source_labels, self.target_labels
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferenceStack(k={self.n_references}, m={self.n_sources}, "
+            f"t={self.n_targets}, nnz={self.nnz})"
+        )
+
+
+class BatchAligner:
+    """GeoAlign for N objective attributes sharing one reference set.
+
+    Algorithm 1 run N times, with everything attribute-independent hoisted
+    into a :class:`ReferenceStack`: one design/Gram build, one union-DM
+    stack, then N small simplex solves plus two dense matmuls.  Matches
+    the scalar estimator attribute-for-attribute to solver tolerance.
+
+    Parameters
+    ----------
+    solver_method, normalize, denominator:
+        As in :class:`~repro.core.geoalign.GeoAlign`; applied to every
+        attribute.
+    cache:
+        Optional :class:`~repro.cache.PipelineCache` through which the
+        reference stack is built (content-addressed; see
+        :meth:`ReferenceStack.build`).
+    n_jobs:
+        Threads for the per-attribute rescale / re-aggregate stage.  The
+        default 1 keeps everything on the calling thread; >1 splits the
+        attribute axis across a thread pool (NumPy/SciPy release the GIL
+        inside the kernels doing the work).
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    stack_:
+        The shared :class:`ReferenceStack`.
+    weights_:
+        ``(n_attrs, k)`` learned simplex weights, zero at masked-out
+        references.
+    solver_results_:
+        Per-attribute :class:`~repro.core.solver.SimplexLstsqResult`.
+    timer_:
+        Stage totals over the whole batch ("weights", "disaggregation",
+        "reaggregation").
+    """
+
+    def __init__(
+        self,
+        solver_method: str = "active-set",
+        normalize: bool = True,
+        denominator: str = "row-sums",
+        cache: "PipelineCache | None" = None,
+        n_jobs: int = 1,
+    ) -> None:
+        if denominator not in _DENOMINATORS:
+            raise ValidationError(
+                f"denominator must be one of {_DENOMINATORS}, "
+                f"got {denominator!r}"
+            )
+        if n_jobs < 1:
+            raise ValidationError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.solver_method = solver_method
+        self.normalize = normalize
+        self.denominator = denominator
+        self.cache = cache
+        self.n_jobs = n_jobs
+        self.stack_: ReferenceStack | None = None
+        self.weights_: FloatArray | None = None
+        self.blend_weights_: FloatArray | None = None
+        self.masks_: BoolArray | None = None
+        self.attribute_names_: list[str] | None = None
+        self.objectives_: FloatArray | None = None
+        self.solver_results_: list[SimplexLstsqResult] | None = None
+        self.timer_ = StageTimer()
+        self._scaled_values: FloatArray | None = None
+        self._predictions: FloatArray | None = None
+
+    # ------------------------------------------------------------------
+    def _coerce_objectives(
+        self, objectives: ArrayLike, n_sources: int
+    ) -> FloatArray:
+        if isinstance(objectives, (list, tuple)):
+            rows = [
+                as_nonnegative_vector(row, name=f"objectives[{i}]")
+                for i, row in enumerate(objectives)
+            ]
+            if not rows:
+                raise ValidationError("objectives must not be empty")
+            matrix = np.vstack(rows)
+        else:
+            matrix = np.asarray(objectives, dtype=float)
+            if matrix.ndim == 1:
+                matrix = matrix[np.newaxis, :]
+            if matrix.ndim != 2:
+                raise ValidationError(
+                    f"objectives must be (n_attrs, n_sources), got shape "
+                    f"{matrix.shape}"
+                )
+            if not np.all(np.isfinite(matrix)):
+                raise ValidationError("objectives contain non-finite entries")
+            if matrix.size and matrix.min() < 0:
+                raise ValidationError(
+                    "objective aggregates must be non-negative"
+                )
+        if matrix.shape[1] != n_sources:
+            raise ShapeMismatchError(
+                f"objectives cover {matrix.shape[1]} source units but the "
+                f"references cover {n_sources}"
+            )
+        if matrix.shape[0] == 0:
+            raise ValidationError("objectives must not be empty")
+        sums = matrix.sum(axis=1)
+        if np.any(sums <= 0):
+            bad = int(np.flatnonzero(sums <= 0)[0])
+            raise ValidationError(
+                f"objective {bad} is identically zero; every attribute "
+                "must carry positive total mass"
+            )
+        return matrix
+
+    def _coerce_masks(
+        self, masks: ArrayLike | None, n_attrs: int, n_refs: int
+    ) -> BoolArray:
+        if masks is None:
+            return np.ones((n_attrs, n_refs), dtype=bool)
+        mask_matrix = np.asarray(masks, dtype=bool)
+        if mask_matrix.shape != (n_attrs, n_refs):
+            raise ShapeMismatchError(
+                f"masks must have shape ({n_attrs}, {n_refs}), got "
+                f"{mask_matrix.shape}"
+            )
+        counts = mask_matrix.sum(axis=1)
+        if np.any(counts == 0):
+            bad = int(np.flatnonzero(counts == 0)[0])
+            raise ValidationError(
+                f"attribute {bad} masks out every reference; each needs "
+                "at least one"
+            )
+        return mask_matrix
+
+    def fit(
+        self,
+        references: Iterable[Reference] | ReferenceStack,
+        objectives: ArrayLike,
+        attribute_names: Sequence[str] | None = None,
+        masks: ArrayLike | None = None,
+    ) -> "BatchAligner":
+        """Learn Eq. 15 weights for every attribute in one shared pass.
+
+        Parameters
+        ----------
+        references:
+            The shared reference set -- a sequence of
+            :class:`~repro.core.reference.Reference` or a prebuilt
+            :class:`ReferenceStack` (which must match ``normalize``).
+        objectives:
+            ``(n_attrs, n_sources)`` matrix (or sequence of vectors) of
+            source-level aggregates, one row per attribute.
+        attribute_names:
+            Optional names, used in reports; default ``attr-<i>``.
+        masks:
+            Optional ``(n_attrs, k)`` boolean matrix restricting which
+            references each attribute may use (row of the full stack).
+            Masked-out references get weight exactly 0.0.
+        """
+        if isinstance(references, ReferenceStack):
+            if references.normalize != self.normalize:
+                raise ValidationError(
+                    "prebuilt ReferenceStack was built with "
+                    f"normalize={references.normalize}, aligner has "
+                    f"normalize={self.normalize}"
+                )
+            stack = references
+        else:
+            stack = ReferenceStack.build(
+                references, normalize=self.normalize, cache=self.cache
+            )
+        objective_matrix = self._coerce_objectives(
+            objectives, stack.n_sources
+        )
+        n_attrs = objective_matrix.shape[0]
+        mask_matrix = self._coerce_masks(
+            masks, n_attrs, stack.n_references
+        )
+        if attribute_names is None:
+            names = [f"attr-{i}" for i in range(n_attrs)]
+        else:
+            names = [str(n) for n in attribute_names]
+            if len(names) != n_attrs:
+                raise ShapeMismatchError(
+                    f"{n_attrs} objectives but {len(names)} attribute names"
+                )
+
+        self.timer_.reset()
+        with self.timer_.stage("weights"):
+            if self.normalize:
+                rhs = objective_matrix / objective_matrix.max(
+                    axis=1, keepdims=True
+                )
+            else:
+                rhs = objective_matrix
+            # One matmul projects every attribute onto the shared design:
+            # column j of atb_all is A^T b_j.
+            atb_all = stack.design.T @ rhs.T
+            btb_all = np.einsum("ij,ij->i", rhs, rhs)
+            results: list[SimplexLstsqResult] = []
+            weights = np.zeros((n_attrs, stack.n_references))
+            for j in range(n_attrs):
+                mask = mask_matrix[j]
+                if mask.all():
+                    result = simplex_lstsq_from_gram(
+                        stack.gram,
+                        atb_all[:, j],
+                        btb=float(btb_all[j]),
+                        method=self.solver_method,
+                    )
+                    weights[j] = result.weights
+                else:
+                    idx = np.flatnonzero(mask)
+                    result = simplex_lstsq_from_gram(
+                        stack.gram[np.ix_(idx, idx)],
+                        atb_all[idx, j],
+                        btb=float(btb_all[j]),
+                        method=self.solver_method,
+                    )
+                    weights[j, idx] = result.weights
+                results.append(result)
+        self.stack_ = stack
+        self.weights_ = weights
+        self.masks_ = mask_matrix
+        self.attribute_names_ = names
+        self.objectives_ = objective_matrix
+        self.solver_results_ = results
+        self.blend_weights_ = None
+        self._scaled_values = None
+        self._predictions = None
+        return self
+
+    def _require_fitted(self) -> tuple[ReferenceStack, FloatArray, FloatArray]:
+        if (
+            self.stack_ is None
+            or self.weights_ is None
+            or self.objectives_ is None
+        ):
+            raise NotFittedError(
+                "this BatchAligner instance is not fitted; call fit() first"
+            )
+        return self.stack_, self.weights_, self.objectives_
+
+    # ------------------------------------------------------------------
+    def _compute_scaled_values(self) -> FloatArray:
+        """Eq. 14/16 for all attributes: blend, then per-row rescale."""
+        stack, weights, objectives = self._require_fitted()
+        if self._scaled_values is not None:
+            return self._scaled_values
+        with self.timer_.stage("disaggregation"):
+            # Back to raw DM scale (the scalar path's scales division).
+            blend_weights = weights / stack.scales[np.newaxis, :]
+            self.blend_weights_ = blend_weights
+            blended = blend_weights @ stack.values
+            if self.denominator == "source-vectors":
+                denominators = blend_weights @ stack.source_vectors
+            else:
+                denominators = stack.row_sums(blended)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(
+                    denominators > 0.0, objectives / denominators, 0.0
+                )
+            if self.n_jobs > 1 and blended.shape[0] > 1:
+                scaled = np.empty_like(blended)
+                chunks = np.array_split(
+                    np.arange(blended.shape[0]),
+                    min(self.n_jobs, blended.shape[0]),
+                )
+
+                def _scale_chunk(rows: IntArray) -> None:
+                    scaled[rows] = (
+                        blended[rows] * factors[rows][:, stack.entry_rows]
+                    )
+
+                with ThreadPoolExecutor(
+                    max_workers=min(self.n_jobs, len(chunks))
+                ) as pool:
+                    list(pool.map(_scale_chunk, chunks))
+            else:
+                scaled = blended * factors[:, stack.entry_rows]
+        self._scaled_values = scaled
+        return scaled
+
+    def predict_dms(self) -> list[DisaggregationMatrix]:
+        """Estimated disaggregation matrices, one per attribute (Eq. 14)."""
+        stack, _, _ = self._require_fitted()
+        scaled = self._compute_scaled_values()
+        if self.n_jobs > 1 and scaled.shape[0] > 1:
+            with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
+                return list(pool.map(stack.dm_from_values, scaled))
+        return [stack.dm_from_values(row) for row in scaled]
+
+    def predict(self) -> FloatArray:
+        """``(n_attrs, n_targets)`` estimated target aggregates (Eq. 17)."""
+        stack, _, _ = self._require_fitted()
+        if self._predictions is not None:
+            return self._predictions
+        scaled = self._compute_scaled_values()
+        with self.timer_.stage("reaggregation"):
+            self._predictions = stack.reaggregate(scaled)
+        return self._predictions
+
+    def fit_predict(
+        self,
+        references: Iterable[Reference] | ReferenceStack,
+        objectives: ArrayLike,
+        attribute_names: Sequence[str] | None = None,
+        masks: ArrayLike | None = None,
+    ) -> FloatArray:
+        """Convenience: ``fit(...)`` then ``predict()``."""
+        return self.fit(
+            references, objectives, attribute_names=attribute_names,
+            masks=masks,
+        ).predict()
+
+    # ------------------------------------------------------------------
+    def weight_report(self) -> dict[str, dict[str, float]]:
+        """Per attribute, the mapping of reference name to learned weight."""
+        stack, weights, _ = self._require_fitted()
+        assert self.attribute_names_ is not None
+        return {
+            name: {
+                ref.name: float(w)
+                for ref, w in zip(stack.references, weights[j])
+            }
+            for j, name in enumerate(self.attribute_names_)
+        }
+
+    def __repr__(self) -> str:
+        status = (
+            f"fitted[{self.weights_.shape[0]} attrs]"
+            if self.weights_ is not None
+            else "unfitted"
+        )
+        return (
+            f"BatchAligner(solver={self.solver_method!r}, "
+            f"normalize={self.normalize}, "
+            f"denominator={self.denominator!r}, n_jobs={self.n_jobs}, "
+            f"{status})"
+        )

@@ -175,6 +175,9 @@ class GeoAlign:
         self.references_ = references
         self.objective_source_ = objective
         self._estimated_dm = None
+        # Derived state from a previous predict_dm() is stale after refit;
+        # without this reset a refitted estimator reports the old blend.
+        self.blend_weights_ = None
         return self
 
     def _require_fitted(self) -> None:

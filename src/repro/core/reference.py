@@ -35,11 +35,12 @@ class Reference:
         and target unit systems.
     """
 
-    __slots__ = ("name", "source_vector", "dm")
+    __slots__ = ("name", "source_vector", "dm", "_fingerprint")
 
     name: str
     source_vector: FloatArray
     dm: DisaggregationMatrix
+    _fingerprint: str | None
 
     def __init__(
         self,
@@ -67,6 +68,7 @@ class Reference:
         self.name = str(name)
         self.source_vector = vector
         self.dm = dm
+        self._fingerprint = None
 
     @classmethod
     def from_dm(cls, name: object, dm: DisaggregationMatrix) -> "Reference":
@@ -94,6 +96,25 @@ class Reference:
                 f"reference {self.name!r} cannot be normalised: max is 0"
             )
         return self.source_vector / peak
+
+    def fingerprint(self) -> str:
+        """Content fingerprint (name + source vector + DM contents).
+
+        Keys the :mod:`repro.cache` entries built from reference sets
+        (shared reference stacks, cached overlays).  A perturbed copy
+        from :meth:`with_source_vector` fingerprints differently, so
+        cached work keyed on the original can never be served for it.
+        """
+        if self._fingerprint is None:
+            from repro.cache import combine_fingerprints, fingerprint_array
+
+            self._fingerprint = combine_fingerprints(
+                "reference",
+                self.name,
+                fingerprint_array(self.source_vector),
+                self.dm.fingerprint(),
+            )
+        return self._fingerprint
 
     def correlation_with(self, other_vector: ArrayLike) -> float:
         """Pearson correlation with another source-level vector.

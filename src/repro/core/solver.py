@@ -21,6 +21,14 @@ against each other and against ``scipy.optimize``):
     are always feasible.  Slowest to converge but entirely division-free.
 
 All three accept the same inputs and return a :class:`SimplexLstsqResult`.
+
+Internally every solver operates on the *normal equations* -- the Gram
+matrix ``A^T A``, the projected right-hand side ``A^T b``, and the
+constant ``b^T b`` -- never on ``A`` itself.  That factoring is what the
+batch alignment engine (:mod:`repro.core.batch`) exploits: when N
+objective attributes share one reference design, ``A^T A`` is computed
+once and every per-attribute solve enters through
+:func:`simplex_lstsq_from_gram`.
 """
 
 from __future__ import annotations
@@ -86,6 +94,72 @@ def _objective(A: FloatArray, b: FloatArray, w: FloatArray) -> float:
     return 0.5 * float(r @ r)
 
 
+@dataclass(frozen=True)
+class _NormalEqs:
+    """The quadratic ``0.5 w'Gw - (A'b)'w + 0.5 b'b`` every kernel runs on.
+
+    ``gram`` is ``A^T A``, ``atb`` is ``A^T b`` and ``btb`` is
+    ``b^T b``; together they determine the least-squares objective up to
+    float rounding, without ever touching the (tall) design matrix.
+    """
+
+    gram: FloatArray
+    atb: FloatArray
+    btb: float
+
+    @property
+    def n(self) -> int:
+        return self.gram.shape[0]
+
+    def objective(self, w: FloatArray) -> float:
+        """``0.5||Aw - b||^2`` via the quadratic form, clamped at 0.
+
+        The expanded form can round to a tiny negative number when the
+        residual is near zero; the clamp keeps the reported objective a
+        valid squared norm.
+        """
+        value = (
+            0.5 * float(w @ self.gram @ w)
+            - float(self.atb @ w)
+            + 0.5 * self.btb
+        )
+        return max(value, 0.0)
+
+    def gradient(self, w: FloatArray) -> FloatArray:
+        result: FloatArray = self.gram @ w - self.atb
+        return result
+
+
+def _normal_equations(A: FloatArray, b: FloatArray) -> _NormalEqs:
+    return _NormalEqs(A.T @ A, A.T @ b, float(b @ b))
+
+
+def _validate_normal_inputs(
+    gram: ArrayLike, atb: ArrayLike, btb: float
+) -> _NormalEqs:
+    gram = np.asarray(gram, dtype=float)
+    atb = np.asarray(atb, dtype=float)
+    if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+        raise ValidationError(
+            f"gram must be square, got shape {gram.shape}"
+        )
+    if atb.shape != (gram.shape[0],):
+        raise ValidationError(
+            f"atb must have shape ({gram.shape[0]},), got {atb.shape}"
+        )
+    if not np.all(np.isfinite(gram)):
+        raise ValidationError("gram contains non-finite entries")
+    if not np.all(np.isfinite(atb)):
+        raise ValidationError("atb contains non-finite entries")
+    if not np.isfinite(btb) or btb < 0:
+        raise ValidationError(
+            f"btb must be a finite non-negative float, got {btb}"
+        )
+    if gram.shape[0] == 0:
+        raise ValidationError("gram must have at least one column")
+    return _NormalEqs(gram, atb, float(btb))
+
+
 def simplex_lstsq(
     A: ArrayLike,
     b: ArrayLike,
@@ -125,11 +199,66 @@ def simplex_lstsq(
         return SimplexLstsqResult(
             np.ones(1), _objective(A, b, np.ones(1)), 0, method
         )
+    result = _dispatch(_normal_equations(A, b), method, max_iter, tol)
+    # Report the objective from the actual residual (numerically cleaner
+    # than the expanded quadratic form when the fit is near-exact).
+    return SimplexLstsqResult(
+        result.weights,
+        _objective(A, b, result.weights),
+        result.iterations,
+        result.method,
+    )
+
+
+def simplex_lstsq_from_gram(
+    gram: ArrayLike,
+    atb: ArrayLike,
+    btb: float = 0.0,
+    method: str = "active-set",
+    max_iter: int | None = None,
+    tol: float = 1e-12,
+) -> SimplexLstsqResult:
+    """Solve Eq. 15 given precomputed normal equations.
+
+    The batch engine's entry point: when N objectives share one design
+    matrix, ``gram = A^T A`` is computed once and each attribute only
+    contributes its ``atb = A^T b`` (and optionally ``btb = b^T b``,
+    which offsets the reported objective but never changes the weights).
+
+    Parameters
+    ----------
+    gram:
+        ``(k, k)`` Gram matrix ``A^T A``.
+    atb:
+        ``(k,)`` projected right-hand side ``A^T b``.
+    btb:
+        ``b^T b``; only used to report the objective value.
+    method, max_iter, tol:
+        As in :func:`simplex_lstsq`.
+
+    Returns
+    -------
+    SimplexLstsqResult
+    """
+    eqs = _validate_normal_inputs(gram, atb, btb)
+    if method not in _METHODS:
+        raise ValidationError(
+            f"unknown method {method!r}; choose from {_METHODS}"
+        )
+    if eqs.n == 1:
+        w = np.ones(1)
+        return SimplexLstsqResult(w, eqs.objective(w), 0, method)
+    return _dispatch(eqs, method, max_iter, tol)
+
+
+def _dispatch(
+    eqs: _NormalEqs, method: str, max_iter: int | None, tol: float
+) -> SimplexLstsqResult:
     if method == "active-set":
-        return _active_set(A, b, max_iter or 50 * A.shape[1], tol)
+        return _active_set(eqs, max_iter or 50 * eqs.n, tol)
     if method == "projected-gradient":
-        return _projected_gradient(A, b, max_iter or 5000, tol)
-    return _frank_wolfe(A, b, max_iter or 20000, tol)
+        return _projected_gradient(eqs, max_iter or 5000, tol)
+    return _frank_wolfe(eqs, max_iter or 20000, tol)
 
 
 # ----------------------------------------------------------------------
@@ -175,11 +304,11 @@ def _equality_solve(
 
 
 def _active_set(
-    A: FloatArray, b: FloatArray, max_iter: int, tol: float
+    eqs: _NormalEqs, max_iter: int, tol: float
 ) -> SimplexLstsqResult:
-    n = A.shape[1]
-    gram = A.T @ A
-    atb = A.T @ b
+    n = eqs.n
+    gram = eqs.gram
+    atb = eqs.atb
     scale = max(float(np.abs(gram).max()), 1.0)
     kkt_tol = tol * scale + 1e-12
 
@@ -200,12 +329,12 @@ def _active_set(
                 raise SolverError("active-set produced a zero weight vector")
             candidate /= total
             # KKT check on zeroed variables: reduced gradient must be >= lam.
-            gradient = 2.0 * (gram @ candidate - atb)
+            gradient = 2.0 * eqs.gradient(candidate)
             zero = ~free
             violations = lam - gradient[zero]
             if not np.any(violations > kkt_tol):
                 return SimplexLstsqResult(
-                    candidate, _objective(A, b, candidate), iterations,
+                    candidate, eqs.objective(candidate), iterations,
                     "active-set",
                 )
             worst = np.flatnonzero(zero)[int(np.argmax(violations))]
@@ -215,7 +344,7 @@ def _active_set(
             if stalls > 2 * n:
                 # Degenerate cycling (ties in a rank-deficient Gram matrix):
                 # hand off to the always-convergent iterative solver.
-                return _projected_gradient(A, b, 5000, tol)
+                return _projected_gradient(eqs, 5000, tol)
         else:
             # Infeasible equality solution: step from w toward it until the
             # first free variable hits zero, then pin that variable.
@@ -231,16 +360,20 @@ def _active_set(
             w = w + alpha * (direction - w)
             hit = np.flatnonzero(moving & (alphas <= alpha + 1e-15))
             if len(hit) == 0:
-                return _projected_gradient(A, b, 5000, tol)
+                return _projected_gradient(eqs, 5000, tol)
             for j in hit:
                 free[j] = False
                 w[j] = 0.0
             if not np.any(free):
                 # Numerical corner: restart from the best single column.
-                best = int(np.argmin([_objective(A, b, _unit(n, j)) for j in range(n)]))
+                best = int(
+                    np.argmin(
+                        [eqs.objective(_unit(n, j)) for j in range(n)]
+                    )
+                )
                 w = _unit(n, best)
                 free[best] = True
-    return _projected_gradient(A, b, 5000, tol)
+    return _projected_gradient(eqs, 5000, tol)
 
 
 def _unit(n: int, j: int) -> FloatArray:
@@ -253,39 +386,37 @@ def _unit(n: int, j: int) -> FloatArray:
 # Projected gradient (FISTA-style acceleration)
 # ----------------------------------------------------------------------
 def _projected_gradient(
-    A: FloatArray, b: FloatArray, max_iter: int, tol: float
+    eqs: _NormalEqs, max_iter: int, tol: float
 ) -> SimplexLstsqResult:
-    n = A.shape[1]
-    gram = A.T @ A
-    atb = A.T @ b
+    n = eqs.n
     # Lipschitz constant of the gradient = largest eigenvalue of Gram.
-    lipschitz = float(np.linalg.eigvalsh(gram)[-1])
+    lipschitz = float(np.linalg.eigvalsh(eqs.gram)[-1])
     if lipschitz <= 0.0:
         # A is the zero matrix: every simplex point is optimal.
         w = np.full(n, 1.0 / n)
         return SimplexLstsqResult(
-            w, _objective(A, b, w), 0, "projected-gradient"
+            w, eqs.objective(w), 0, "projected-gradient"
         )
     step = 1.0 / lipschitz
     w = np.full(n, 1.0 / n)
     y = w.copy()
     t = 1.0
-    previous_obj = _objective(A, b, w)
+    previous_obj = eqs.objective(w)
     for iteration in range(1, max_iter + 1):
-        gradient = gram @ y - atb
+        gradient = eqs.gradient(y)
         w_next = project_to_simplex(y - step * gradient)
         t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
         y = w_next + ((t - 1.0) / t_next) * (w_next - w)
         w, t = w_next, t_next
         if iteration % 10 == 0:
-            obj = _objective(A, b, w)
+            obj = eqs.objective(w)
             if abs(previous_obj - obj) <= tol * max(1.0, obj):
                 return SimplexLstsqResult(
                     w, obj, iteration, "projected-gradient"
                 )
             previous_obj = obj
     return SimplexLstsqResult(
-        w, _objective(A, b, w), max_iter, "projected-gradient"
+        w, eqs.objective(w), max_iter, "projected-gradient"
     )
 
 
@@ -293,36 +424,34 @@ def _projected_gradient(
 # Frank-Wolfe
 # ----------------------------------------------------------------------
 def _frank_wolfe(
-    A: FloatArray, b: FloatArray, max_iter: int, tol: float
+    eqs: _NormalEqs, max_iter: int, tol: float
 ) -> SimplexLstsqResult:
-    n = A.shape[1]
-    gram = A.T @ A
-    atb = A.T @ b
+    n = eqs.n
     w = np.full(n, 1.0 / n)
     for iteration in range(1, max_iter + 1):
-        gradient = gram @ w - atb
+        gradient = eqs.gradient(w)
         target = int(np.argmin(gradient))
         direction = _unit(n, target) - w
         # Duality gap <= -gradient . direction; standard FW certificate.
         gap = float(-gradient @ direction)
-        if gap <= tol * max(1.0, _objective(A, b, w)):
+        if gap <= tol * max(1.0, eqs.objective(w)):
             return SimplexLstsqResult(
-                w, _objective(A, b, w), iteration, "frank-wolfe"
+                w, eqs.objective(w), iteration, "frank-wolfe"
             )
-        # Exact line search for the quadratic objective.
-        ad = A @ direction
-        denom = float(ad @ ad)
+        # Exact line search for the quadratic objective; the curvature
+        # ||A d||^2 is the Gram quadratic form d' (A'A) d.
+        denom = float(direction @ eqs.gram @ direction)
         if denom <= 0.0:
             gamma = 0.0
         else:
             gamma = min(max(gap / denom, 0.0), 1.0)
         if gamma <= 0.0:
             return SimplexLstsqResult(
-                w, _objective(A, b, w), iteration, "frank-wolfe"
+                w, eqs.objective(w), iteration, "frank-wolfe"
             )
         w = w + gamma * direction
     return SimplexLstsqResult(
-        w, _objective(A, b, w), max_iter, "frank-wolfe"
+        w, eqs.objective(w), max_iter, "frank-wolfe"
     )
 
 

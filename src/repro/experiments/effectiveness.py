@@ -56,7 +56,14 @@ class EffectivenessResult:
         return "\n".join(lines)
 
 
-def run_effectiveness(world, area_reference=None, geoalign_factory=None):
+def run_effectiveness(
+    world,
+    area_reference=None,
+    geoalign_factory=None,
+    engine="batch",
+    cache=None,
+    n_jobs=1,
+):
     """Cross-validated Fig. 5 comparison over one world's dataset pool.
 
     Parameters
@@ -69,6 +76,12 @@ def run_effectiveness(world, area_reference=None, geoalign_factory=None):
         intersection areas.
     geoalign_factory:
         Optional estimator factory forwarded to the harness (ablations).
+    engine:
+        GeoAlign execution engine; the default ``"batch"`` runs all folds
+        through one shared :class:`~repro.core.batch.BatchAligner` pass.
+        ``"loop"`` restores the one-estimator-per-fold path.
+    cache, n_jobs:
+        Forwarded to the harness (batch engine only).
     """
     references = world.references()
     by_name = {ref.name: ref for ref in references}
@@ -86,6 +99,9 @@ def run_effectiveness(world, area_reference=None, geoalign_factory=None):
         references,
         dasymetric_reference_names=dasymetric_names,
         areal_reference=area_reference,
+        engine=engine,
+        cache=cache,
+        n_jobs=n_jobs,
         **kwargs,
     )
     table = crossval.nrmse_table()

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.geoalign import GeoAlign
 from repro.metrics.errors import rmse
 from repro.synth.universes import build_united_states_world
@@ -106,13 +107,28 @@ def run_noise_robustness(
     replicates=20,
     noise_seed=404,
     world=None,
+    engine="batch",
+    cache=None,
 ):
     """Reproduce Fig. 7 on the United States dataset pool.
 
     For each cross-validated fold, every reference's source vector is
     perturbed at each level; GeoAlign re-fits and the RMSE ratio against
     the unperturbed run is recorded.
+
+    With ``engine="batch"`` (the default) each fold builds its reference
+    stack once and every replicate reuses the union-DM structure via
+    :meth:`~repro.core.batch.ReferenceStack.with_references` -- noise
+    only touches source vectors, never the crosswalk DMs, so only the
+    cheap design/Gram piece is rebuilt per replicate.  The rng draw order
+    is identical across engines (perturbation happens in the same loop,
+    in the same pool order), so both engines see the same noise.
+    ``engine="loop"`` restores the one-scalar-fit-per-replicate path.
     """
+    if engine not in ("loop", "batch"):
+        raise ValidationError(
+            f"engine must be 'loop' or 'batch', got {engine!r}"
+        )
     if world is None:
         world = build_united_states_world(scale, seed)
     references = world.references()
@@ -122,9 +138,17 @@ def run_noise_robustness(
     for test in references:
         truth = test.dm.col_sums()
         pool = [r for r in references if r.name != test.name]
-        baseline_estimate = GeoAlign().fit_predict(
-            pool, test.source_vector
-        )
+        objective = test.source_vector[np.newaxis, :]
+        if engine == "batch":
+            stack = ReferenceStack.build(pool, cache=cache)
+            baseline_estimate = (
+                BatchAligner(cache=cache).fit(stack, objective).predict()[0]
+            )
+        else:
+            stack = None
+            baseline_estimate = GeoAlign().fit_predict(
+                pool, test.source_vector
+            )
         baseline_rmse = rmse(baseline_estimate, truth)
         by_level = {level: [] for level in levels}
         for level in levels:
@@ -132,9 +156,16 @@ def run_noise_robustness(
                 noisy_pool = [
                     perturb_reference(ref, level, rng) for ref in pool
                 ]
-                estimate = GeoAlign().fit_predict(
-                    noisy_pool, test.source_vector
-                )
+                if stack is not None:
+                    estimate = (
+                        BatchAligner(cache=cache)
+                        .fit(stack.with_references(noisy_pool), objective)
+                        .predict()[0]
+                    )
+                else:
+                    estimate = GeoAlign().fit_predict(
+                        noisy_pool, test.source_vector
+                    )
                 noisy_rmse = rmse(estimate, truth)
                 if is_zero(baseline_rmse):
                     ratio = 1.0 if is_zero(noisy_rmse) else float("inf")

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ValidationError
+from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.geoalign import GeoAlign
 from repro.metrics.errors import nrmse
 from repro.synth.universes import build_united_states_world
@@ -89,21 +92,69 @@ class ReferenceSelectionResult:
         return "\n".join(lines)
 
 
-def run_reference_selection(scale=1.0, seed=1776, world=None):
-    """Reproduce Fig. 8 on the United States dataset pool."""
+def run_reference_selection(
+    scale=1.0, seed=1776, world=None, engine="batch", cache=None, n_jobs=1
+):
+    """Reproduce Fig. 8 on the United States dataset pool.
+
+    With ``engine="batch"`` (the default) every (fold, series) pair is
+    one attribute row of a single :class:`~repro.core.batch.BatchAligner`
+    pass over one shared reference stack: the series subsets become
+    per-row reference masks, so the |folds| x 5 GeoAlign runs share one
+    design/Gram build and one union-DM stack.  ``engine="loop"`` restores
+    the one-scalar-fit-per-series path.
+    """
+    if engine not in ("loop", "batch"):
+        raise ValidationError(
+            f"engine must be 'loop' or 'batch', got {engine!r}"
+        )
     if world is None:
         world = build_united_states_world(scale, seed)
     references = world.references()
     result = ReferenceSelectionResult()
 
+    subset_names: dict = {}
     for test in references:
-        truth = test.dm.col_sums()
         pool = [r for r in references if r.name != test.name]
         ranked = rank_by_correlation(pool, test.source_vector)
         result.rankings[test.name] = [ref.name for ref in ranked]
         result.correlations[test.name] = [
             ref.correlation_with(test.source_vector) for ref in ranked
         ]
+        subset_names[test.name] = {
+            series: {ref.name for ref in subset_for_series(ranked, series)}
+            for series in SERIES
+        }
+
+    if engine == "batch":
+        index_of = {ref.name: i for i, ref in enumerate(references)}
+        rows = [
+            (test, series) for test in references for series in SERIES
+        ]
+        objectives = np.vstack([test.source_vector for test, _ in rows])
+        masks = np.zeros((len(rows), len(references)), dtype=bool)
+        for row, (test, series) in enumerate(rows):
+            for name in subset_names[test.name][series]:
+                masks[row, index_of[name]] = True
+        stack = ReferenceStack.build(references, cache=cache)
+        estimates = (
+            BatchAligner(cache=cache, n_jobs=n_jobs)
+            .fit(stack, objectives, masks=masks)
+            .predict()
+        )
+        truths = {
+            test.name: test.dm.col_sums() for test in references
+        }
+        for row, (test, series) in enumerate(rows):
+            result.nrmse.setdefault(test.name, {})[series] = nrmse(
+                estimates[row], truths[test.name]
+            )
+        return result
+
+    for test in references:
+        truth = test.dm.col_sums()
+        pool = [r for r in references if r.name != test.name]
+        ranked = rank_by_correlation(pool, test.source_vector)
         by_series = {}
         for series in SERIES:
             subset = subset_for_series(ranked, series)

@@ -3,10 +3,18 @@
 Each figure benchmark both prints its paper-style table and saves it
 under ``benchmarks/results/`` so EXPERIMENTS.md can reference stable
 artefacts.  File names are slugified report titles; reruns overwrite.
+
+Benchmarks additionally persist machine-readable metrics as
+``BENCH_<name>.json`` files (wall-time plus whatever error metrics the
+bench measures) via :func:`save_bench_json`; the regression gate
+(``benchmarks/check_regression.py``) compares two directories of these
+against tolerances.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
 import re
 
@@ -45,3 +53,58 @@ def load_report(title):
     path = os.path.join(results_dir(), slugify(title) + ".txt")
     with open(path) as handle:
         return handle.read()
+
+
+def bench_json_path(name):
+    """Path of the machine-readable metrics file for bench ``name``."""
+    return os.path.join(results_dir(), f"BENCH_{slugify(name)}.json")
+
+
+def save_bench_json(name, metrics, meta=None):
+    """Persist one benchmark's metrics as ``BENCH_<name>.json``.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (slugified into the file name).
+    metrics:
+        Flat mapping of metric name to float -- wall times in seconds,
+        error metrics, speedup ratios.  Values must be finite-or-inf
+        floats (JSON has no NaN; reject it loudly rather than emit an
+        unparseable file).
+    meta:
+        Optional mapping of non-compared context (scale, attribute
+        counts, ...) stored alongside under ``"meta"``.
+
+    Returns
+    -------
+    str
+        The written file path.
+    """
+    clean = {}
+    for key, value in metrics.items():
+        number = float(value)
+        if math.isnan(number):
+            raise ValidationError(
+                f"bench {name!r} metric {key!r} is NaN; refusing to save"
+            )
+        clean[str(key)] = number
+    payload = {"name": str(name), "metrics": clean}
+    if meta:
+        payload["meta"] = {str(k): v for k, v in meta.items()}
+    path = bench_json_path(name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench_json(name):
+    """Read a previously saved ``BENCH_<name>.json`` payload."""
+    with open(bench_json_path(name)) as handle:
+        payload = json.load(handle)
+    if "metrics" not in payload:
+        raise ValidationError(
+            f"bench file for {name!r} has no 'metrics' section"
+        )
+    return payload

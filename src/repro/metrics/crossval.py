@@ -15,10 +15,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ValidationError
 from repro.core.baselines import Dasymetric
+from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.geoalign import GeoAlign
 from repro.metrics.errors import nrmse, rmse
+
+#: Valid GeoAlign execution engines for the cross-validation harness.
+ENGINES = ("loop", "batch")
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,88 @@ class CrossValidationResult:
         return "\n".join(lines)
 
 
+def _batch_geoalign_scores(
+    datasets,
+    geoalign_factory,
+    reference_selector,
+    cache,
+    n_jobs,
+):
+    """All folds' GeoAlign runs as one shared-stack batch.
+
+    Every fold aligns its held-out dataset against a subset of the same
+    pool, so the N fold fits share one :class:`ReferenceStack` over *all*
+    datasets; each fold is one attribute row whose mask excludes the test
+    dataset (and whatever the reference selector drops).  Masked-out
+    references get weight exactly 0.0, which matches the scalar path run
+    on the subset (see :mod:`repro.core.batch`).
+
+    Per-fold runtime is the batch wall-time split evenly across folds --
+    the shared work has no per-fold attribution.
+    """
+    import time
+
+    probe = geoalign_factory()
+    if not isinstance(probe, GeoAlign):
+        raise ValidationError(
+            "engine='batch' requires geoalign_factory to build GeoAlign "
+            f"estimators (got {type(probe).__name__}); use engine='loop'"
+        )
+    names = [d.name for d in datasets]
+    index_of = {name: i for i, name in enumerate(names)}
+    masks = np.zeros((len(datasets), len(datasets)), dtype=bool)
+    objectives = np.vstack([d.source_vector for d in datasets])
+    for fold, test in enumerate(datasets):
+        pool = [d for d in datasets if d.name != test.name]
+        if reference_selector is not None:
+            selected = list(reference_selector(test, pool))
+            if not selected:
+                raise ValidationError(
+                    f"reference selector returned no references for "
+                    f"{test.name!r}"
+                )
+        else:
+            selected = pool
+        for ref in selected:
+            if ref.name not in index_of:
+                raise ValidationError(
+                    f"reference selector returned {ref.name!r}, which is "
+                    "not in the dataset pool; engine='batch' requires "
+                    "subsets of the pool (use engine='loop')"
+                )
+            masks[fold, index_of[ref.name]] = True
+
+    start = time.perf_counter()
+    aligner = BatchAligner(
+        solver_method=probe.solver_method,
+        normalize=probe.normalize,
+        denominator=probe.denominator,
+        cache=cache,
+        n_jobs=n_jobs,
+    )
+    stack = ReferenceStack.build(
+        datasets, normalize=probe.normalize, cache=cache
+    )
+    estimates = aligner.fit(
+        stack, objectives, attribute_names=names, masks=masks
+    ).predict()
+    seconds_per_fold = (time.perf_counter() - start) / len(datasets)
+
+    scores = []
+    for fold, test in enumerate(datasets):
+        truth = test.dm.col_sums()
+        scores.append(
+            MethodScore(
+                "GeoAlign",
+                test.name,
+                rmse(estimates[fold], truth),
+                nrmse(estimates[fold], truth),
+                seconds_per_fold,
+            )
+        )
+    return scores
+
+
 def leave_one_dataset_out(
     datasets,
     dasymetric_reference_names=(),
@@ -88,6 +176,9 @@ def leave_one_dataset_out(
     geoalign_factory=GeoAlign,
     reference_selector=None,
     runner=None,
+    engine="loop",
+    cache=None,
+    n_jobs=1,
 ):
     """Run the paper's cross-validated comparison over a dataset pool.
 
@@ -115,13 +206,29 @@ def leave_one_dataset_out(
     runner:
         Optional hook ``(method_name, fit_predict_callable) -> (estimates,
         seconds)`` for instrumented timing; default times with
-        ``time.perf_counter``.
+        ``time.perf_counter``.  Only consulted by ``engine="loop"`` (the
+        batch engine has no per-fold call to instrument).
+    engine:
+        ``"loop"`` (default) fits one scalar GeoAlign per fold;
+        ``"batch"`` runs every fold through one shared
+        :class:`~repro.core.batch.BatchAligner` pass (tolerance-equal,
+        much faster on many folds).  Baseline methods always loop.
+    cache:
+        Optional :class:`~repro.cache.PipelineCache` for the batch
+        engine's shared reference stack.
+    n_jobs:
+        Thread fan-out for the batch engine's rescale/re-aggregate stage.
 
     Returns
     -------
     CrossValidationResult
     """
     import time
+
+    if engine not in ENGINES:
+        raise ValidationError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
 
     datasets = list(datasets)
     if len(datasets) < 2:
@@ -148,33 +255,42 @@ def leave_one_dataset_out(
     result = CrossValidationResult()
     by_name = {d.name: d for d in datasets}
 
-    for test in datasets:
-        truth = test.dm.col_sums()
-        pool = [d for d in datasets if d.name != test.name]
-        if reference_selector is not None:
-            selected = list(reference_selector(test, pool))
-            if not selected:
-                raise ValidationError(
-                    f"reference selector returned no references for "
-                    f"{test.name!r}"
-                )
-        else:
-            selected = pool
+    batch_scores = None
+    if engine == "batch":
+        batch_scores = _batch_geoalign_scores(
+            datasets, geoalign_factory, reference_selector, cache, n_jobs
+        )
 
-        estimator = geoalign_factory()
-        estimates, seconds = runner(
-            "GeoAlign",
-            lambda: estimator.fit_predict(selected, test.source_vector),
-        )
-        result.scores.append(
-            MethodScore(
+    for fold, test in enumerate(datasets):
+        truth = test.dm.col_sums()
+        if batch_scores is not None:
+            result.scores.append(batch_scores[fold])
+        else:
+            pool = [d for d in datasets if d.name != test.name]
+            if reference_selector is not None:
+                selected = list(reference_selector(test, pool))
+                if not selected:
+                    raise ValidationError(
+                        f"reference selector returned no references for "
+                        f"{test.name!r}"
+                    )
+            else:
+                selected = pool
+
+            estimator = geoalign_factory()
+            estimates, seconds = runner(
                 "GeoAlign",
-                test.name,
-                rmse(estimates, truth),
-                nrmse(estimates, truth),
-                seconds,
+                lambda: estimator.fit_predict(selected, test.source_vector),
             )
-        )
+            result.scores.append(
+                MethodScore(
+                    "GeoAlign",
+                    test.name,
+                    rmse(estimates, truth),
+                    nrmse(estimates, truth),
+                    seconds,
+                )
+            )
 
         for ref_name in dasymetric_reference_names:
             if ref_name == test.name:

@@ -67,6 +67,7 @@ class DisaggregationMatrix:
         self.matrix = mat
         self.source_labels = source_labels
         self.target_labels = target_labels
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -128,6 +129,27 @@ class DisaggregationMatrix:
     def to_dense(self) -> FloatArray:
         """Dense ``numpy`` copy (small matrices / tests only)."""
         return np.asarray(self.matrix.toarray(), dtype=float)
+
+    def fingerprint(self) -> str:
+        """Content fingerprint (labels + sparsity pattern + values).
+
+        Used as a :mod:`repro.cache` key component; DMs are immutable by
+        convention, so the digest is computed once and memoised.
+        """
+        if self._fingerprint is None:
+            from repro.cache import combine_fingerprints, fingerprint_array
+
+            coo = self.matrix.tocoo()
+            self._fingerprint = combine_fingerprints(
+                "dm",
+                repr(self.shape),
+                fingerprint_array(np.asarray(coo.row, dtype=np.int64)),
+                fingerprint_array(np.asarray(coo.col, dtype=np.int64)),
+                fingerprint_array(np.asarray(coo.data, dtype=float)),
+                "\x1f".join(self.source_labels),
+                "\x1f".join(self.target_labels),
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Algebra used by GeoAlign

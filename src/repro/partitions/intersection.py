@@ -22,6 +22,7 @@ from repro.errors import PartitionError, ShapeMismatchError
 from repro.partitions.dm import DisaggregationMatrix
 
 if TYPE_CHECKING:
+    from repro.cache import PipelineCache
     from repro.partitions.system import UnitSystem
 
 FloatArray = NDArray[np.float64]
@@ -172,6 +173,7 @@ def build_intersection(
     source: "UnitSystem",
     target: "UnitSystem",
     min_measure: float = 0.0,
+    cache: "PipelineCache | None" = None,
 ) -> IntersectionUnits:
     """Overlay two unit systems of the same backend into U^st.
 
@@ -182,11 +184,32 @@ def build_intersection(
     min_measure:
         Drop intersections with measure at or below this threshold
         (numerical slivers from vector overlay).
+    cache:
+        Optional :class:`~repro.cache.PipelineCache`.  The overlay is
+        stored under a content-addressed key (both systems' fingerprints
+        plus ``min_measure``), so repeat alignments over the same
+        partition pair reuse the geometric work.  The cached
+        :class:`IntersectionUnits` is shared -- treat it as immutable.
 
     Returns
     -------
     IntersectionUnits
     """
+    if cache is not None:
+        key = cache.key_for(
+            "intersection",
+            source.fingerprint(),
+            target.fingerprint(),
+            float(min_measure),
+        )
+        built = cache.get_or_build(
+            key,
+            lambda: build_intersection(
+                source, target, min_measure=min_measure, cache=None
+            ),
+        )
+        assert isinstance(built, IntersectionUnits)
+        return built
     src_idx, tgt_idx, measure = source.overlap_pairs(target)
     if min_measure > 0.0:
         keep = measure > min_measure

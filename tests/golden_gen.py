@@ -1,0 +1,156 @@
+"""Generator for the golden regression fixtures under fixtures/golden/.
+
+Each fixture is a small, fully self-contained alignment world serialised
+as JSON: reference DMs in COO triplet form, reference source vectors, a
+table of objective attributes, and the *expected* weights and target
+predictions for both Eq. 14 denominator modes -- computed by the scalar
+:class:`~repro.core.geoalign.GeoAlign` path at generation time.
+
+``tests/test_golden.py`` replays every fixture through the scalar AND
+the batched path and holds both to the stored numbers at 1e-9.  The
+point is cross-version pinning: if a refactor of the solver, the DM
+algebra or the batch engine shifts results by more than honest float
+noise, the golden suite fails even though internal consistency tests
+(batch == loop) would still pass.
+
+Regenerate (only after an *intentional* numerics change, with the diff
+reviewed) with::
+
+    PYTHONPATH=src python tests/golden_gen.py
+
+The worlds deliberately include the awkward cases: a zero entry in an
+objective (a zero-volume source row), an all-zero DM row (a source unit
+no reference disaggregates), a perfectly collinear reference pair, and a
+single-reference world (the solver's constraint-pinned shortcut).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.geoalign import GeoAlign
+from repro.core.reference import Reference
+from repro.partitions.dm import DisaggregationMatrix
+from repro.utils.rng import as_rng
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "fixtures", "golden")
+
+#: Both Eq. 14 denominator modes are pinned.
+DENOMINATORS = ("row-sums", "source-vectors")
+
+
+def _random_dm(rng, m, t, density, source_labels, target_labels):
+    dense = rng.uniform(0.5, 4.0, size=(m, t))
+    dense *= rng.uniform(size=(m, t)) < density
+    # Guarantee no all-zero matrix (a Reference needs positive mass).
+    if dense.sum() <= 0:
+        dense[0, 0] = 1.0
+    return DisaggregationMatrix(dense, source_labels, target_labels)
+
+
+def _world_spec(name, seed, m, t, k, n_attrs, density, twist):
+    """Build one world and compute its expected outputs."""
+    rng = as_rng(seed)
+    source_labels = [f"s{i}" for i in range(m)]
+    target_labels = [f"t{j}" for j in range(t)]
+
+    references = []
+    for idx in range(k):
+        dm = _random_dm(rng, m, t, density, source_labels, target_labels)
+        if twist == "zero-dm-row" and idx == 0 and m > 1:
+            # Reference 0 leaves source unit 1 entirely undistributed.
+            dense = dm.to_dense()
+            dense[1, :] = 0.0
+            dm = DisaggregationMatrix(dense, source_labels, target_labels)
+        vector = dm.row_sums() * rng.uniform(0.7, 1.4, size=m)
+        vector = np.maximum(vector, 0.0)
+        if vector.sum() <= 0:
+            vector[0] = 1.0
+        references.append(Reference(f"ref-{idx}", vector, dm))
+    if twist == "collinear" and k >= 2:
+        # Reference 1 becomes an exact scalar multiple of reference 0:
+        # a rank-deficient Gram matrix (the active-set KKT lstsq path).
+        base = references[0]
+        references[1] = Reference(
+            "ref-1", base.source_vector * 2.5, base.dm
+        )
+
+    objectives = rng.uniform(1.0, 9.0, size=(n_attrs, m))
+    if twist == "zero-objective-entry" and m > 2:
+        objectives[0, 2] = 0.0  # zero-volume source row
+    mix = rng.dirichlet(np.ones(k), size=n_attrs)
+    base = np.vstack([ref.source_vector for ref in references])
+    objectives = 0.5 * objectives + 0.5 * (mix @ base)
+    if twist == "zero-objective-entry" and m > 2:
+        objectives[0, 2] = 0.0
+
+    expected = {}
+    for denominator in DENOMINATORS:
+        weights = []
+        predictions = []
+        for row in objectives:
+            model = GeoAlign(denominator=denominator).fit(references, row)
+            predictions.append(model.predict().tolist())
+            weights.append(model.weights_.tolist())
+        expected[denominator] = {
+            "weights": weights,
+            "predictions": predictions,
+        }
+
+    def dm_payload(dm):
+        coo = dm.matrix.tocoo()
+        return {
+            "rows": coo.row.tolist(),
+            "cols": coo.col.tolist(),
+            "values": coo.data.tolist(),
+        }
+
+    return {
+        "name": name,
+        "seed": seed,
+        "twist": twist,
+        "source_labels": source_labels,
+        "target_labels": target_labels,
+        "references": [
+            {
+                "name": ref.name,
+                "source_vector": ref.source_vector.tolist(),
+                "dm": dm_payload(ref.dm),
+            }
+            for ref in references
+        ],
+        "objectives": objectives.tolist(),
+        "expected": expected,
+    }
+
+
+#: The golden world matrix: (name, seed, m, t, k, n_attrs, density, twist).
+WORLDS = (
+    ("plain-3ref", 101, 12, 7, 3, 4, 0.45, None),
+    ("zero-volume-row", 211, 9, 6, 4, 3, 0.55, "zero-objective-entry"),
+    ("zero-dm-row", 307, 8, 5, 3, 3, 0.6, "zero-dm-row"),
+    ("collinear-pair", 401, 10, 8, 4, 3, 0.5, "collinear"),
+    ("single-reference", 503, 7, 4, 1, 2, 0.7, None),
+)
+
+
+def generate(directory=GOLDEN_DIR):
+    """Write every golden fixture; returns the file paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for name, seed, m, t, k, n_attrs, density, twist in WORLDS:
+        spec = _world_spec(name, seed, m, t, k, n_attrs, density, twist)
+        path = os.path.join(directory, f"{name}.json")
+        with open(path, "w") as handle:
+            json.dump(spec, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths
+
+
+if __name__ == "__main__":
+    for path in generate():
+        print(path)

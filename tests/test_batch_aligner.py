@@ -1,0 +1,294 @@
+"""BatchAligner / ReferenceStack: unit tests + batch==loop properties.
+
+The load-bearing invariant is *engine equivalence*: for any valid world,
+fitting N attributes through one :class:`~repro.core.batch.BatchAligner`
+pass must match N scalar :class:`~repro.core.geoalign.GeoAlign` fits to
+float tolerance -- including the degenerate corners (single reference,
+zero-volume source rows, N=1, masked reference subsets).  Hypothesis
+drives randomised worlds at that invariant; the unit tests pin the API
+contract (validation, staleness, caching, thread fan-out).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import PipelineCache
+from repro.core.batch import BatchAligner, ReferenceStack
+from repro.core.geoalign import GeoAlign
+from repro.core.reference import Reference
+from repro.errors import (
+    NotFittedError,
+    ShapeMismatchError,
+    ValidationError,
+)
+from repro.partitions.dm import DisaggregationMatrix
+
+RTOL = 1e-9
+ATOL = 1e-10
+
+
+def _world(seed, m=10, t=6, k=3, n_attrs=4, density=0.5, zero_row=False):
+    rng = np.random.default_rng(seed)
+    source_labels = [f"s{i}" for i in range(m)]
+    target_labels = [f"t{j}" for j in range(t)]
+    references = []
+    for idx in range(k):
+        dense = rng.uniform(0.5, 4.0, size=(m, t))
+        dense *= rng.uniform(size=(m, t)) < density
+        if dense.sum() <= 0:
+            dense[0, 0] = 1.0
+        dm = DisaggregationMatrix(dense, source_labels, target_labels)
+        vector = dm.row_sums() * rng.uniform(0.7, 1.4, size=m)
+        if vector.sum() <= 0:
+            vector[0] = 1.0
+        references.append(Reference(f"ref-{idx}", vector, dm))
+    objectives = rng.uniform(1.0, 9.0, size=(n_attrs, m))
+    if zero_row and m > 1:
+        objectives[:, 1] = 0.0  # a zero-volume source row in every attr
+    return references, objectives
+
+
+def _assert_engines_agree(references, objectives, denominator="row-sums"):
+    batch = BatchAligner(denominator=denominator).fit(
+        references, objectives
+    )
+    predictions = batch.predict()
+    dms = batch.predict_dms()
+    for j, objective in enumerate(objectives):
+        scalar = GeoAlign(denominator=denominator).fit(
+            references, objective
+        )
+        np.testing.assert_allclose(
+            batch.weights_[j], scalar.weights_, rtol=RTOL, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            predictions[j], scalar.predict(), rtol=RTOL, atol=ATOL
+        )
+        assert dms[j].allclose(scalar.predict_dm(), rtol=RTOL, atol=ATOL)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: batch == loop on randomised worlds, corners included
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    m=st.integers(2, 14),
+    t=st.integers(1, 8),
+    k=st.integers(1, 5),
+    n_attrs=st.integers(1, 6),
+    density=st.floats(0.2, 1.0),
+    denominator=st.sampled_from(("row-sums", "source-vectors")),
+)
+def test_batch_equals_loop(seed, m, t, k, n_attrs, density, denominator):
+    references, objectives = _world(
+        seed, m=m, t=t, k=k, n_attrs=n_attrs, density=density
+    )
+    _assert_engines_agree(references, objectives, denominator)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_batch_equals_loop_with_zero_volume_rows(seed):
+    references, objectives = _world(seed, zero_row=True)
+    _assert_engines_agree(references, objectives)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10**6), n_attrs=st.integers(1, 4))
+def test_batch_equals_loop_single_reference(seed, n_attrs):
+    """k=1: the solver's constraint-pinned shortcut, both engines."""
+    references, objectives = _world(seed, k=1, n_attrs=n_attrs)
+    _assert_engines_agree(references, objectives)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**6), k=st.integers(2, 5))
+def test_masked_batch_equals_loop_on_subset(seed, k):
+    """A masked attribute matches the scalar fit on the masked subset."""
+    rng = np.random.default_rng(seed + 1)
+    references, objectives = _world(seed, k=k, n_attrs=3)
+    masks = np.ones((3, k), dtype=bool)
+    masks[0, rng.integers(k)] = False
+    if not masks[0].any():
+        masks[0, 0] = True
+    keep_one = rng.integers(k)
+    masks[1] = False
+    masks[1, keep_one] = True
+    batch = BatchAligner().fit(references, objectives, masks=masks)
+    predictions = batch.predict()
+    for j in range(3):
+        subset = [r for r, keep in zip(references, masks[j]) if keep]
+        scalar = GeoAlign().fit(subset, objectives[j])
+        np.testing.assert_allclose(
+            predictions[j], scalar.predict(), rtol=RTOL, atol=ATOL
+        )
+        # Masked-out references carry exactly zero weight.
+        dropped = batch.weights_[j][~masks[j]]
+        assert np.all(dropped == 0.0)  # repro-lint: allow[float-eq] masked-out weights are set to exact literal zero, not computed
+
+
+# ----------------------------------------------------------------------
+# ReferenceStack mechanics
+# ----------------------------------------------------------------------
+def test_stack_union_pattern_and_gram():
+    references, _ = _world(3)
+    stack = ReferenceStack(references)
+    design = np.column_stack(
+        [ref.normalized_source() for ref in references]
+    )
+    np.testing.assert_allclose(stack.gram, design.T @ design)
+    union_nnz = (
+        sum(abs(ref.dm.to_dense()) for ref in references) > 0
+    ).sum()
+    assert stack.nnz == union_nnz
+    for i, ref in enumerate(references):
+        dense = np.zeros(ref.dm.shape)
+        dense[stack.entry_rows, stack.entry_cols] = stack.values[i]
+        np.testing.assert_allclose(dense, ref.dm.to_dense())
+
+
+def test_stack_rejects_mismatched_labels():
+    references, _ = _world(5)
+    other = DisaggregationMatrix(
+        np.ones((10, 6)),
+        [f"x{i}" for i in range(10)],
+        [f"t{j}" for j in range(6)],
+    )
+    bad = Reference("bad", other.row_sums(), other)
+    with pytest.raises(ShapeMismatchError):
+        ReferenceStack(references + [bad])
+    with pytest.raises(ValidationError):
+        ReferenceStack([])
+
+
+def test_stack_build_caches_by_content():
+    references, _ = _world(7)
+    cache = PipelineCache()
+    first = ReferenceStack.build(references, cache=cache)
+    again = ReferenceStack.build(references, cache=cache)
+    assert again is first
+    assert cache.stats.hits == 1
+    # A perturbed reference must miss (content-addressed key).
+    perturbed = [references[0].with_source_vector(
+        references[0].source_vector * 1.01
+    )] + references[1:]
+    rebuilt = ReferenceStack.build(perturbed, cache=cache)
+    assert rebuilt is not first
+    assert cache.stats.misses == 2
+
+
+def test_stack_with_references_shares_union_structure():
+    references, objectives = _world(11)
+    stack = ReferenceStack(references)
+    noisy = [
+        ref.with_source_vector(ref.source_vector * 1.05)
+        for ref in references
+    ]
+    clone = stack.with_references(noisy)
+    assert clone.values is stack.values
+    assert clone.entry_rows is stack.entry_rows
+    # Numerics match a fresh stack over the noisy pool exactly.
+    fresh = ReferenceStack(noisy)
+    np.testing.assert_array_equal(clone.gram, fresh.gram)
+    left = BatchAligner().fit(clone, objectives).predict()
+    right = BatchAligner().fit(fresh, objectives).predict()
+    np.testing.assert_array_equal(left, right)
+
+
+def test_stack_with_references_rejects_different_dms():
+    references, _ = _world(13)
+    stack = ReferenceStack(references)
+    other_refs, _ = _world(14)
+    with pytest.raises(ValidationError):
+        stack.with_references(other_refs)
+    with pytest.raises(ShapeMismatchError):
+        stack.with_references(references[:-1])
+
+
+# ----------------------------------------------------------------------
+# BatchAligner API contract
+# ----------------------------------------------------------------------
+def test_validation_errors():
+    references, objectives = _world(17)
+    with pytest.raises(ValidationError):
+        BatchAligner(denominator="nope")
+    with pytest.raises(ValidationError):
+        BatchAligner(n_jobs=0)
+    with pytest.raises(NotFittedError):
+        BatchAligner().predict()
+    with pytest.raises(ShapeMismatchError):
+        BatchAligner().fit(references, objectives[:, :-1])
+    with pytest.raises(ValidationError):
+        BatchAligner().fit(references, np.zeros_like(objectives))
+    with pytest.raises(ValidationError):
+        BatchAligner().fit(references, -objectives)
+    with pytest.raises(ShapeMismatchError):
+        BatchAligner().fit(
+            references, objectives, attribute_names=["just-one"]
+        )
+    with pytest.raises(ShapeMismatchError):
+        BatchAligner().fit(
+            references, objectives, masks=np.ones((2, 2), dtype=bool)
+        )
+    with pytest.raises(ValidationError):
+        empty = np.zeros(
+            (len(objectives), len(references)), dtype=bool
+        )
+        BatchAligner().fit(references, objectives, masks=empty)
+
+
+def test_prebuilt_stack_normalize_mismatch():
+    references, objectives = _world(19)
+    stack = ReferenceStack(references, normalize=False)
+    with pytest.raises(ValidationError):
+        BatchAligner(normalize=True).fit(stack, objectives)
+
+
+def test_single_vector_objective_promotes_to_one_row():
+    references, objectives = _world(23)
+    batch = BatchAligner().fit(references, objectives[0])
+    assert batch.predict().shape == (1, references[0].dm.shape[1])
+
+
+def test_refit_resets_derived_state():
+    references, objectives = _world(29)
+    aligner = BatchAligner()
+    first = aligner.fit(references, objectives[:2]).predict()
+    assert aligner.blend_weights_ is not None
+    second = aligner.fit(references, objectives[2:]).predict()
+    assert second.shape[0] == objectives.shape[0] - 2
+    assert not np.allclose(first[0], second[0])
+    # blend weights were recomputed for the new fit, not served stale
+    scalar = GeoAlign().fit(references, objectives[2])
+    scalar.predict()
+    np.testing.assert_allclose(
+        aligner.blend_weights_[0], scalar.blend_weights_,
+        rtol=RTOL, atol=ATOL,
+    )
+
+
+def test_thread_fanout_bit_identical():
+    references, objectives = _world(31, n_attrs=7)
+    serial = BatchAligner(n_jobs=1).fit(references, objectives)
+    threaded = BatchAligner(n_jobs=3).fit(references, objectives)
+    np.testing.assert_array_equal(serial.predict(), threaded.predict())
+    for left, right in zip(serial.predict_dms(), threaded.predict_dms()):
+        assert (left.matrix != right.matrix).nnz == 0
+
+
+def test_weight_report_and_timer():
+    references, objectives = _world(37, n_attrs=2)
+    aligner = BatchAligner().fit(
+        references, objectives, attribute_names=["alpha", "beta"]
+    )
+    aligner.predict()
+    report = aligner.weight_report()
+    assert set(report) == {"alpha", "beta"}
+    for weights in report.values():
+        assert set(weights) == {ref.name for ref in references}
+        assert sum(weights.values()) == pytest.approx(1.0)
+    assert {"weights", "disaggregation", "reaggregation"} <= set(
+        aligner.timer_.totals
+    )

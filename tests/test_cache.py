@@ -1,0 +1,255 @@
+"""PipelineCache + fingerprint helpers: hit/miss/LRU and invalidation.
+
+Content addressing is the whole safety story of the cache: a key is a
+hash of the *values* that went into an artifact, so perturbing any input
+must change the key (a guaranteed miss) while replaying identical inputs
+must hit.  These tests pin both directions, the LRU bookkeeping, and the
+two call sites that rely on it (`build_intersection`,
+`ReferenceStack.build`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    PipelineCache,
+    combine_fingerprints,
+    default_cache,
+    fingerprint_array,
+    fingerprint_bytes,
+    fingerprint_of,
+)
+from repro.core.batch import ReferenceStack
+from repro.core.reference import Reference
+from repro.errors import ValidationError
+from repro.geometry.primitives import BoundingBox
+from repro.geometry.region import Region
+from repro.geometry.voronoi import voronoi_partition
+from repro.partitions import VectorUnitSystem, build_intersection
+from repro.partitions.dm import DisaggregationMatrix
+
+
+# ----------------------------------------------------------------------
+# Fingerprint primitives
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_bytes_length_prefixed_no_collision(self):
+        assert fingerprint_bytes(b"ab", b"c") != fingerprint_bytes(
+            b"a", b"bc"
+        )
+        assert fingerprint_bytes(b"x") == fingerprint_bytes(b"x")
+
+    def test_array_content_addressing(self):
+        values = np.arange(12.0).reshape(3, 4)
+        assert fingerprint_array(values) == fingerprint_array(
+            values.copy()
+        )
+        # dtype, shape and any single value all change the digest
+        assert fingerprint_array(values) != fingerprint_array(
+            values.astype(np.float32)
+        )
+        assert fingerprint_array(values) != fingerprint_array(
+            values.reshape(4, 3)
+        )
+        perturbed = values.copy()
+        perturbed[1, 2] += 1e-12
+        assert fingerprint_array(values) != fingerprint_array(perturbed)
+        # non-contiguous views hash by content, not memory layout
+        assert fingerprint_array(values.T) == fingerprint_array(
+            np.ascontiguousarray(values.T)
+        )
+
+    def test_fingerprint_of_scalars_and_sequences(self):
+        assert fingerprint_of(1) != fingerprint_of(1.0)
+        assert fingerprint_of(True) != fingerprint_of(1)
+        assert fingerprint_of(None) != fingerprint_of("None")
+        assert fingerprint_of([1, 2]) != fingerprint_of((1, 2))
+        assert fingerprint_of([1, 2]) != fingerprint_of([2, 1])
+        assert fingerprint_of([]) != fingerprint_of(())
+
+    def test_fingerprint_of_rejects_unknown_objects(self):
+        with pytest.raises(ValidationError, match="fingerprint"):
+            fingerprint_of(object())
+
+    def test_fingerprint_of_rejects_non_str_method(self):
+        class Bad:
+            def fingerprint(self):
+                return 7
+
+        with pytest.raises(ValidationError, match="must return str"):
+            fingerprint_of(Bad())
+
+    def test_combine_requires_parts_and_is_ordered(self):
+        with pytest.raises(ValidationError):
+            combine_fingerprints()
+        assert combine_fingerprints("a", "b") != combine_fingerprints(
+            "b", "a"
+        )
+
+
+class TestDomainFingerprints:
+    def test_dm_fingerprint_tracks_content(self, small_dm):
+        same = DisaggregationMatrix(
+            small_dm.to_dense(), small_dm.source_labels,
+            small_dm.target_labels,
+        )
+        assert small_dm.fingerprint() == same.fingerprint()
+        bumped = small_dm.to_dense()
+        bumped[1, 1] *= 1.0 + 1e-9
+        other = DisaggregationMatrix(
+            bumped, small_dm.source_labels, small_dm.target_labels
+        )
+        assert small_dm.fingerprint() != other.fingerprint()
+        relabelled = DisaggregationMatrix(
+            small_dm.to_dense(), ["a0", "a1", "a2"],
+            small_dm.target_labels,
+        )
+        assert small_dm.fingerprint() != relabelled.fingerprint()
+
+    def test_reference_fingerprint_tracks_vector_dm_and_name(
+        self, paired_references
+    ):
+        ref = paired_references[0]
+        perturbed = ref.with_source_vector(ref.source_vector * 1.0001)
+        assert ref.fingerprint() != perturbed.fingerprint()
+        renamed = Reference("other-name", ref.source_vector, ref.dm)
+        assert ref.fingerprint() != renamed.fingerprint()
+        identical = Reference(ref.name, ref.source_vector.copy(), ref.dm)
+        assert ref.fingerprint() == identical.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# PipelineCache mechanics
+# ----------------------------------------------------------------------
+class TestPipelineCache:
+    def test_get_put_hit_miss_counters(self):
+        cache = PipelineCache()
+        assert cache.get("absent") is None
+        assert cache.get("absent", "fallback") == "fallback"
+        assert cache.stats.misses == 2
+        cache.put("k", [1, 2])
+        assert cache.get("k") == [1, 2]
+        assert "k" in cache
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_get_or_build_builds_once(self):
+        cache = PipelineCache()
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return "artifact"
+
+        assert cache.get_or_build("k", builder) == "artifact"
+        assert cache.get_or_build("k", builder) == "artifact"
+        assert len(calls) == 1
+        assert cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_lru_eviction_order_and_refresh(self):
+        cache = PipelineCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": now "b" is LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_unbounded_and_invalid_capacity(self):
+        cache = PipelineCache(max_entries=None)
+        for i in range(300):
+            cache.put(str(i), i)
+        assert len(cache) == 300
+        with pytest.raises(ValidationError):
+            PipelineCache(max_entries=0)
+
+    def test_key_for_is_content_addressed(self):
+        cache = PipelineCache()
+        left = cache.key_for("tag", np.ones(3), 0.5)
+        assert left == cache.key_for("tag", np.ones(3), 0.5)
+        assert left != cache.key_for("tag", np.ones(3), 0.6)
+        assert left != cache.key_for("other-tag", np.ones(3), 0.5)
+
+    def test_clear_keeps_stats(self):
+        cache = PipelineCache()
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_default_cache_is_a_shared_singleton(self):
+        assert default_cache() is default_cache()
+        assert isinstance(default_cache(), PipelineCache)
+
+
+# ----------------------------------------------------------------------
+# Pipeline call sites: overlay + reference-stack reuse and invalidation
+# ----------------------------------------------------------------------
+def _voronoi_system(seeds, box, prefix):
+    cells = voronoi_partition(np.asarray(seeds, dtype=float), box)
+    return VectorUnitSystem(
+        [f"{prefix}{i}" for i in range(len(cells))],
+        [Region([cell]) for cell in cells],
+    )
+
+
+class TestIntersectionCaching:
+    def test_overlay_reused_and_invalidated(self, rng):
+        box = BoundingBox(0, 0, 6, 4)
+        source_seeds = rng.uniform([0.2, 0.2], [5.8, 3.8], size=(12, 2))
+        target_seeds = rng.uniform([0.4, 0.4], [5.6, 3.6], size=(4, 2))
+        source = _voronoi_system(source_seeds, box, "s")
+        target = _voronoi_system(target_seeds, box, "t")
+        cache = PipelineCache()
+        first = build_intersection(source, target, cache=cache)
+        again = build_intersection(source, target, cache=cache)
+        assert again is first
+        assert cache.stats.hits == 1
+        # A different min_measure is a different key, not a stale hit.
+        filtered = build_intersection(
+            source, target, min_measure=1e-3, cache=cache
+        )
+        assert filtered is not first
+        # Moving one seed changes the target geometry -> fingerprint
+        # changes -> the overlay is rebuilt, never served stale.
+        moved = target_seeds.copy()
+        moved[0] += 0.05
+        shifted = _voronoi_system(moved, box, "t")
+        rebuilt = build_intersection(source, shifted, cache=cache)
+        assert rebuilt is not first
+        assert cache.stats.misses == 3
+
+
+class TestReferenceStackCaching:
+    def test_stack_reused_and_invalidated(self, paired_references):
+        cache = PipelineCache()
+        first = ReferenceStack.build(paired_references, cache=cache)
+        assert ReferenceStack.build(
+            paired_references, cache=cache
+        ) is first
+        # normalize participates in the key
+        raw = ReferenceStack.build(
+            paired_references, normalize=False, cache=cache
+        )
+        assert raw is not first
+        # perturbing one reference's DM invalidates
+        ref = paired_references[0]
+        bumped = ref.dm.to_dense()
+        bumped[0, 0] *= 1.0 + 1e-9
+        perturbed = Reference(
+            ref.name,
+            ref.source_vector,
+            DisaggregationMatrix(
+                bumped, ref.dm.source_labels, ref.dm.target_labels
+            ),
+        )
+        rebuilt = ReferenceStack.build(
+            [perturbed, paired_references[1]], cache=cache
+        )
+        assert rebuilt is not first
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 3

@@ -201,6 +201,20 @@ class TestAlgorithm:
         second = ga.fit(refs, refs[1].source_vector).predict_dm()
         assert first is not second
 
+    def test_refit_resets_blend_weights(self, refs):
+        """Regression: fit() must drop blend_weights_ from a previous
+        predict_dm(), not leave the stale Eq. 14 coefficients behind."""
+        ga = GeoAlign()
+        ga.fit(refs, refs[0].source_vector).predict_dm()
+        stale = ga.blend_weights_.copy()
+        ga.fit(refs[:2], refs[1].source_vector * 2.0)
+        assert ga.blend_weights_ is None
+        ga.predict_dm()
+        fresh = GeoAlign().fit(refs[:2], refs[1].source_vector * 2.0)
+        fresh.predict_dm()
+        np.testing.assert_allclose(ga.blend_weights_, fresh.blend_weights_)
+        assert ga.blend_weights_.shape != stale.shape
+
     def test_repr_shows_state(self, refs):
         ga = GeoAlign()
         assert "unfitted" in repr(ga)
