@@ -15,11 +15,20 @@ Metric kinds are inferred from the key name:
 
 * ``*seconds*`` -- wall time; regressed when candidate exceeds
   baseline * ``--time-tolerance`` (timing noise is real, default 1.5x).
-* ``*speedup*`` -- higher is better; regressed when candidate falls
-  below baseline / ``--time-tolerance``.
+* ``*speedup*`` / ``*hit_rate*`` -- higher is better; regressed when
+  candidate falls below baseline / ``--time-tolerance``.
 * anything else -- an error metric (rmse, nrmse, max_abs_diff, ...);
   regressed when candidate exceeds baseline * ``--error-tolerance``
   plus a tiny absolute floor.
+
+Beyond the flat ``metrics`` section, payloads may carry a ``stages``
+section (stage name -> seconds, from the estimators' stage timers) and
+a ``cache`` section (pipeline-cache hit/miss/eviction counts).  Both
+are folded into the comparison: each stage becomes a
+``stage_<name>_seconds`` wall-time metric, and the cache counters
+become a derived ``cache_hit_rate`` (higher is better), so a per-stage
+slowdown or a cache-efficiency drop is flagged even when the total
+wall time stays inside tolerance.
 
 Exit codes: 0 no regressions, 1 regressions found, 2 bad input.  CI runs
 this as a non-blocking report step: the exit code marks the step, but
@@ -40,6 +49,33 @@ import sys
 ERROR_ATOL = 1e-9
 
 
+def flatten_payload(payload, file_path):
+    """One payload's compared metrics, sections folded in.
+
+    ``stages`` entries become ``stage_<name>_seconds`` (compared under
+    the wall-time tolerance); a ``cache`` section with lookups becomes
+    a single derived ``cache_hit_rate`` metric (higher is better).
+    """
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{file_path}: no 'metrics' mapping")
+    flat = {key: float(value) for key, value in metrics.items()}
+    stages = payload.get("stages")
+    if stages is not None:
+        if not isinstance(stages, dict):
+            raise ValueError(f"{file_path}: 'stages' is not a mapping")
+        for stage, seconds in stages.items():
+            flat[f"stage_{stage}_seconds"] = float(seconds)
+    cache = payload.get("cache")
+    if cache is not None:
+        if not isinstance(cache, dict):
+            raise ValueError(f"{file_path}: 'cache' is not a mapping")
+        lookups = float(cache.get("hits", 0)) + float(cache.get("misses", 0))
+        if lookups > 0:
+            flat["cache_hit_rate"] = float(cache.get("hits", 0)) / lookups
+    return flat
+
+
 def load_bench_dir(path):
     """Mapping of bench name -> metrics dict from one directory."""
     if not os.path.isdir(path):
@@ -49,17 +85,18 @@ def load_bench_dir(path):
         with open(file_path) as handle:
             payload = json.load(handle)
         name = payload.get("name") or os.path.basename(file_path)
-        metrics = payload.get("metrics")
-        if not isinstance(metrics, dict):
-            raise ValueError(f"{file_path}: no 'metrics' mapping")
-        benches[name] = {key: float(value) for key, value in metrics.items()}
+        benches[name] = flatten_payload(payload, file_path)
     return benches
 
 
 def metric_kind(key):
-    """Classify a metric key: 'time', 'speedup' or 'error'."""
+    """Classify a metric key: 'time', 'speedup' or 'error'.
+
+    'speedup' doubles as the higher-is-better kind generally: cache
+    hit rates are classified with it so a hit-rate drop regresses.
+    """
     lowered = key.lower()
-    if "speedup" in lowered:
+    if "speedup" in lowered or "hit_rate" in lowered:
         return "speedup"
     if "seconds" in lowered or lowered.endswith("_s"):
         return "time"

@@ -31,6 +31,9 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.errors import ValidationError
+from repro.obs.trace import event as _obs_event
+from repro.obs.trace import incr as _obs_incr
+from repro.obs.trace import tracing_active as _tracing_active
 
 #: Things :func:`fingerprint_of` knows how to hash.
 Fingerprintable = Union[
@@ -172,13 +175,23 @@ class PipelineCache:
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 
+    def _observe(self, hit: bool, key: str) -> None:
+        """Deliver one lookup to any active trace session (else no-op)."""
+        if not _tracing_active():
+            return
+        name = "cache.hit" if hit else "cache.miss"
+        _obs_event(name, key=key[:16])
+        _obs_incr("cache.hits" if hit else "cache.misses")
+
     def get(self, key: str, default: object = None) -> object:
         """Value under ``key`` (refreshing recency) or ``default``."""
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._observe(True, key)
             return self._entries[key]
         self.stats.misses += 1
+        self._observe(False, key)
         return default
 
     def put(self, key: str, value: object) -> None:
@@ -190,6 +203,7 @@ class PipelineCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                _obs_incr("cache.evictions")
 
     def get_or_build(
         self, key: str, builder: Callable[[], object]
@@ -198,8 +212,10 @@ class PipelineCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._observe(True, key)
             return self._entries[key]
         self.stats.misses += 1
+        self._observe(False, key)
         value = builder()
         self.put(key, value)
         return value

@@ -21,6 +21,12 @@ Scale 1.0 (the default) is paper scale: 30,238 zip units at the top
 rung.  Reports print to stdout and, with ``--out``, are also written as
 text files.
 
+Every figure/align subcommand also accepts observability flags (see
+``docs/observability.md``)::
+
+    geoalign-repro align --trace run.jsonl    # JSON-lines span/event trace
+    geoalign-repro fig5a --profile            # text profile tree on stdout
+
 The project's numerical-correctness linter is exposed as a subcommand
 too (see ``docs/static-analysis.md``)::
 
@@ -36,6 +42,7 @@ import os
 import sys
 import time
 
+from repro import obs
 from repro.errors import ReproError
 
 from repro.experiments.effectiveness import run_figure5a, run_figure5b
@@ -59,6 +66,18 @@ def _add_common(parser):
         default=None,
         metavar="DIR",
         help="also write the report into DIR as <figure>.txt",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        dest="trace",
+        help="write a JSON-lines span/event trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-span wall-time summary tree after the run",
     )
 
 
@@ -244,15 +263,34 @@ def main(argv=None, stream=None):
         if args.command == "all"
         else [args.command]
     )  # "align" dispatches through the same loop as a single entry
-    for name in figures:
+    # The lint subcommand defines neither flag, hence the getattr.
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    observed = trace_path is not None or profile
+    for index, name in enumerate(figures):
         start = time.perf_counter()
+        session = None
         try:
-            text = _run_figure(name, args)
+            if observed:
+                with obs.trace(f"cli.{name}", scale=args.scale) as session:
+                    text = _run_figure(name, args)
+            else:
+                text = _run_figure(name, args)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - start
         _emit(name, text, args.out, stream)
+        if session is not None:
+            if trace_path:
+                # One JSONL file accumulates every figure of an
+                # ``all`` run; each session appends its own records.
+                obs.write_trace_jsonl(
+                    session, trace_path, append=index > 0
+                )
+                print(f"[trace written {trace_path}]", file=stream)
+            if profile:
+                print(obs.format_profile(session), file=stream)
         print(f"[{name} completed in {elapsed:.1f}s]", file=stream)
     return 0
 

@@ -45,6 +45,8 @@ from scipy import sparse
 
 from repro.core.reference import Reference
 from repro.core.solver import SimplexLstsqResult, simplex_lstsq_from_gram
+from repro.obs.trace import event as _obs_event
+from repro.obs.trace import span as _span
 from repro.errors import (
     NotFittedError,
     ShapeMismatchError,
@@ -220,8 +222,15 @@ class ReferenceStack:
         same pool -- the reference-selection series, repeated CLI runs --
         reuse the union-pattern construction outright.
         """
+        def construct(refs_: list[Reference]) -> "ReferenceStack":
+            # The expensive union-pattern build; absent from a trace
+            # exactly when the cache served the stack.
+            with _span("stack.construct", n_references=len(refs_)):
+                return cls(refs_, normalize=normalize)
+
         if cache is None:
-            return cls(references, normalize=normalize)
+            with _span("stack.build", cache=False):
+                return construct(_validated_references(references))
         refs = _validated_references(references)
         from repro.cache import combine_fingerprints
 
@@ -232,9 +241,8 @@ class ReferenceStack:
                 *[ref.fingerprint() for ref in refs],
             ),
         )
-        built = cache.get_or_build(
-            key, lambda: cls(refs, normalize=normalize)
-        )
+        with _span("stack.build", cache=True):
+            built = cache.get_or_build(key, lambda: construct(refs))
         assert isinstance(built, ReferenceStack)
         return built
 
@@ -483,68 +491,75 @@ class BatchAligner:
             references each attribute may use (row of the full stack).
             Masked-out references get weight exactly 0.0.
         """
-        if isinstance(references, ReferenceStack):
-            if references.normalize != self.normalize:
-                raise ValidationError(
-                    "prebuilt ReferenceStack was built with "
-                    f"normalize={references.normalize}, aligner has "
-                    f"normalize={self.normalize}"
-                )
-            stack = references
-        else:
-            stack = ReferenceStack.build(
-                references, normalize=self.normalize, cache=self.cache
-            )
-        objective_matrix = self._coerce_objectives(
-            objectives, stack.n_sources
-        )
-        n_attrs = objective_matrix.shape[0]
-        mask_matrix = self._coerce_masks(
-            masks, n_attrs, stack.n_references
-        )
-        if attribute_names is None:
-            names = [f"attr-{i}" for i in range(n_attrs)]
-        else:
-            names = [str(n) for n in attribute_names]
-            if len(names) != n_attrs:
-                raise ShapeMismatchError(
-                    f"{n_attrs} objectives but {len(names)} attribute names"
-                )
-
+        # Telemetry reset per fit: without it, repeated fits accumulate
+        # stage timings and report multi-fit totals as one run's.
         self.timer_.reset()
-        with self.timer_.stage("weights"):
-            if self.normalize:
-                rhs = objective_matrix / objective_matrix.max(
-                    axis=1, keepdims=True
-                )
+        with _span("batch.fit", solver=self.solver_method) as fit_span:
+            if isinstance(references, ReferenceStack):
+                if references.normalize != self.normalize:
+                    raise ValidationError(
+                        "prebuilt ReferenceStack was built with "
+                        f"normalize={references.normalize}, aligner has "
+                        f"normalize={self.normalize}"
+                    )
+                stack = references
             else:
-                rhs = objective_matrix
-            # One matmul projects every attribute onto the shared design:
-            # column j of atb_all is A^T b_j.
-            atb_all = stack.design.T @ rhs.T
-            btb_all = np.einsum("ij,ij->i", rhs, rhs)
-            results: list[SimplexLstsqResult] = []
-            weights = np.zeros((n_attrs, stack.n_references))
-            for j in range(n_attrs):
-                mask = mask_matrix[j]
-                if mask.all():
-                    result = simplex_lstsq_from_gram(
-                        stack.gram,
-                        atb_all[:, j],
-                        btb=float(btb_all[j]),
-                        method=self.solver_method,
+                stack = ReferenceStack.build(
+                    references, normalize=self.normalize, cache=self.cache
+                )
+            objective_matrix = self._coerce_objectives(
+                objectives, stack.n_sources
+            )
+            n_attrs = objective_matrix.shape[0]
+            mask_matrix = self._coerce_masks(
+                masks, n_attrs, stack.n_references
+            )
+            if fit_span is not None:
+                fit_span.attrs["n_attrs"] = n_attrs
+                fit_span.attrs["n_references"] = stack.n_references
+            if attribute_names is None:
+                names = [f"attr-{i}" for i in range(n_attrs)]
+            else:
+                names = [str(n) for n in attribute_names]
+                if len(names) != n_attrs:
+                    raise ShapeMismatchError(
+                        f"{n_attrs} objectives but {len(names)} attribute "
+                        "names"
                     )
-                    weights[j] = result.weights
+
+            with self.timer_.stage("weights"):
+                if self.normalize:
+                    rhs = objective_matrix / objective_matrix.max(
+                        axis=1, keepdims=True
+                    )
                 else:
-                    idx = np.flatnonzero(mask)
-                    result = simplex_lstsq_from_gram(
-                        stack.gram[np.ix_(idx, idx)],
-                        atb_all[idx, j],
-                        btb=float(btb_all[j]),
-                        method=self.solver_method,
-                    )
-                    weights[j, idx] = result.weights
-                results.append(result)
+                    rhs = objective_matrix
+                # One matmul projects every attribute onto the shared
+                # design: column j of atb_all is A^T b_j.
+                atb_all = stack.design.T @ rhs.T
+                btb_all = np.einsum("ij,ij->i", rhs, rhs)
+                results: list[SimplexLstsqResult] = []
+                weights = np.zeros((n_attrs, stack.n_references))
+                for j in range(n_attrs):
+                    mask = mask_matrix[j]
+                    if mask.all():
+                        result = simplex_lstsq_from_gram(
+                            stack.gram,
+                            atb_all[:, j],
+                            btb=float(btb_all[j]),
+                            method=self.solver_method,
+                        )
+                        weights[j] = result.weights
+                    else:
+                        idx = np.flatnonzero(mask)
+                        result = simplex_lstsq_from_gram(
+                            stack.gram[np.ix_(idx, idx)],
+                            atb_all[idx, j],
+                            btb=float(btb_all[j]),
+                            method=self.solver_method,
+                        )
+                        weights[j, idx] = result.weights
+                    results.append(result)
         self.stack_ = stack
         self.weights_ = weights
         self.masks_ = mask_matrix
@@ -573,11 +588,18 @@ class BatchAligner:
         stack, weights, objectives = self._require_fitted()
         if self._scaled_values is not None:
             return self._scaled_values
-        with self.timer_.stage("disaggregation"):
+        with _span("batch.disaggregate"), self.timer_.stage(
+            "disaggregation"
+        ):
             # Back to raw DM scale (the scalar path's scales division).
             blend_weights = weights / stack.scales[np.newaxis, :]
             self.blend_weights_ = blend_weights
             blended = blend_weights @ stack.values
+            _obs_event(
+                "batch.blend_matmul",
+                n_attrs=int(blended.shape[0]),
+                nnz=stack.nnz,
+            )
             if self.denominator == "source-vectors":
                 denominators = blend_weights @ stack.source_vectors
             else:
@@ -598,6 +620,13 @@ class BatchAligner:
                         blended[rows] * factors[rows][:, stack.entry_rows]
                     )
 
+                # Recorded from the calling thread: contextvar-based
+                # trace sessions do not propagate into pool workers.
+                _obs_event(
+                    "batch.fanout",
+                    n_jobs=self.n_jobs,
+                    chunks=len(chunks),
+                )
                 with ThreadPoolExecutor(
                     max_workers=min(self.n_jobs, len(chunks))
                 ) as pool:
@@ -621,9 +650,10 @@ class BatchAligner:
         stack, _, _ = self._require_fitted()
         if self._predictions is not None:
             return self._predictions
-        scaled = self._compute_scaled_values()
-        with self.timer_.stage("reaggregation"):
-            self._predictions = stack.reaggregate(scaled)
+        with _span("batch.predict"):
+            scaled = self._compute_scaled_values()
+            with self.timer_.stage("reaggregation"):
+                self._predictions = stack.reaggregate(scaled)
         return self._predictions
 
     def fit_predict(

@@ -39,6 +39,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import SolverError, ValidationError
+from repro.obs.trace import event as _obs_event
 
 FloatArray = NDArray[np.float64]
 
@@ -92,6 +93,27 @@ def _validate_inputs(
 def _objective(A: FloatArray, b: FloatArray, w: FloatArray) -> float:
     r = A @ w - b
     return 0.5 * float(r @ r)
+
+
+def _emit_solver_event(
+    requested: str, result: SimplexLstsqResult, n: int
+) -> None:
+    """Record one ``solver.converged`` event on any active trace.
+
+    ``backend`` is the kernel that actually produced the result; it
+    differs from ``method`` exactly when the active-set solver fell back
+    to projected gradient (degenerate cycling / numerical corners), so
+    ``fallback`` makes silent fallbacks observable.
+    """
+    _obs_event(
+        "solver.converged",
+        method=requested,
+        backend=result.method,
+        iterations=result.iterations,
+        objective=result.objective,
+        fallback=result.method != requested,
+        n_references=n,
+    )
 
 
 @dataclass(frozen=True)
@@ -196,18 +218,22 @@ def simplex_lstsq(
         )
     if A.shape[1] == 1:
         # One reference: the constraint pins the answer.
-        return SimplexLstsqResult(
+        pinned = SimplexLstsqResult(
             np.ones(1), _objective(A, b, np.ones(1)), 0, method
         )
+        _emit_solver_event(method, pinned, 1)
+        return pinned
     result = _dispatch(_normal_equations(A, b), method, max_iter, tol)
     # Report the objective from the actual residual (numerically cleaner
     # than the expanded quadratic form when the fit is near-exact).
-    return SimplexLstsqResult(
+    result = SimplexLstsqResult(
         result.weights,
         _objective(A, b, result.weights),
         result.iterations,
         result.method,
     )
+    _emit_solver_event(method, result, A.shape[1])
+    return result
 
 
 def simplex_lstsq_from_gram(
@@ -247,8 +273,12 @@ def simplex_lstsq_from_gram(
         )
     if eqs.n == 1:
         w = np.ones(1)
-        return SimplexLstsqResult(w, eqs.objective(w), 0, method)
-    return _dispatch(eqs, method, max_iter, tol)
+        pinned = SimplexLstsqResult(w, eqs.objective(w), 0, method)
+        _emit_solver_event(method, pinned, 1)
+        return pinned
+    result = _dispatch(eqs, method, max_iter, tol)
+    _emit_solver_event(method, result, eqs.n)
+    return result
 
 
 def _dispatch(

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
 from repro.metrics.crossval import leave_one_dataset_out
+from repro.obs.trace import span as _span
 from repro.synth.universes import (
     build_new_york_world,
     build_united_states_world,
@@ -94,9 +95,12 @@ def run_alignment(
             )
         builder, default_seed = _UNIVERSES[universe]
         world = builder(scale, default_seed if seed is None else seed)
-    crossval = leave_one_dataset_out(
-        world.references(), engine=engine, cache=cache, n_jobs=n_jobs
-    )
+    with _span(
+        "experiment.align", universe=world.name, engine=engine
+    ):
+        crossval = leave_one_dataset_out(
+            world.references(), engine=engine, cache=cache, n_jobs=n_jobs
+        )
     rows = [
         (score.dataset, score.rmse, score.nrmse)
         for score in crossval.scores

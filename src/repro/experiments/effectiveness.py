@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.metrics.crossval import leave_one_dataset_out
+from repro.obs.trace import span as _span
 from repro.synth.datasets import POPULATION_LEVEL_REFERENCES
 from repro.synth.universes import (
     build_new_york_world,
@@ -95,15 +96,18 @@ def run_effectiveness(
     kwargs = {}
     if geoalign_factory is not None:
         kwargs["geoalign_factory"] = geoalign_factory
-    crossval = leave_one_dataset_out(
-        references,
-        dasymetric_reference_names=dasymetric_names,
-        areal_reference=area_reference,
-        engine=engine,
-        cache=cache,
-        n_jobs=n_jobs,
-        **kwargs,
-    )
+    with _span(
+        "experiment.effectiveness", universe=world.name, engine=engine
+    ):
+        crossval = leave_one_dataset_out(
+            references,
+            dasymetric_reference_names=dasymetric_names,
+            areal_reference=area_reference,
+            engine=engine,
+            cache=cache,
+            n_jobs=n_jobs,
+            **kwargs,
+        )
     table = crossval.nrmse_table()
     ratios = [
         row["areal-weighting"] / row["GeoAlign"]

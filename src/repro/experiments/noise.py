@@ -20,6 +20,7 @@ from repro.errors import ValidationError
 from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.geoalign import GeoAlign
 from repro.metrics.errors import rmse
+from repro.obs.trace import span as _span
 from repro.synth.universes import build_united_states_world
 from repro.utils.arrays import is_zero
 from repro.utils.rng import as_rng
@@ -135,42 +136,54 @@ def run_noise_robustness(
     rng = as_rng(noise_seed)
     result = NoiseResult(levels=tuple(levels), replicates=replicates)
 
-    for test in references:
-        truth = test.dm.col_sums()
-        pool = [r for r in references if r.name != test.name]
-        objective = test.source_vector[np.newaxis, :]
-        if engine == "batch":
-            stack = ReferenceStack.build(pool, cache=cache)
-            baseline_estimate = (
-                BatchAligner(cache=cache).fit(stack, objective).predict()[0]
-            )
-        else:
-            stack = None
-            baseline_estimate = GeoAlign().fit_predict(
-                pool, test.source_vector
-            )
-        baseline_rmse = rmse(baseline_estimate, truth)
-        by_level = {level: [] for level in levels}
-        for level in levels:
-            for _ in range(replicates):
-                noisy_pool = [
-                    perturb_reference(ref, level, rng) for ref in pool
-                ]
-                if stack is not None:
-                    estimate = (
-                        BatchAligner(cache=cache)
-                        .fit(stack.with_references(noisy_pool), objective)
-                        .predict()[0]
-                    )
-                else:
-                    estimate = GeoAlign().fit_predict(
-                        noisy_pool, test.source_vector
-                    )
-                noisy_rmse = rmse(estimate, truth)
-                if is_zero(baseline_rmse):
-                    ratio = 1.0 if is_zero(noisy_rmse) else float("inf")
-                else:
-                    ratio = noisy_rmse / baseline_rmse
-                by_level[level].append(ratio)
-        result.ratios[test.name] = by_level
+    with _span("experiment.noise", engine=engine, replicates=replicates):
+        for test in references:
+            with _span("noise.fold", dataset=test.name):
+                _run_noise_fold(
+                    test, references, levels, replicates, rng, engine,
+                    cache, result,
+                )
     return result
+
+
+def _run_noise_fold(
+    test, references, levels, replicates, rng, engine, cache, result
+):
+    """One held-out dataset's noise-ratio sweep (all levels/replicates)."""
+    truth = test.dm.col_sums()
+    pool = [r for r in references if r.name != test.name]
+    objective = test.source_vector[np.newaxis, :]
+    if engine == "batch":
+        stack = ReferenceStack.build(pool, cache=cache)
+        baseline_estimate = (
+            BatchAligner(cache=cache).fit(stack, objective).predict()[0]
+        )
+    else:
+        stack = None
+        baseline_estimate = GeoAlign().fit_predict(
+            pool, test.source_vector
+        )
+    baseline_rmse = rmse(baseline_estimate, truth)
+    by_level = {level: [] for level in levels}
+    for level in levels:
+        for _ in range(replicates):
+            noisy_pool = [
+                perturb_reference(ref, level, rng) for ref in pool
+            ]
+            if stack is not None:
+                estimate = (
+                    BatchAligner(cache=cache)
+                    .fit(stack.with_references(noisy_pool), objective)
+                    .predict()[0]
+                )
+            else:
+                estimate = GeoAlign().fit_predict(
+                    noisy_pool, test.source_vector
+                )
+            noisy_rmse = rmse(estimate, truth)
+            if is_zero(baseline_rmse):
+                ratio = 1.0 if is_zero(noisy_rmse) else float("inf")
+            else:
+                ratio = noisy_rmse / baseline_rmse
+            by_level[level].append(ratio)
+    result.ratios[test.name] = by_level

@@ -26,6 +26,7 @@ from repro.errors import ValidationError
 from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.geoalign import GeoAlign
 from repro.metrics.errors import nrmse
+from repro.obs.trace import span as _span
 from repro.synth.universes import build_united_states_world
 
 #: Series names in paper order.
@@ -127,38 +128,44 @@ def run_reference_selection(
         }
 
     if engine == "batch":
-        index_of = {ref.name: i for i, ref in enumerate(references)}
-        rows = [
-            (test, series) for test in references for series in SERIES
-        ]
-        objectives = np.vstack([test.source_vector for test, _ in rows])
-        masks = np.zeros((len(rows), len(references)), dtype=bool)
-        for row, (test, series) in enumerate(rows):
-            for name in subset_names[test.name][series]:
-                masks[row, index_of[name]] = True
-        stack = ReferenceStack.build(references, cache=cache)
-        estimates = (
-            BatchAligner(cache=cache, n_jobs=n_jobs)
-            .fit(stack, objectives, masks=masks)
-            .predict()
-        )
-        truths = {
-            test.name: test.dm.col_sums() for test in references
-        }
-        for row, (test, series) in enumerate(rows):
-            result.nrmse.setdefault(test.name, {})[series] = nrmse(
-                estimates[row], truths[test.name]
+        with _span("experiment.reference_selection", engine=engine):
+            index_of = {ref.name: i for i, ref in enumerate(references)}
+            rows = [
+                (test, series) for test in references for series in SERIES
+            ]
+            objectives = np.vstack(
+                [test.source_vector for test, _ in rows]
             )
+            masks = np.zeros((len(rows), len(references)), dtype=bool)
+            for row, (test, series) in enumerate(rows):
+                for name in subset_names[test.name][series]:
+                    masks[row, index_of[name]] = True
+            stack = ReferenceStack.build(references, cache=cache)
+            estimates = (
+                BatchAligner(cache=cache, n_jobs=n_jobs)
+                .fit(stack, objectives, masks=masks)
+                .predict()
+            )
+            truths = {
+                test.name: test.dm.col_sums() for test in references
+            }
+            for row, (test, series) in enumerate(rows):
+                result.nrmse.setdefault(test.name, {})[series] = nrmse(
+                    estimates[row], truths[test.name]
+                )
         return result
 
-    for test in references:
-        truth = test.dm.col_sums()
-        pool = [r for r in references if r.name != test.name]
-        ranked = rank_by_correlation(pool, test.source_vector)
-        by_series = {}
-        for series in SERIES:
-            subset = subset_for_series(ranked, series)
-            estimate = GeoAlign().fit_predict(subset, test.source_vector)
-            by_series[series] = nrmse(estimate, truth)
-        result.nrmse[test.name] = by_series
+    with _span("experiment.reference_selection", engine=engine):
+        for test in references:
+            truth = test.dm.col_sums()
+            pool = [r for r in references if r.name != test.name]
+            ranked = rank_by_correlation(pool, test.source_vector)
+            by_series = {}
+            for series in SERIES:
+                subset = subset_for_series(ranked, series)
+                estimate = GeoAlign().fit_predict(
+                    subset, test.source_vector
+                )
+                by_series[series] = nrmse(estimate, truth)
+            result.nrmse[test.name] = by_series
     return result

@@ -60,7 +60,21 @@ def bench_json_path(name):
     return os.path.join(results_dir(), f"BENCH_{slugify(name)}.json")
 
 
-def save_bench_json(name, metrics, meta=None):
+def _clean_numbers(name, section, mapping):
+    """Validate one section's values as JSON-safe (non-NaN) floats."""
+    clean = {}
+    for key, value in mapping.items():
+        number = float(value)
+        if math.isnan(number):
+            raise ValidationError(
+                f"bench {name!r} {section} {key!r} is NaN; "
+                "refusing to save"
+            )
+        clean[str(key)] = number
+    return clean
+
+
+def save_bench_json(name, metrics, meta=None, stages=None, cache_stats=None):
     """Persist one benchmark's metrics as ``BENCH_<name>.json``.
 
     Parameters
@@ -75,23 +89,33 @@ def save_bench_json(name, metrics, meta=None):
     meta:
         Optional mapping of non-compared context (scale, attribute
         counts, ...) stored alongside under ``"meta"``.
+    stages:
+        Optional mapping of stage name to seconds (typically a
+        :class:`~repro.utils.timer.StageTimer`'s ``totals``), stored
+        under ``"stages"``.  The regression gate compares each entry
+        as ``stage_<name>_seconds`` against the wall-time tolerance,
+        so a per-stage slowdown fails even when the total hides it.
+    cache_stats:
+        Optional mapping of cache counter name to value (typically
+        :meth:`~repro.cache.CacheStats.as_dict`), stored under
+        ``"cache"``.  The gate derives ``cache_hit_rate`` from hits
+        and misses and treats a drop as a regression.
 
     Returns
     -------
     str
         The written file path.
     """
-    clean = {}
-    for key, value in metrics.items():
-        number = float(value)
-        if math.isnan(number):
-            raise ValidationError(
-                f"bench {name!r} metric {key!r} is NaN; refusing to save"
-            )
-        clean[str(key)] = number
-    payload = {"name": str(name), "metrics": clean}
+    payload = {
+        "name": str(name),
+        "metrics": _clean_numbers(name, "metric", metrics),
+    }
     if meta:
         payload["meta"] = {str(k): v for k, v in meta.items()}
+    if stages:
+        payload["stages"] = _clean_numbers(name, "stage", stages)
+    if cache_stats:
+        payload["cache"] = _clean_numbers(name, "cache stat", cache_stats)
     path = bench_json_path(name)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

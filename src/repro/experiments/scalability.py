@@ -15,13 +15,14 @@ least-squares linearity fit against unit counts.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.geoalign import GeoAlign
 from repro.metrics.errors import pearson_correlation
+from repro.obs.trace import span as _span
+from repro.obs.trace import timed_span as _timed_span
 from repro.synth.universes import build_united_states_world, ladder_universes
 
 
@@ -110,9 +111,11 @@ def time_geoalign_fold(references, test_reference, repeats=1):
     dm_fractions = []
     for _ in range(repeats):
         estimator = GeoAlign()
-        start = time.perf_counter()
-        estimator.fit_predict(pool, test_reference.source_vector)
-        durations.append(time.perf_counter() - start)
+        with _timed_span(
+            "scalability.fold", dataset=test_reference.name
+        ) as clock:
+            estimator.fit_predict(pool, test_reference.source_vector)
+        durations.append(clock.seconds)
         dm_fractions.append(estimator.timer_.fraction("disaggregation"))
     return float(np.mean(durations)), float(np.mean(dm_fractions))
 
@@ -132,26 +135,28 @@ def run_scalability(scale=1.0, seed=1776, trials=10, world=None):
     if world is None:
         world = build_united_states_world(scale, seed)
     result = ScalabilityResult()
-    for spec, universe in ladder_universes(world, scale):
-        references = universe.references()
-        per_dataset = {}
-        fractions = []
-        for test in references:
-            seconds, dm_fraction = time_geoalign_fold(
-                references, test, repeats=trials
+    with _span("experiment.scalability", scale=scale, trials=trials):
+        for spec, universe in ladder_universes(world, scale):
+            references = universe.references()
+            per_dataset = {}
+            fractions = []
+            with _span("scalability.universe", universe=spec.name):
+                for test in references:
+                    seconds, dm_fraction = time_geoalign_fold(
+                        references, test, repeats=trials
+                    )
+                    per_dataset[test.name] = seconds
+                    fractions.append(dm_fraction)
+            runtimes = np.array(list(per_dataset.values()))
+            result.timings.append(
+                UniverseTiming(
+                    universe=spec.name,
+                    n_source_units=len(universe.zips),
+                    n_target_units=len(universe.counties),
+                    mean_runtime=float(runtimes.mean()),
+                    std_runtime=float(runtimes.std()),
+                    per_dataset_runtimes=per_dataset,
+                    disaggregation_fraction=float(np.mean(fractions)),
+                )
             )
-            per_dataset[test.name] = seconds
-            fractions.append(dm_fraction)
-        runtimes = np.array(list(per_dataset.values()))
-        result.timings.append(
-            UniverseTiming(
-                universe=spec.name,
-                n_source_units=len(universe.zips),
-                n_target_units=len(universe.counties),
-                mean_runtime=float(runtimes.mean()),
-                std_runtime=float(runtimes.std()),
-                per_dataset_runtimes=per_dataset,
-                disaggregation_fraction=float(np.mean(fractions)),
-            )
-        )
     return result

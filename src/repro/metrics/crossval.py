@@ -22,6 +22,8 @@ from repro.core.baselines import Dasymetric
 from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.geoalign import GeoAlign
 from repro.metrics.errors import nrmse, rmse
+from repro.obs.trace import span as _span
+from repro.obs.trace import timed_span as _timed_span
 
 #: Valid GeoAlign execution engines for the cross-validation harness.
 ENGINES = ("loop", "batch")
@@ -106,8 +108,6 @@ def _batch_geoalign_scores(
     Per-fold runtime is the batch wall-time split evenly across folds --
     the shared work has no per-fold attribution.
     """
-    import time
-
     probe = geoalign_factory()
     if not isinstance(probe, GeoAlign):
         raise ValidationError(
@@ -138,21 +138,21 @@ def _batch_geoalign_scores(
                 )
             masks[fold, index_of[ref.name]] = True
 
-    start = time.perf_counter()
-    aligner = BatchAligner(
-        solver_method=probe.solver_method,
-        normalize=probe.normalize,
-        denominator=probe.denominator,
-        cache=cache,
-        n_jobs=n_jobs,
-    )
-    stack = ReferenceStack.build(
-        datasets, normalize=probe.normalize, cache=cache
-    )
-    estimates = aligner.fit(
-        stack, objectives, attribute_names=names, masks=masks
-    ).predict()
-    seconds_per_fold = (time.perf_counter() - start) / len(datasets)
+    with _timed_span("crossval.batch", n_folds=len(datasets)) as clock:
+        aligner = BatchAligner(
+            solver_method=probe.solver_method,
+            normalize=probe.normalize,
+            denominator=probe.denominator,
+            cache=cache,
+            n_jobs=n_jobs,
+        )
+        stack = ReferenceStack.build(
+            datasets, normalize=probe.normalize, cache=cache
+        )
+        estimates = aligner.fit(
+            stack, objectives, attribute_names=names, masks=masks
+        ).predict()
+    seconds_per_fold = clock.seconds / len(datasets)
 
     scores = []
     for fold, test in enumerate(datasets):
@@ -205,9 +205,12 @@ def leave_one_dataset_out(
         reference-selection experiment (§4.4.2).  Default: the full pool.
     runner:
         Optional hook ``(method_name, fit_predict_callable) -> (estimates,
-        seconds)`` for instrumented timing; default times with
-        ``time.perf_counter``.  Only consulted by ``engine="loop"`` (the
-        batch engine has no per-fold call to instrument).
+        seconds)`` for instrumented timing; the default wraps each call
+        in a ``crossval.method`` tracing span
+        (:func:`repro.obs.timed_span`), which times with
+        ``time.perf_counter`` whether or not a trace session is active.
+        Only consulted by ``engine="loop"`` (the batch engine has no
+        per-fold call to instrument).
     engine:
         ``"loop"`` (default) fits one scalar GeoAlign per fold;
         ``"batch"`` runs every fold through one shared
@@ -223,8 +226,6 @@ def leave_one_dataset_out(
     -------
     CrossValidationResult
     """
-    import time
-
     if engine not in ENGINES:
         raise ValidationError(
             f"engine must be one of {ENGINES}, got {engine!r}"
@@ -248,9 +249,9 @@ def leave_one_dataset_out(
     if runner is None:
 
         def runner(method_name, call):
-            start = time.perf_counter()
-            estimates = call()
-            return estimates, time.perf_counter() - start
+            with _timed_span("crossval.method", method=method_name) as clock:
+                estimates = call()
+            return estimates, clock.seconds
 
     result = CrossValidationResult()
     by_name = {d.name: d for d in datasets}
@@ -262,68 +263,74 @@ def leave_one_dataset_out(
         )
 
     for fold, test in enumerate(datasets):
-        truth = test.dm.col_sums()
-        if batch_scores is not None:
-            result.scores.append(batch_scores[fold])
-        else:
-            pool = [d for d in datasets if d.name != test.name]
-            if reference_selector is not None:
-                selected = list(reference_selector(test, pool))
-                if not selected:
-                    raise ValidationError(
-                        f"reference selector returned no references for "
-                        f"{test.name!r}"
-                    )
+        with _span("crossval.fold", dataset=test.name):
+            truth = test.dm.col_sums()
+            if batch_scores is not None:
+                result.scores.append(batch_scores[fold])
             else:
-                selected = pool
+                pool = [d for d in datasets if d.name != test.name]
+                if reference_selector is not None:
+                    selected = list(reference_selector(test, pool))
+                    if not selected:
+                        raise ValidationError(
+                            f"reference selector returned no references "
+                            f"for {test.name!r}"
+                        )
+                else:
+                    selected = pool
 
-            estimator = geoalign_factory()
-            estimates, seconds = runner(
-                "GeoAlign",
-                lambda: estimator.fit_predict(selected, test.source_vector),
-            )
-            result.scores.append(
-                MethodScore(
+                estimator = geoalign_factory()
+                estimates, seconds = runner(
                     "GeoAlign",
-                    test.name,
-                    rmse(estimates, truth),
-                    nrmse(estimates, truth),
-                    seconds,
+                    lambda: estimator.fit_predict(
+                        selected, test.source_vector
+                    ),
                 )
-            )
+                result.scores.append(
+                    MethodScore(
+                        "GeoAlign",
+                        test.name,
+                        rmse(estimates, truth),
+                        nrmse(estimates, truth),
+                        seconds,
+                    )
+                )
 
-        for ref_name in dasymetric_reference_names:
-            if ref_name == test.name:
-                continue
-            method = Dasymetric(by_name[ref_name])
-            estimates, seconds = runner(
-                method.name,
-                lambda m=method: m.fit_predict(test.source_vector),
-            )
-            result.scores.append(
-                MethodScore(
+            for ref_name in dasymetric_reference_names:
+                if ref_name == test.name:
+                    continue
+                method = Dasymetric(by_name[ref_name])
+                estimates, seconds = runner(
                     method.name,
-                    test.name,
-                    rmse(estimates, truth),
-                    nrmse(estimates, truth),
-                    seconds,
+                    lambda m=method: m.fit_predict(test.source_vector),
                 )
-            )
+                result.scores.append(
+                    MethodScore(
+                        method.name,
+                        test.name,
+                        rmse(estimates, truth),
+                        nrmse(estimates, truth),
+                        seconds,
+                    )
+                )
 
-        if areal_reference is not None and areal_reference.name != test.name:
-            method = Dasymetric(areal_reference)
-            estimates, seconds = runner(
-                "areal-weighting",
-                lambda m=method: m.fit_predict(test.source_vector),
-            )
-            result.scores.append(
-                MethodScore(
+            if (
+                areal_reference is not None
+                and areal_reference.name != test.name
+            ):
+                method = Dasymetric(areal_reference)
+                estimates, seconds = runner(
                     "areal-weighting",
-                    test.name,
-                    rmse(estimates, truth),
-                    nrmse(estimates, truth),
-                    seconds,
+                    lambda m=method: m.fit_predict(test.source_vector),
                 )
-            )
+                result.scores.append(
+                    MethodScore(
+                        "areal-weighting",
+                        test.name,
+                        rmse(estimates, truth),
+                        nrmse(estimates, truth),
+                        seconds,
+                    )
+                )
 
     return result

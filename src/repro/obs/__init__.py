@@ -1,0 +1,57 @@
+"""Structured observability for the alignment pipeline (``repro.obs``).
+
+A lightweight, dependency-free tracing layer: hierarchical spans,
+point-in-time events, and a counter/gauge registry, recorded per run
+into :class:`~repro.obs.trace.Trace` sessions.  Instrumentation calls
+(:func:`span`, :func:`event`, :func:`incr`) are no-ops costing one
+context-variable read when no session is active, so the hot paths stay
+hot; opening a session with :func:`trace` turns them on for everything
+the ``with`` block calls, across module boundaries, via contextvars.
+
+Three consumers share the records:
+
+* the CLI's ``--trace FILE`` (JSON-lines export, :mod:`repro.obs.export`)
+  and ``--profile`` (text summary tree, :mod:`repro.obs.profile`) flags,
+* the benchmark harness, which persists stage breakdowns and cache
+  statistics next to its wall-time metrics for the regression gate, and
+* the test suite's ``capture_trace`` fixture, which turns emitted
+  spans/events into executable documentation of the engine's promised
+  behaviour ("one blend matmul per batch", "second build is a cache
+  hit").
+
+See ``docs/observability.md`` for the span model and event schema.
+"""
+
+from repro.obs.trace import (
+    EventRecord,
+    SpanRecord,
+    TimedHandle,
+    Trace,
+    event,
+    incr,
+    set_gauge,
+    span,
+    timed_span,
+    trace,
+    tracing_active,
+)
+from repro.obs.export import trace_to_jsonl, trace_to_records, write_trace_jsonl
+from repro.obs.profile import format_profile
+
+__all__ = [
+    "EventRecord",
+    "SpanRecord",
+    "TimedHandle",
+    "Trace",
+    "event",
+    "incr",
+    "set_gauge",
+    "span",
+    "timed_span",
+    "trace",
+    "tracing_active",
+    "trace_to_jsonl",
+    "trace_to_records",
+    "write_trace_jsonl",
+    "format_profile",
+]

@@ -1,0 +1,102 @@
+"""JSON-lines export of a :class:`~repro.obs.trace.Trace` session.
+
+The trace file format (consumed by ``--trace FILE`` and the test suite)
+is one JSON object per line, in three record types:
+
+``{"type": "trace", ...}``
+    Session header: name, wall seconds, counters and gauges.  Always
+    the first line of a session; several sessions may be appended to
+    one file (the CLI's ``all`` command writes one per figure).
+``{"type": "span", ...}``
+    One span: ``id``, ``parent`` (``null`` at the root), ``name``,
+    ``t0``/``t1`` (seconds relative to the session start), ``seconds``,
+    ``status`` and ``attrs``.  Spans are sorted by start time, so a
+    parent always precedes its children.
+``{"type": "event", ...}``
+    One event: ``id``, ``span`` (the owning span id), ``name``, ``t``
+    and ``fields``.
+
+Every value is JSON-safe: non-scalar span attributes and event fields
+are serialised via ``repr``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import Trace
+
+__all__ = ["trace_to_records", "trace_to_jsonl", "write_trace_jsonl"]
+
+
+def _json_safe(value: object) -> object:
+    """Scalars pass through; anything else becomes its repr."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _safe_mapping(mapping: dict[str, object]) -> dict[str, object]:
+    return {str(key): _json_safe(value) for key, value in mapping.items()}
+
+
+def trace_to_records(session: Trace) -> list[dict[str, object]]:
+    """The session as a list of JSON-safe record dicts (header first)."""
+    origin = session.started
+    records: list[dict[str, object]] = [
+        {
+            "type": "trace",
+            "name": session.name,
+            "wall_seconds": session.wall_seconds,
+            "spans": len(session.spans),
+            "events": len(session.events),
+            "counters": dict(session.counters),
+            "gauges": dict(session.gauges),
+        }
+    ]
+    for span in sorted(session.spans, key=lambda s: (s.started, s.span_id)):
+        ended = span.ended if span.ended is not None else span.started
+        records.append(
+            {
+                "type": "span",
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "t0": span.started - origin,
+                "t1": ended - origin,
+                "seconds": span.seconds,
+                "status": span.status,
+                "attrs": _safe_mapping(span.attrs),
+            }
+        )
+    for event in session.events:
+        records.append(
+            {
+                "type": "event",
+                "id": event.event_id,
+                "span": event.span_id,
+                "name": event.name,
+                "t": event.at - origin,
+                "fields": _safe_mapping(event.fields),
+            }
+        )
+    return records
+
+
+def trace_to_jsonl(session: Trace) -> str:
+    """The session as JSON-lines text (trailing newline included)."""
+    lines = [
+        json.dumps(record, sort_keys=True)
+        for record in trace_to_records(session)
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def write_trace_jsonl(
+    session: Trace, path: str, append: bool = False
+) -> str:
+    """Write (or append) the session's JSON-lines records to ``path``."""
+    mode = "a" if append else "w"
+    with open(path, mode) as handle:
+        handle.write(trace_to_jsonl(session))
+    return path

@@ -1,0 +1,301 @@
+"""Tracing core: spans, events, counters, and the active-session stack.
+
+The model is deliberately small:
+
+* A :class:`Trace` is one recording session (one CLI run, one test
+  block).  It collects finished :class:`SpanRecord` and
+  :class:`EventRecord` objects plus named counters and gauges.
+* :func:`span` opens a *hierarchical* timed region.  Parent linkage is
+  carried in a :class:`contextvars.ContextVar`, so a span opened three
+  stack frames below another attaches to it automatically -- no tracer
+  object is threaded through call signatures.
+* :func:`event` records a point in time (solver converged, cache hit)
+  attached to whichever span is current.
+* :func:`incr` / :func:`set_gauge` maintain the counter/gauge registry
+  of every active session.
+
+Several sessions may be active at once (a test fixture inside a traced
+CLI run); every record is delivered to all of them.  Ids are allocated
+from one process-wide counter so records of the same span agree across
+sessions.
+
+When *no* session is active, every instrumentation function returns
+after a single ``ContextVar.get()`` -- cheap enough for per-solve hot
+paths (the benchmark gate holds instrumentation overhead on the batch
+workload under 3 %).
+
+Timestamps are monotonic ``time.perf_counter`` values (the ``wallclock``
+lint rule bans ``time.time()`` in measured paths); exported traces
+report times relative to the session start.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EventRecord",
+    "SpanRecord",
+    "TimedHandle",
+    "Trace",
+    "event",
+    "incr",
+    "set_gauge",
+    "span",
+    "timed_span",
+    "trace",
+    "tracing_active",
+]
+
+#: Process-wide id source shared by spans and events, so ids are unique
+#: within any session regardless of how many sessions observed them.
+_IDS = itertools.count(1)
+
+#: The stack of active recording sessions (empty tuple = tracing off).
+_ACTIVE: ContextVar[tuple["Trace", ...]] = ContextVar(
+    "repro_obs_active", default=()
+)
+
+#: Id of the innermost open span, for parent linkage; ``None`` at root.
+_PARENT: ContextVar[int | None] = ContextVar("repro_obs_parent", default=None)
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still-open) timed region.
+
+    Attributes
+    ----------
+    span_id, parent_id:
+        Process-unique id and the id of the enclosing span (``None``
+        for a session root or a span whose parent belongs to an outer
+        session).
+    name:
+        Dotted span name, e.g. ``"stage.weights"``.
+    started, ended:
+        ``perf_counter`` timestamps; ``ended`` is ``None`` while open.
+    attrs:
+        Keyword attributes given at open time.
+    status:
+        ``"ok"``, or ``"error"`` when an exception escaped the span.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    started: float
+    ended: float | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def seconds(self) -> float:
+        """Span duration (0.0 while the span is still open)."""
+        if self.ended is None:
+            return 0.0
+        return self.ended - self.started
+
+
+@dataclass
+class EventRecord:
+    """One point-in-time record attached to the then-current span."""
+
+    event_id: int
+    span_id: int | None
+    name: str
+    at: float
+    fields: dict[str, object] = field(default_factory=dict)
+
+
+class Trace:
+    """One recording session: spans, events, counters, gauges.
+
+    Instances are created by :func:`trace`; tests receive them from the
+    ``capture_trace`` fixture and assert on the query helpers below.
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.started = time.perf_counter()
+        self.ended: float | None = None
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+
+    # -- recording ------------------------------------------------------
+    def _record_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+
+    def _record_event(self, record: EventRecord) -> None:
+        self.events.append(record)
+
+    # -- queries (used by tests, export and the profile tree) -----------
+    @property
+    def wall_seconds(self) -> float:
+        """Session wall time; measured to now while still open."""
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+    def find_spans(self, name: str) -> list[SpanRecord]:
+        """All spans named ``name``, in open order."""
+        return [s for s in self.spans if s.name == name]
+
+    def find_events(self, name: str) -> list[EventRecord]:
+        """All events named ``name``, in emit order."""
+        return [e for e in self.events if e.name == name]
+
+    def span_names(self) -> list[str]:
+        """Distinct span names in first-open order."""
+        return list(dict.fromkeys(s.name for s in self.spans))
+
+    def span_seconds(self, name: str) -> float:
+        """Total seconds across all spans named ``name``."""
+        return sum(s.seconds for s in self.find_spans(name))
+
+    def root_spans(self) -> list[SpanRecord]:
+        """Spans whose parent is not recorded in *this* session."""
+        known = {s.span_id for s in self.spans}
+        return [
+            s
+            for s in self.spans
+            if s.parent_id is None or s.parent_id not in known
+        ]
+
+    def children_of(self, span_id: int) -> list[SpanRecord]:
+        """Direct children of the span with id ``span_id``."""
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def ancestors_of(self, record: SpanRecord) -> list[SpanRecord]:
+        """Parent chain of ``record``, innermost first."""
+        by_id = {s.span_id: s for s in self.spans}
+        chain: list[SpanRecord] = []
+        parent_id = record.parent_id
+        while parent_id is not None and parent_id in by_id:
+            parent = by_id[parent_id]
+            chain.append(parent)
+            parent_id = parent.parent_id
+        return chain
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, spans={len(self.spans)}, "
+            f"events={len(self.events)}, counters={len(self.counters)})"
+        )
+
+
+def tracing_active() -> bool:
+    """Whether at least one recording session is currently active."""
+    return bool(_ACTIVE.get())
+
+
+@contextmanager
+def trace(name: str = "trace", /, **attrs: object) -> Iterator[Trace]:
+    """Open a recording session (and its root span) for the block.
+
+    Everything called inside the ``with`` block -- across module
+    boundaries -- delivers its spans, events and counter updates to the
+    yielded :class:`Trace`.  Sessions nest: an inner ``trace`` records
+    alongside (not instead of) any outer ones.
+    """
+    session = Trace(name)
+    token = _ACTIVE.set(_ACTIVE.get() + (session,))
+    try:
+        with span(name, **attrs):
+            yield session
+    finally:
+        session.ended = time.perf_counter()
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def span(name: str, /, **attrs: object) -> Iterator[SpanRecord | None]:
+    """Record a named, timed, hierarchical region of the block.
+
+    Yields the :class:`SpanRecord` (shared by every active session) so
+    callers may attach attributes mid-flight, or ``None`` when tracing
+    is off.  An exception escaping the block marks the span
+    ``status="error"`` before re-raising.
+    """
+    sessions = _ACTIVE.get()
+    if not sessions:
+        yield None
+        return
+    record = SpanRecord(
+        span_id=next(_IDS),
+        parent_id=_PARENT.get(),
+        name=name,
+        started=time.perf_counter(),
+        attrs=dict(attrs),
+    )
+    for session in sessions:
+        session._record_span(record)
+    token = _PARENT.set(record.span_id)
+    try:
+        yield record
+    except BaseException:
+        record.status = "error"
+        raise
+    finally:
+        _PARENT.reset(token)
+        record.ended = time.perf_counter()
+
+
+class TimedHandle:
+    """Duration carrier for :func:`timed_span`; always populated."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+@contextmanager
+def timed_span(name: str, /, **attrs: object) -> Iterator[TimedHandle]:
+    """A :func:`span` that also measures when tracing is *off*.
+
+    Replaces ad-hoc ``perf_counter`` bookkeeping at call sites that need
+    the duration as a return value (cross-validation fold timing, the
+    scalability figure) while still contributing a span to any active
+    session.
+    """
+    handle = TimedHandle()
+    start = time.perf_counter()
+    with span(name, **attrs):
+        try:
+            yield handle
+        finally:
+            handle.seconds = time.perf_counter() - start
+
+
+def event(name: str, /, **fields: object) -> None:
+    """Record a point-in-time event on the current span (if tracing)."""
+    sessions = _ACTIVE.get()
+    if not sessions:
+        return
+    record = EventRecord(
+        event_id=next(_IDS),
+        span_id=_PARENT.get(),
+        name=name,
+        at=time.perf_counter(),
+        fields=dict(fields),
+    )
+    for session in sessions:
+        session._record_event(record)
+
+
+def incr(name: str, amount: float = 1.0) -> None:
+    """Add ``amount`` to counter ``name`` in every active session."""
+    for session in _ACTIVE.get():
+        session.counters[name] = session.counters.get(name, 0.0) + amount
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` in every active session."""
+    for session in _ACTIVE.get():
+        session.gauges[name] = float(value)

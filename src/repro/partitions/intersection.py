@@ -19,6 +19,7 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import PartitionError, ShapeMismatchError
+from repro.obs.trace import span as _span
 from repro.partitions.dm import DisaggregationMatrix
 
 if TYPE_CHECKING:
@@ -210,15 +211,20 @@ def build_intersection(
         )
         assert isinstance(built, IntersectionUnits)
         return built
-    src_idx, tgt_idx, measure = source.overlap_pairs(target)
-    if min_measure > 0.0:
-        keep = measure > min_measure
-        src_idx, tgt_idx, measure = (
-            src_idx[keep],
-            tgt_idx[keep],
-            measure[keep],
+    with _span(
+        "intersection.build",
+        n_source=len(source),
+        n_target=len(target),
+    ):
+        src_idx, tgt_idx, measure = source.overlap_pairs(target)
+        if min_measure > 0.0:
+            keep = measure > min_measure
+            src_idx, tgt_idx, measure = (
+                src_idx[keep],
+                tgt_idx[keep],
+                measure[keep],
+            )
+        order = np.lexsort((tgt_idx, src_idx))
+        return IntersectionUnits(
+            source, target, src_idx[order], tgt_idx[order], measure[order]
         )
-    order = np.lexsort((tgt_idx, src_idx))
-    return IntersectionUnits(
-        source, target, src_idx[order], tgt_idx[order], measure[order]
-    )

@@ -5,6 +5,13 @@ spent constructing the disaggregation matrix after the weights are
 estimated.  :class:`StageTimer` records wall-clock per named stage so the
 scalability benchmark can verify the same decomposition on our build.
 
+``StageTimer`` is a thin façade over the :mod:`repro.obs` tracing layer:
+every ``stage("x")`` block additionally emits a ``stage.x`` span, so a
+traced run (CLI ``--trace`` / the ``capture_trace`` test fixture) sees
+the same decomposition the timer accumulates, nested under whatever
+span is current.  With no trace session active the span call is a
+single context-variable read.
+
 Timing uses the monotonic ``time.perf_counter``; the ``wallclock`` lint
 rule bans ``time.time()`` in benchmarked paths precisely so these
 decompositions stay NTP-jump-proof.
@@ -16,6 +23,7 @@ import time
 from collections.abc import Iterator
 from contextlib import contextmanager
 
+from repro.obs.trace import span as _span
 from repro.utils.arrays import is_zero
 
 
@@ -36,13 +44,18 @@ class StageTimer:
 
     @contextmanager
     def stage(self, name: str) -> Iterator["StageTimer"]:
-        """Context manager timing one stage; durations accumulate."""
-        start = time.perf_counter()
-        try:
-            yield self
-        finally:
-            elapsed = time.perf_counter() - start
-            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+        """Context manager timing one stage; durations accumulate.
+
+        Also emits a ``stage.<name>`` tracing span to any active
+        :mod:`repro.obs` session (a no-op otherwise).
+        """
+        with _span(f"stage.{name}"):
+            start = time.perf_counter()
+            try:
+                yield self
+            finally:
+                elapsed = time.perf_counter() - start
+                self.totals[name] = self.totals.get(name, 0.0) + elapsed
 
     @property
     def total(self) -> float:

@@ -36,6 +36,28 @@ def rng():
 
 
 @pytest.fixture
+def capture_trace():
+    """Context-manager factory recording ``repro.obs`` telemetry.
+
+    Usage::
+
+        def test_something(capture_trace):
+            with capture_trace() as session:
+                GeoAlign().fit_predict(refs, objective)
+            assert session.find_spans("geoalign.fit")
+
+    The yielded object is a :class:`repro.obs.Trace`; assert on its
+    ``find_spans`` / ``find_events`` / ``counters`` queries.
+    """
+    from repro.obs import trace
+
+    def factory(name="test", **attrs):
+        return trace(name, **attrs)
+
+    return factory
+
+
+@pytest.fixture
 def small_dm():
     """3 source x 2 target disaggregation matrix with known sums."""
     return DisaggregationMatrix(

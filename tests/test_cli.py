@@ -1,6 +1,7 @@
 """Tests for the geoalign-repro command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -36,6 +37,16 @@ class TestParser:
     def test_fig7_replicates_flag(self):
         args = build_parser().parse_args(["fig7", "--replicates", "5"])
         assert args.replicates == 5
+
+    def test_trace_and_profile_flags(self):
+        args = build_parser().parse_args(
+            ["align", "--trace", "out.jsonl", "--profile"]
+        )
+        assert args.trace == "out.jsonl"
+        assert args.profile is True
+        args = build_parser().parse_args(["fig5a"])
+        assert args.trace is None
+        assert args.profile is False
 
 
 class TestExecution:
@@ -125,6 +136,90 @@ class TestAllCommand:
         assert code == 0
         for name in ("fig5a", "fig5b", "fig6", "fig7", "fig8"):
             assert (tmp_path / f"{name}.txt").is_file(), name
+
+
+class TestObservabilityFlags:
+    def _read_jsonl(self, path):
+        return [
+            json.loads(line)
+            for line in path.read_text().strip().split("\n")
+        ]
+
+    def test_align_trace_writes_valid_jsonl(self, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        code, out = _run(
+            [
+                "align",
+                "--scale",
+                str(TEST_SCALE),
+                "--trace",
+                str(trace_file),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        assert f"[trace written {trace_file}]" in out
+
+        records = self._read_jsonl(trace_file)
+        header = records[0]
+        assert header["type"] == "trace"
+        assert header["name"] == "cli.align"
+        spans = [r for r in records if r["type"] == "span"]
+        assert header["spans"] == len(spans)
+
+        # The root span is the CLI command; parents precede children
+        # and every parent id resolves within the file.
+        assert spans[0]["name"] == "cli.align"
+        seen = set()
+        for record in spans:
+            assert record["parent"] is None or record["parent"] in seen
+            seen.add(record["id"])
+        names = {record["name"] for record in spans}
+        assert {"experiment.align", "batch.fit", "stage.weights"} <= names
+
+        # Acceptance gate: recorded root spans cover >= 95 % of the
+        # measured wall time.
+        roots = [s for s in spans if s["parent"] is None]
+        coverage = sum(s["seconds"] for s in roots) / header["wall_seconds"]
+        assert coverage >= 0.95
+
+        # Profile tree on stdout.
+        assert "trace cli.align:" in out
+        assert "coverage" in out
+        assert "solver.converged" in out
+
+    def test_fig5a_trace_without_profile(self, tmp_path):
+        trace_file = tmp_path / "fig.jsonl"
+        code, out = _run(
+            [
+                "fig5a",
+                "--scale",
+                str(TEST_SCALE),
+                "--trace",
+                str(trace_file),
+            ]
+        )
+        assert code == 0
+        assert "trace cli.fig5a:" not in out  # no --profile, no tree
+        records = self._read_jsonl(trace_file)
+        assert records[0]["name"] == "cli.fig5a"
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert "experiment.effectiveness" in names
+        assert "crossval.fold" in names
+
+    def test_profile_without_trace_file(self):
+        code, out = _run(
+            ["fig5a", "--scale", str(TEST_SCALE), "--profile"]
+        )
+        assert code == 0
+        assert "trace cli.fig5a:" in out
+        assert "[trace written" not in out
+
+    def test_untraced_run_stays_quiet(self):
+        code, out = _run(["fig5a", "--scale", str(TEST_SCALE)])
+        assert code == 0
+        assert "trace cli" not in out
+        assert "[trace written" not in out
 
 
 class TestBadInput:

@@ -1,0 +1,419 @@
+"""The observability layer: tracing core, export, profile, and the
+spans/events the instrumented pipeline promises to emit.
+
+The ``capture_trace`` fixture (tests/conftest.py) opens a recording
+session around pipeline calls; assertions on the captured spans and
+events turn the engine's documented behaviour -- "one blend matmul per
+batch fit", "the second identical stack build is a cache hit" -- into
+executable contracts.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import PipelineCache
+from repro.core.batch import BatchAligner, ReferenceStack
+from repro.core.geoalign import GeoAlign
+from repro.errors import ValidationError
+from repro.intervals import IntervalUnitSystem
+from repro.metrics.crossval import leave_one_dataset_out
+from repro.obs import (
+    Trace,
+    event,
+    format_profile,
+    incr,
+    set_gauge,
+    span,
+    timed_span,
+    trace,
+    trace_to_jsonl,
+    trace_to_records,
+    tracing_active,
+    write_trace_jsonl,
+)
+from repro.obs.profile import profile_coverage
+from repro.partitions.intersection import build_intersection
+from repro.utils.timer import StageTimer
+
+
+# ---------------------------------------------------------------------------
+# tracing core
+# ---------------------------------------------------------------------------
+
+
+class TestTraceCore:
+    def test_inactive_by_default(self):
+        assert not tracing_active()
+        with span("anything") as record:
+            assert record is None
+        event("ignored", x=1)  # must not raise
+        incr("ignored")
+        set_gauge("ignored", 1.0)
+
+    def test_session_records_spans_and_nesting(self):
+        with trace("t") as session:
+            assert tracing_active()
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    pass
+        assert not tracing_active()
+        assert outer is not None and inner is not None
+        assert inner.parent_id == outer.span_id
+        # The session root span carries the session name.
+        (root,) = session.root_spans()
+        assert root.name == "t"
+        assert outer.parent_id == root.span_id
+        chain = session.ancestors_of(inner)
+        assert [s.name for s in chain] == ["outer", "t"]
+
+    def test_span_durations_and_queries(self):
+        with trace("t") as session:
+            with span("work"):
+                pass
+            with span("work"):
+                pass
+        assert len(session.find_spans("work")) == 2
+        assert session.span_seconds("work") >= 0.0
+        assert session.span_names() == ["t", "work"]
+        for record in session.spans:
+            assert record.ended is not None
+            assert record.seconds >= 0.0
+
+    def test_events_attach_to_current_span(self):
+        with trace("t") as session:
+            with span("solve") as solve:
+                event("converged", iterations=3)
+        (record,) = session.find_events("converged")
+        assert record.span_id == solve.span_id
+        assert record.fields == {"iterations": 3}
+
+    def test_counters_and_gauges(self):
+        with trace("t") as session:
+            incr("hits")
+            incr("hits", 2.0)
+            set_gauge("size", 7)
+        assert session.counters == {"hits": 3.0}
+        assert session.gauges == {"size": 7.0}
+
+    def test_error_status_propagates(self):
+        with pytest.raises(ValidationError):
+            with trace("t") as session:
+                with span("doomed"):
+                    raise ValidationError("boom")
+        (doomed,) = session.find_spans("doomed")
+        assert doomed.status == "error"
+        assert doomed.ended is not None
+
+    def test_nested_sessions_both_record(self):
+        with trace("outer") as outer_session:
+            with span("shared-before"):
+                pass
+            with trace("inner") as inner_session:
+                with span("shared") as record:
+                    pass
+        assert record in outer_session.spans
+        assert record in inner_session.spans
+        assert not inner_session.find_spans("shared-before")
+        # The inner session's root is the "inner" span even though it
+        # has a recorded parent chain in the outer session.
+        (inner_root,) = inner_session.root_spans()
+        assert inner_root.name == "inner"
+
+    def test_timed_span_measures_without_tracing(self):
+        assert not tracing_active()
+        with timed_span("untraced") as clock:
+            pass
+        assert clock.seconds > 0.0
+
+    def test_timed_span_contributes_span_when_tracing(self):
+        with trace("t") as session:
+            with timed_span("timed") as clock:
+                pass
+        (record,) = session.find_spans("timed")
+        assert clock.seconds >= record.seconds > 0.0
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+
+
+class TestExport:
+    def _session(self):
+        with trace("sess", flavour="test") as session:
+            with span("a", n=2):
+                with span("b"):
+                    event("tick", ratio=0.5, arr=np.arange(2))
+        return session
+
+    def test_records_header_first_then_sorted_spans(self):
+        records = trace_to_records(self._session())
+        assert records[0]["type"] == "trace"
+        assert records[0]["name"] == "sess"
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["name"] for s in spans] == ["sess", "a", "b"]
+        # Parents precede children.
+        seen = set()
+        for record in spans:
+            assert record["parent"] is None or record["parent"] in seen
+            seen.add(record["id"])
+        (evt,) = [r for r in records if r["type"] == "event"]
+        assert evt["name"] == "tick"
+        # Non-scalar fields are serialised via repr, scalars pass.
+        assert evt["fields"]["ratio"] == 0.5
+        assert isinstance(evt["fields"]["arr"], str)
+
+    def test_jsonl_round_trips_through_json(self):
+        text = trace_to_jsonl(self._session())
+        assert text.endswith("\n")
+        lines = text.strip().split("\n")
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["spans"] == 3
+        assert parsed[0]["events"] == 1
+        assert parsed[0]["wall_seconds"] > 0.0
+
+    def test_write_and_append(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(self._session(), path)
+        write_trace_jsonl(self._session(), path, append=True)
+        lines = [
+            json.loads(line)
+            for line in open(path).read().strip().split("\n")
+        ]
+        headers = [r for r in lines if r["type"] == "trace"]
+        assert len(headers) == 2
+
+
+# ---------------------------------------------------------------------------
+# profile
+# ---------------------------------------------------------------------------
+
+
+class TestProfile:
+    def test_tree_merges_same_named_siblings(self):
+        with trace("run") as session:
+            for _ in range(3):
+                with span("fold"):
+                    with span("solve"):
+                        pass
+            incr("cache.hits", 2)
+            set_gauge("n", 5)
+            event("converged")
+        text = format_profile(session)
+        assert "trace run:" in text
+        assert "coverage" in text
+        # 3 fold spans merge into one line with count 3.
+        (fold_line,) = [
+            line for line in text.splitlines() if "fold" in line
+        ]
+        assert "3x" in fold_line
+        assert "cache.hits = 2" in text
+        assert "n = 5" in text
+        assert "converged x 1" in text
+
+    def test_coverage_full_for_root_spanning_session(self):
+        with trace("run") as session:
+            with span("inner"):
+                sum(range(200_000))  # make the span dominate wall time
+        # The session root span covers the whole wall time.
+        assert profile_coverage(session) > 0.95
+
+    def test_empty_session_coverage_zero_spans(self):
+        session = Trace("empty")
+        session.ended = session.started
+        assert profile_coverage(session) == 0.0
+        assert "0 spans" in format_profile(session)
+
+
+# ---------------------------------------------------------------------------
+# pipeline instrumentation contracts (capture_trace fixture)
+# ---------------------------------------------------------------------------
+
+
+def _objective(references, seed=5):
+    rng = np.random.default_rng(seed)
+    base = np.vstack([r.source_vector for r in references])
+    return base.sum(axis=0) * rng.uniform(0.9, 1.1, base.shape[1])
+
+
+class TestPipelineTelemetry:
+    def test_geoalign_fit_emits_stage_spans(
+        self, capture_trace, paired_references
+    ):
+        objective = _objective(paired_references)
+        with capture_trace() as session:
+            GeoAlign().fit_predict(paired_references, objective)
+        (fit,) = session.find_spans("geoalign.fit")
+        assert fit.attrs["n_references"] == len(paired_references)
+        # StageTimer is a façade: its stages surface as spans nested
+        # under the estimator's spans.
+        (weights,) = session.find_spans("stage.weights")
+        assert fit in session.ancestors_of(weights)
+        (disagg,) = session.find_spans("stage.disaggregation")
+        (predict_dm,) = session.find_spans("geoalign.predict_dm")
+        assert predict_dm in session.ancestors_of(disagg)
+        assert session.find_spans("stage.reaggregation")
+
+    def test_solver_converged_event_fields(
+        self, capture_trace, paired_references
+    ):
+        objective = _objective(paired_references)
+        with capture_trace() as session:
+            GeoAlign(solver_method="active-set").fit(
+                paired_references, objective
+            )
+        (record,) = session.find_events("solver.converged")
+        assert record.fields["method"] == "active-set"
+        assert record.fields["backend"] in (
+            "active-set",
+            "projected-gradient",
+        )
+        assert record.fields["fallback"] == (
+            record.fields["backend"] != "active-set"
+        )
+        assert 1 <= record.fields["iterations"]
+        assert record.fields["objective"] >= 0.0
+        assert record.fields["n_references"] == len(paired_references)
+
+    def test_batch_fit_single_blend_matmul(
+        self, capture_trace, paired_references
+    ):
+        objectives = np.vstack(
+            [r.source_vector for r in paired_references]
+        )
+        with capture_trace() as session:
+            BatchAligner().fit_predict(paired_references, objectives)
+        # The tentpole batching claim: all attributes blend in ONE
+        # matmul, not one per attribute.
+        (blend,) = session.find_events("batch.blend_matmul")
+        assert blend.fields["n_attrs"] == len(paired_references)
+        (fit,) = session.find_spans("batch.fit")
+        assert fit.attrs["n_attrs"] == len(paired_references)
+        assert session.find_spans("batch.predict")
+        # Per-attribute solver events still fire, one per attribute.
+        converged = session.find_events("solver.converged")
+        assert len(converged) == len(paired_references)
+
+    def test_batch_fanout_event_reports_jobs(
+        self, capture_trace, paired_references
+    ):
+        objectives = np.vstack(
+            [r.source_vector for r in paired_references] * 3
+        )
+        with capture_trace() as session:
+            BatchAligner(n_jobs=4).fit_predict(
+                paired_references, objectives
+            )
+        (fanout,) = session.find_events("batch.fanout")
+        assert fanout.fields["n_jobs"] == 4
+        assert 1 <= fanout.fields["chunks"] <= 4
+
+    def test_second_stack_build_is_cache_hit_with_zero_construct(
+        self, capture_trace, paired_references
+    ):
+        cache = PipelineCache()
+        with capture_trace() as first:
+            ReferenceStack.build(paired_references, cache=cache)
+        assert len(first.find_spans("stack.construct")) == 1
+        assert first.counters.get("cache.misses") == 1.0
+        with capture_trace() as second:
+            ReferenceStack.build(paired_references, cache=cache)
+        # Cache hit: a build span but no construction work.
+        assert second.find_spans("stack.build")
+        assert not second.find_spans("stack.construct")
+        (hit,) = second.find_events("cache.hit")
+        assert len(hit.fields["key"]) == 16
+        assert second.counters.get("cache.hits") == 1.0
+        assert "cache.misses" not in second.counters
+
+    def test_crossval_emits_fold_and_method_spans(
+        self, capture_trace, paired_references
+    ):
+        with capture_trace() as session:
+            leave_one_dataset_out(paired_references, engine="loop")
+        folds = session.find_spans("crossval.fold")
+        assert len(folds) == len(paired_references)
+        assert {f.attrs["dataset"] for f in folds} == {
+            r.name for r in paired_references
+        }
+        methods = session.find_spans("crossval.method")
+        assert methods and all(
+            any(a.name == "crossval.fold" for a in session.ancestors_of(m))
+            for m in methods
+        )
+
+    def test_crossval_batch_engine_span(
+        self, capture_trace, paired_references
+    ):
+        with capture_trace() as session:
+            leave_one_dataset_out(paired_references, engine="batch")
+        (batch,) = session.find_spans("crossval.batch")
+        assert batch.attrs["n_folds"] == len(paired_references)
+        assert session.find_spans("batch.fit")
+
+    def test_intersection_build_span(self, capture_trace):
+        source = IntervalUnitSystem([0.0, 1.0, 2.0, 3.0])
+        target = IntervalUnitSystem([0.0, 1.5, 3.0])
+        with capture_trace() as session:
+            build_intersection(source, target)
+        (record,) = session.find_spans("intersection.build")
+        assert record.attrs == {"n_source": 3, "n_target": 2}
+
+    def test_stage_timer_facade_emits_spans(self, capture_trace):
+        timer = StageTimer()
+        with capture_trace() as session:
+            with timer.stage("weights"):
+                pass
+        (record,) = session.find_spans("stage.weights")
+        # The span encloses the timed region, so it can only be longer.
+        assert record.seconds >= timer.totals["weights"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# telemetry staleness across refits (the satellite fix)
+# ---------------------------------------------------------------------------
+
+
+class TestRefitTelemetryStaleness:
+    def test_geoalign_refit_reports_single_fit_timings(
+        self, paired_references
+    ):
+        objective = _objective(paired_references)
+        estimator = GeoAlign()
+        estimator.fit_predict(paired_references, objective)
+        first = dict(estimator.timer_.totals)
+        estimator.fit_predict(paired_references, objective)
+        second = dict(estimator.timer_.totals)
+        assert set(second) == set(first)
+        # Accumulation across fits would roughly double every stage;
+        # single-run totals stay the same order of magnitude.
+        for stage, seconds in second.items():
+            assert seconds < first[stage] * 10 + 0.05
+
+    def test_geoalign_repeat_predict_does_not_reaccumulate(
+        self, paired_references
+    ):
+        objective = _objective(paired_references)
+        estimator = GeoAlign().fit(paired_references, objective)
+        first_predict = estimator.predict()
+        reagg_after_one = estimator.timer_.totals["reaggregation"]
+        for _ in range(5):
+            assert estimator.predict() is first_predict
+        assert estimator.timer_.totals["reaggregation"] == reagg_after_one
+
+    def test_batch_refit_reports_single_fit_timings(
+        self, paired_references
+    ):
+        objectives = np.vstack(
+            [r.source_vector for r in paired_references]
+        )
+        aligner = BatchAligner()
+        aligner.fit_predict(paired_references, objectives)
+        first = dict(aligner.timer_.totals)
+        aligner.fit_predict(paired_references, objectives)
+        second = dict(aligner.timer_.totals)
+        assert set(second) == set(first)
+        for stage, seconds in second.items():
+            assert seconds < first[stage] * 10 + 0.05

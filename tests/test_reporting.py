@@ -1,11 +1,16 @@
 """Tests for benchmark report persistence."""
 
+import json
+
 import pytest
 
 from repro.errors import ValidationError
 from repro.experiments.reporting import (
+    bench_json_path,
+    load_bench_json,
     load_report,
     results_dir,
+    save_bench_json,
     save_report,
     slugify,
 )
@@ -46,3 +51,67 @@ class TestSaveLoad:
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         with pytest.raises(FileNotFoundError):
             load_report("never-saved")
+
+
+class TestBenchJson:
+    def test_roundtrip_all_sections(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_bench_json(
+            "My Bench",
+            {"loop_seconds": 1.25, "speedup": 4},
+            meta={"scale": 0.1, "universe": "NY"},
+            stages={"weights": 0.5, "disaggregation": 0.7},
+            cache_stats={"hits": 3, "misses": 1, "evictions": 0},
+        )
+        assert path == bench_json_path("My Bench")
+        payload = load_bench_json("My Bench")
+        assert payload["name"] == "My Bench"
+        assert payload["metrics"] == {"loop_seconds": 1.25, "speedup": 4.0}
+        assert payload["meta"] == {"scale": 0.1, "universe": "NY"}
+        assert payload["stages"] == {"weights": 0.5, "disaggregation": 0.7}
+        assert payload["cache"] == {
+            "hits": 3.0,
+            "misses": 1.0,
+            "evictions": 0.0,
+        }
+
+    def test_sections_omitted_when_absent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        save_bench_json("minimal", {"x": 1.0})
+        payload = load_bench_json("minimal")
+        assert "stages" not in payload
+        assert "cache" not in payload
+        assert "meta" not in payload
+
+    def test_file_is_valid_sorted_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        save_bench_json("b", {"x": 1.0}, stages={"weights": 0.5})
+        text = open(bench_json_path("b")).read()
+        assert text.endswith("\n")
+        assert json.loads(text)["stages"]["weights"] == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"metrics": {"bad": float("nan")}}, "metric 'bad' is NaN"),
+            (
+                {"metrics": {}, "stages": {"w": float("nan")}},
+                "stage 'w' is NaN",
+            ),
+            (
+                {"metrics": {}, "cache_stats": {"hits": float("nan")}},
+                "cache stat 'hits' is NaN",
+            ),
+        ],
+    )
+    def test_nan_rejected_in_every_section(
+        self, tmp_path, monkeypatch, kwargs, match
+    ):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        with pytest.raises(ValidationError, match=match):
+            save_bench_json("bad", **kwargs)
+
+    def test_missing_bench_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        with pytest.raises(FileNotFoundError):
+            load_bench_json("never-saved")

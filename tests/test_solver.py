@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.solver import (
     project_to_simplex,
@@ -182,3 +182,69 @@ class TestSimplexLstsq:
         assert result.method == "active-set"
         assert result.iterations >= 1
         assert result.objective >= 0.0
+
+
+@st.composite
+def well_conditioned_problems(draw):
+    """Random simplex-LS problems with independent, comparable columns.
+
+    Column scales stay within one order of magnitude and near-collinear
+    draws are rejected, so every backend should reach (close to) the
+    same optimum -- the property the batch engine's solver swap relies
+    on.
+    """
+    seed = draw(st.integers(0, 10**6))
+    m = draw(st.integers(6, 40))
+    k = draw(st.integers(2, 6))
+    rng = np.random.default_rng(seed)
+    A = rng.uniform(0.1, 1.0, size=(m, k))
+    assume(np.linalg.cond(A) < 100.0)
+    b = rng.uniform(0.0, 1.0, size=m)
+    return A, b
+
+
+class TestSolverProperties:
+    """Hypothesis property suite over all three solver backends."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(well_conditioned_problems())
+    def test_every_backend_returns_feasible_simplex_point(self, problem):
+        A, b = problem
+        for method in METHODS:
+            result = simplex_lstsq(A, b, method=method)
+            assert _feasible(result.weights), method
+
+    @settings(max_examples=30, deadline=None)
+    @given(well_conditioned_problems())
+    def test_backends_agree_on_objective(self, problem):
+        A, b = problem
+        objectives = {
+            method: simplex_lstsq(A, b, method=method, tol=1e-12).objective
+            for method in METHODS
+        }
+        best = min(objectives.values())
+        worst = max(objectives.values())
+        # Frank-Wolfe converges sublinearly (O(1/k)), so at its
+        # iteration cap it may sit ~1e-4 relative above the exact
+        # active-set optimum; 0.1 % agreement is the honest contract.
+        assert worst - best <= 1e-3 * max(best, 1e-9) + 1e-6, objectives
+
+    @settings(max_examples=30, deadline=None)
+    @given(well_conditioned_problems())
+    def test_iterations_positive_and_capped(self, problem):
+        A, b = problem
+        for method in METHODS:
+            result = simplex_lstsq(A, b, method=method)
+            # 20000 is the largest per-method default cap (frank-wolfe);
+            # a solver falling back still reports the fallback's count.
+            assert 1 <= result.iterations <= 20_000, method
+
+    @settings(max_examples=20, deadline=None)
+    @given(well_conditioned_problems(), st.integers(1, 40))
+    def test_explicit_max_iter_is_respected(self, problem, cap):
+        A, b = problem
+        result = simplex_lstsq(
+            A, b, method="projected-gradient", max_iter=cap
+        )
+        assert 1 <= result.iterations <= cap
+        assert _feasible(result.weights)
