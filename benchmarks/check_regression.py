@@ -17,18 +17,32 @@ Metric kinds are inferred from the key name:
   baseline * ``--time-tolerance`` (timing noise is real, default 1.5x).
 * ``*speedup*`` / ``*hit_rate*`` -- higher is better; regressed when
   candidate falls below baseline / ``--time-tolerance``.
+* ``mem_*`` / ``*bytes*`` -- allocation peaks; regressed when candidate
+  exceeds baseline * ``--mem-tolerance`` (defaults to the time
+  tolerance; tracemalloc peaks are far less noisy than wall times).
 * anything else -- an error metric (rmse, nrmse, max_abs_diff, ...);
   regressed when candidate exceeds baseline * ``--error-tolerance``
   plus a tiny absolute floor.
 
 Beyond the flat ``metrics`` section, payloads may carry a ``stages``
-section (stage name -> seconds, from the estimators' stage timers) and
-a ``cache`` section (pipeline-cache hit/miss/eviction counts).  Both
-are folded into the comparison: each stage becomes a
-``stage_<name>_seconds`` wall-time metric, and the cache counters
-become a derived ``cache_hit_rate`` (higher is better), so a per-stage
-slowdown or a cache-efficiency drop is flagged even when the total
-wall time stays inside tolerance.
+section (stage name -> seconds, from the estimators' stage timers), a
+``cache`` section (pipeline-cache hit/miss/eviction counts) and a
+``memory`` section (tracemalloc peaks from the opt-in ``--mem``
+instrumentation).  All are folded into the comparison: each stage
+becomes a ``stage_<name>_seconds`` wall-time metric, the cache
+counters become a derived ``cache_hit_rate`` (higher is better), and
+each memory entry becomes ``mem_<name>``, so a per-stage slowdown, a
+cache-efficiency drop or an allocation blow-up is flagged even when
+the total wall time stays inside tolerance.
+
+Payloads may also carry a ``health`` section (check name -> verdict
+from ``repro.obs.health``).  Any ``"fail"`` verdict in a *candidate*
+payload fails the gate outright, baseline or not: a violated numerical
+invariant (volume preservation, simplex feasibility, ...) is never "no
+worse than before".  Standalone health reports -- the JSON written by
+``geoalign-repro obs report --json`` or run-registry JSONL lines --
+can be added to the same gate with repeatable ``--health FILE``
+options.
 
 Exit codes: 0 no regressions, 1 regressions found, 2 bad input.  CI runs
 this as a non-blocking report step: the exit code marks the step, but
@@ -54,7 +68,8 @@ def flatten_payload(payload, file_path):
 
     ``stages`` entries become ``stage_<name>_seconds`` (compared under
     the wall-time tolerance); a ``cache`` section with lookups becomes
-    a single derived ``cache_hit_rate`` metric (higher is better).
+    a single derived ``cache_hit_rate`` metric (higher is better);
+    ``memory`` entries become ``mem_<name>`` (memory tolerance).
     """
     metrics = payload.get("metrics")
     if not isinstance(metrics, dict):
@@ -73,7 +88,53 @@ def flatten_payload(payload, file_path):
         lookups = float(cache.get("hits", 0)) + float(cache.get("misses", 0))
         if lookups > 0:
             flat["cache_hit_rate"] = float(cache.get("hits", 0)) / lookups
+    memory = payload.get("memory")
+    if memory is not None:
+        if not isinstance(memory, dict):
+            raise ValueError(f"{file_path}: 'memory' is not a mapping")
+        for key, value in memory.items():
+            flat[f"mem_{key}"] = float(value)
     return flat
+
+
+def health_failures(payload, source):
+    """``(source, check)`` pairs for every fail verdict in one payload.
+
+    Understands the three shapes that carry verdicts: a BENCH payload
+    or run-registry record (``{"health": {check: status}}``) and a
+    health report (``{"checks": [{"name": ..., "status": ...}]}``).
+    """
+    failures = []
+    health = payload.get("health")
+    if isinstance(health, dict):
+        for check, status in health.items():
+            if status == "fail":
+                failures.append((source, str(check)))
+    checks = payload.get("checks")
+    if isinstance(checks, list):
+        for check in checks:
+            if isinstance(check, dict) and check.get("status") == "fail":
+                failures.append((source, str(check.get("name", "?"))))
+    return failures
+
+
+def load_health_file(path):
+    """Fail verdicts from a standalone health JSON / registry JSONL file."""
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        payloads = [json.loads(text)]
+    except json.JSONDecodeError:
+        payloads = [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]
+    failures = []
+    for payload in payloads:
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: expected JSON objects")
+        source = payload.get("trace") or payload.get("trace_name") or path
+        failures.extend(health_failures(payload, str(source)))
+    return failures
 
 
 def load_bench_dir(path):
@@ -89,8 +150,19 @@ def load_bench_dir(path):
     return benches
 
 
+def load_dir_health(path):
+    """Fail verdicts from the ``health`` sections of a bench directory."""
+    failures = []
+    for file_path in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
+        with open(file_path) as handle:
+            payload = json.load(handle)
+        name = payload.get("name") or os.path.basename(file_path)
+        failures.extend(health_failures(payload, str(name)))
+    return failures
+
+
 def metric_kind(key):
-    """Classify a metric key: 'time', 'speedup' or 'error'.
+    """Classify a metric key: 'time', 'speedup', 'memory' or 'error'.
 
     'speedup' doubles as the higher-is-better kind generally: cache
     hit rates are classified with it so a hit-rate drop regresses.
@@ -98,12 +170,14 @@ def metric_kind(key):
     lowered = key.lower()
     if "speedup" in lowered or "hit_rate" in lowered:
         return "speedup"
+    if lowered.startswith("mem_") or "bytes" in lowered:
+        return "memory"
     if "seconds" in lowered or lowered.endswith("_s"):
         return "time"
     return "error"
 
 
-def compare_metric(key, baseline, candidate, time_tol, error_tol):
+def compare_metric(key, baseline, candidate, time_tol, error_tol, mem_tol=None):
     """(regressed, detail line) for one metric pair."""
     kind = metric_kind(key)
     if kind == "time":
@@ -114,6 +188,11 @@ def compare_metric(key, baseline, candidate, time_tol, error_tol):
         limit = baseline / time_tol
         regressed = candidate < limit
         relation = f">= {limit:.6g} (baseline {baseline:.6g} / {time_tol})"
+    elif kind == "memory":
+        tol = time_tol if mem_tol is None else mem_tol
+        limit = baseline * tol
+        regressed = candidate > limit
+        relation = f"<= {limit:.6g}B (baseline {baseline:.6g}B x {tol})"
     else:
         limit = baseline * error_tol + ERROR_ATOL
         regressed = candidate > limit
@@ -125,7 +204,7 @@ def compare_metric(key, baseline, candidate, time_tol, error_tol):
     return regressed, detail
 
 
-def compare(baselines, candidates, time_tol, error_tol):
+def compare(baselines, candidates, time_tol, error_tol, mem_tol=None):
     """(regressions, report lines) over two bench-dir mappings."""
     lines = []
     regressions = []
@@ -156,6 +235,7 @@ def compare(baselines, candidates, time_tol, error_tol):
                 cand_metrics[key],
                 time_tol,
                 error_tol,
+                mem_tol,
             )
             lines.append(detail)
             if regressed:
@@ -181,23 +261,51 @@ def main(argv=None):
         default=1.05,
         help="allowed error-metric ratio (default 1.05x)",
     )
+    parser.add_argument(
+        "--mem-tolerance",
+        type=float,
+        default=None,
+        help="allowed allocation-peak ratio "
+        "(default: the time tolerance)",
+    )
+    parser.add_argument(
+        "--health",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="also gate on this health report JSON / registry JSONL "
+        "(repeatable); any fail verdict counts as a regression",
+    )
     args = parser.parse_args(argv)
     if args.time_tolerance < 1.0 or args.error_tolerance < 1.0:
+        print("error: tolerances must be >= 1.0", file=sys.stderr)
+        return 2
+    if args.mem_tolerance is not None and args.mem_tolerance < 1.0:
         print("error: tolerances must be >= 1.0", file=sys.stderr)
         return 2
     try:
         baselines = load_bench_dir(args.baseline)
         candidates = load_bench_dir(args.candidate)
+        verdicts = load_dir_health(args.candidate)
+        for health_file in args.health:
+            verdicts.extend(load_health_file(health_file))
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if not baselines and not candidates:
+    if not baselines and not candidates and not verdicts:
         print("no BENCH_*.json files found in either directory")
         return 0
     regressions, lines = compare(
-        baselines, candidates, args.time_tolerance, args.error_tolerance
+        baselines,
+        candidates,
+        args.time_tolerance,
+        args.error_tolerance,
+        args.mem_tolerance,
     )
     print("\n".join(lines))
+    for source, check in verdicts:
+        print(f"{source}: health check {check} FAILED")
+        regressions.append((source, f"health:{check}"))
     if regressions:
         print(
             f"\n{len(regressions)} regression(s): "

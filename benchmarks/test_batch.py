@@ -17,6 +17,7 @@ from repro.cache import PipelineCache
 from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.geoalign import GeoAlign
 from repro.experiments.reporting import save_bench_json
+from repro.obs import Trace, evaluate_health, track_memory
 from repro.utils.rng import as_rng
 
 #: Attribute count of the synthetic alignment table (Fig. 5 runs a whole
@@ -65,6 +66,12 @@ def test_batch_vs_loop_speedup(benchmark, ny_world, bench_scale, report):
     aligner, batch_estimates, batch_seconds = _time_batch(
         references, objectives, cache=cache
     )
+    # The allocation peak of the batch path is part of the scalability
+    # story (the union-pattern value matrix dominates at full scale).
+    # It is measured on a separate, untimed run: tracemalloc slows
+    # allocation-heavy code enough to distort the speedup ratio above.
+    with track_memory() as mem:
+        BatchAligner().fit_predict(references, objectives)
 
     scale = float(np.abs(loop_estimates).max())
     max_abs_diff = float(np.abs(batch_estimates - loop_estimates).max())
@@ -74,8 +81,14 @@ def test_batch_vs_loop_speedup(benchmark, ny_world, bench_scale, report):
     report(
         f"batch engine: {N_ATTRIBUTES} attributes, "
         f"loop={loop_seconds:.4f}s batch={batch_seconds:.4f}s "
-        f"speedup={speedup:.1f}x max|diff|={max_abs_diff:.2e}"
+        f"speedup={speedup:.1f}x max|diff|={max_abs_diff:.2e} "
+        f"peak={mem.peak_mib:.1f}MiB"
     )
+    # Numerical-health verdicts of the fitted batch, recomputed from the
+    # model itself (no trace session was active during the timed run);
+    # a fail here makes check_regression.py exit non-zero outright.
+    health = evaluate_health(Trace("bench-batch"), model=aligner).verdicts()
+    assert "fail" not in health.values()
     save_bench_json(
         "batch",
         {
@@ -94,6 +107,8 @@ def test_batch_vs_loop_speedup(benchmark, ny_world, bench_scale, report):
         # tolerance and the derived hit rate as higher-is-better.
         stages=aligner.timer_.totals,
         cache_stats=cache.stats.as_dict(),
+        memory={"batch_peak_bytes": mem.peak_bytes},
+        health=health,
     )
     # The shared-work claim: strict at paper scale, where per-attribute
     # DM conversion dominates; still required (just softer) on the tiny

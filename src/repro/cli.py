@@ -26,6 +26,15 @@ Every figure/align subcommand also accepts observability flags (see
 
     geoalign-repro align --trace run.jsonl    # JSON-lines span/event trace
     geoalign-repro fig5a --profile            # text profile tree on stdout
+    geoalign-repro fig5a --mem                # tracemalloc peak (opt-in)
+    geoalign-repro align --trace run.jsonl --registry runs.jsonl
+
+and the ``obs`` family analyses what they produced::
+
+    geoalign-repro obs report run.jsonl       # health verdicts (exit 1 on fail)
+    geoalign-repro obs diff base.jsonl cand.jsonl
+    geoalign-repro obs list --registry runs.jsonl
+    geoalign-repro obs show RUN_ID --registry runs.jsonl
 
 The project's numerical-correctness linter is exposed as a subcommand
 too (see ``docs/static-analysis.md``)::
@@ -38,6 +47,7 @@ too (see ``docs/static-analysis.md``)::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -78,6 +88,19 @@ def _add_common(parser):
         "--profile",
         action="store_true",
         help="print a per-span wall-time summary tree after the run",
+    )
+    parser.add_argument(
+        "--mem",
+        action="store_true",
+        help="measure the tracemalloc allocation peak (opt-in: slows "
+        "allocation-heavy runs)",
+    )
+    parser.add_argument(
+        "--registry",
+        default=None,
+        metavar="FILE",
+        help="append the traced run, with its health verdicts, to this "
+        "run-registry JSONL file",
     )
 
 
@@ -144,6 +167,86 @@ def build_parser():
         type=int,
         default=1,
         help="threads for the batch rescale/re-aggregate stage",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="analyse recorded traces: health reports, diffs, run registry",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    report = obs_sub.add_parser(
+        "report",
+        help="evaluate the numerical-health monitors over a trace file",
+    )
+    report.add_argument(
+        "trace_file", metavar="FILE", help="trace JSONL written by --trace"
+    )
+    report.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        dest="json_out",
+        help="also write the report(s) as JSON to OUT (one object per "
+        "line; feeds check_regression.py --health)",
+    )
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="per-stage timing/counter/gauge deltas between two runs",
+    )
+    diff.add_argument(
+        "base",
+        metavar="A",
+        help="baseline: a trace JSONL path or a registry run id",
+    )
+    diff.add_argument(
+        "cand",
+        metavar="B",
+        help="candidate: a trace JSONL path or a registry run id",
+    )
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="REL",
+        help="relative change above which an entry is flagged "
+        "(default: 0.5)",
+    )
+    diff.add_argument(
+        "--registry",
+        default=None,
+        metavar="FILE",
+        help="registry to resolve run ids against "
+        "(default: $REPRO_REGISTRY or .geoalign/registry.jsonl)",
+    )
+
+    listing = obs_sub.add_parser(
+        "list", help="list the most recent registered runs"
+    )
+    listing.add_argument(
+        "-n",
+        type=int,
+        default=10,
+        dest="count",
+        help="how many runs to show (default: 10)",
+    )
+    listing.add_argument(
+        "--registry", default=None, metavar="FILE",
+        help="registry file (default: $REPRO_REGISTRY or "
+        ".geoalign/registry.jsonl)",
+    )
+
+    show = obs_sub.add_parser(
+        "show", help="print one registered run in full, as JSON"
+    )
+    show.add_argument(
+        "run_id", metavar="RUN_ID", help="registry run id (prefix works)"
+    )
+    show.add_argument(
+        "--registry", default=None, metavar="FILE",
+        help="registry file (default: $REPRO_REGISTRY or "
+        ".geoalign/registry.jsonl)",
     )
 
     lint = sub.add_parser(
@@ -252,36 +355,119 @@ def _run_lint(args, stream):
     return 1 if violations else 0
 
 
+def _record_for(spec, registry_path):
+    """A ``RunRecord`` from a trace-file path or a registry run id.
+
+    Anything that exists on disk is read as a trace JSONL (its first
+    session, health-evaluated on the fly); anything else is resolved as
+    a run-id prefix against the registry.
+    """
+    if os.path.exists(spec):
+        session = obs.read_trace_jsonl(spec)[0]
+        return obs.record_from_trace(session, obs.evaluate_health(session))
+    return obs.RunRegistry(registry_path).get(spec)
+
+
+def _run_obs(args, stream):
+    """The ``obs`` analysis family; exit 0 healthy, 1 fail verdicts, 2 bad input."""
+    try:
+        if args.obs_command == "report":
+            failed = False
+            reports = []
+            for session in obs.read_trace_jsonl(args.trace_file):
+                report = obs.evaluate_health(session)
+                print(report.to_text(), file=stream)
+                reports.append(report)
+                failed = failed or not report.ok
+            if args.json_out:
+                with open(args.json_out, "w") as handle:
+                    for report in reports:
+                        handle.write(
+                            json.dumps(report.to_dict(), sort_keys=True)
+                            + "\n"
+                        )
+                print(f"[health json written {args.json_out}]", file=stream)
+            return 1 if failed else 0
+        if args.obs_command == "diff":
+            kwargs = (
+                {}
+                if args.threshold is None
+                else {"threshold": args.threshold}
+            )
+            base = _record_for(args.base, args.registry)
+            cand = _record_for(args.cand, args.registry)
+            print(
+                obs.diff_records(base, cand, **kwargs).to_text(),
+                file=stream,
+            )
+            return 0
+        if args.obs_command == "list":
+            print(
+                obs.RunRegistry(args.registry).to_text(args.count),
+                file=stream,
+            )
+            return 0
+        if args.obs_command == "show":
+            record = obs.RunRegistry(args.registry).get(args.run_id)
+            print(
+                json.dumps(record.to_dict(), indent=2, sort_keys=True),
+                file=stream,
+            )
+            return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise ValueError(f"unknown obs subcommand {args.obs_command!r}")
+
+
 def main(argv=None, stream=None):
     """Entry point; returns a process exit code (0 ok, 2 bad input)."""
     stream = stream or sys.stdout
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return _run_lint(args, stream)
+    if args.command == "obs":
+        return _run_obs(args, stream)
     figures = (
         ["fig5a", "fig5b", "fig6", "fig7", "fig8"]
         if args.command == "all"
         else [args.command]
     )  # "align" dispatches through the same loop as a single entry
-    # The lint subcommand defines neither flag, hence the getattr.
+    # The lint subcommand defines none of these flags, hence the getattr.
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
-    observed = trace_path is not None or profile
+    measure_mem = getattr(args, "mem", False)
+    registry_path = getattr(args, "registry", None)
+    # The registry stores trace-derived facts, so asking for it opens a
+    # recording session even without --trace/--profile.
+    observed = trace_path is not None or profile or registry_path is not None
     for index, name in enumerate(figures):
         start = time.perf_counter()
         session = None
         try:
-            if observed:
-                with obs.trace(f"cli.{name}", scale=args.scale) as session:
+            with obs.track_memory(enabled=measure_mem) as mem:
+                if observed:
+                    with obs.trace(
+                        f"cli.{name}", scale=args.scale
+                    ) as session:
+                        text = _run_figure(name, args)
+                else:
                     text = _run_figure(name, args)
-            else:
-                text = _run_figure(name, args)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - start
         _emit(name, text, args.out, stream)
+        if measure_mem:
+            print(f"[mem peak {mem.peak_mib:.1f} MiB]", file=stream)
         if session is not None:
+            if measure_mem:
+                # track_memory publishes the gauge only while inside an
+                # active session; the peak is read after the session
+                # closes, so fold it into the record here instead.
+                session.gauges.setdefault(
+                    "mem.peak_bytes", mem.peak_bytes
+                )
             if trace_path:
                 # One JSONL file accumulates every figure of an
                 # ``all`` run; each session appends its own records.
@@ -291,6 +477,19 @@ def main(argv=None, stream=None):
                 print(f"[trace written {trace_path}]", file=stream)
             if profile:
                 print(obs.format_profile(session), file=stream)
+            if registry_path:
+                report = obs.evaluate_health(session)
+                record = obs.record_from_trace(
+                    session,
+                    report,
+                    meta={"command": name, "scale": args.scale},
+                )
+                obs.RunRegistry(registry_path).append(record)
+                print(
+                    f"[registered {record.run_id} ({report.status}) "
+                    f"in {registry_path}]",
+                    file=stream,
+                )
         print(f"[{name} completed in {elapsed:.1f}s]", file=stream)
     return 0
 

@@ -43,10 +43,21 @@ import numpy as np
 from numpy.typing import ArrayLike, NDArray
 from scipy import sparse
 
+from repro.core.diagnostics import (
+    effective_references,
+    gram_condition_number,
+    simplex_violation,
+    weight_entropy,
+)
 from repro.core.reference import Reference
 from repro.core.solver import SimplexLstsqResult, simplex_lstsq_from_gram
 from repro.obs.trace import event as _obs_event
-from repro.obs.trace import span as _span
+from repro.obs.trace import (
+    set_gauge_max as _gauge_max,
+    set_gauge_min as _gauge_min,
+    span as _span,
+    tracing_active as _tracing_active,
+)
 from repro.errors import (
     NotFittedError,
     ShapeMismatchError,
@@ -560,6 +571,25 @@ class BatchAligner:
                         )
                         weights[j, idx] = result.weights
                     results.append(result)
+            if _tracing_active():
+                # Health gauges, worst case over the batch; gated so the
+                # untraced path pays nothing beyond the contextvar read.
+                _gauge_max(
+                    "health.simplex_violation_max",
+                    simplex_violation(weights),
+                )
+                _gauge_max(
+                    "health.gram_condition_max",
+                    gram_condition_number(stack.gram),
+                )
+                _gauge_min(
+                    "health.effective_references_min",
+                    min(effective_references(row) for row in weights),
+                )
+                _gauge_min(
+                    "health.weight_entropy_min",
+                    min(weight_entropy(row) for row in weights),
+                )
         self.stack_ = stack
         self.weights_ = weights
         self.masks_ = mask_matrix
@@ -633,6 +663,35 @@ class BatchAligner:
                     list(pool.map(_scale_chunk, chunks))
             else:
                 scaled = blended * factors[:, stack.entry_rows]
+            if _tracing_active():
+                # Eq. 16 per attribute, relative to each attribute's
+                # largest source aggregate; the gauge keeps the worst.
+                # Zero-denominator rows are a reference-coverage
+                # property (own gauge), not a rescale defect, so the
+                # residual is measured over coverable rows only.
+                covered = denominators > 0.0
+                _gauge_max(
+                    "health.uncovered_mass_max",
+                    float(
+                        (
+                            np.where(covered, 0.0, objectives).sum(axis=1)
+                            / objectives.sum(axis=1)
+                        ).max()
+                    ),
+                )
+                masked = np.where(covered, objectives, 0.0)
+                achieved = np.where(covered, stack.row_sums(scaled), 0.0)
+                scale_per_attr = masked.max(axis=1)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    per_attr = np.where(
+                        scale_per_attr > 0.0,
+                        np.abs(achieved - masked).max(axis=1)
+                        / scale_per_attr,
+                        0.0,
+                    )
+                _gauge_max(
+                    "health.volume_residual_max", float(per_attr.max())
+                )
         self._scaled_values = scaled
         return scaled
 

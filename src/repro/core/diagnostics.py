@@ -41,6 +41,91 @@ FloatArray = NDArray[np.float64]
 SELECTION_THRESHOLD = 0.01
 
 
+def weight_entropy(weights: ArrayLike) -> float:
+    """Shannon entropy (nats) of a simplex weight vector.
+
+    Zero when all mass sits on one reference (maximal degeneracy),
+    ``log(k)`` when spread uniformly over ``k`` references.  Negative
+    entries are clipped and the vector renormalised, so near-feasible
+    solver output (tiny negative round-off) is handled gracefully.
+    """
+    w = np.clip(np.asarray(weights, dtype=float).ravel(), 0.0, None)
+    total = float(w.sum())
+    if total <= 0.0:
+        raise ValidationError("weight_entropy needs positive total mass")
+    p = w / total
+    positive = p[p > 0.0]
+    return float(-(positive * np.log(positive)).sum())
+
+
+def effective_references(weights: ArrayLike) -> float:
+    """Effective number of references: ``exp(entropy)`` of the weights.
+
+    The perplexity of the weight distribution — 1.0 means a single
+    reference carries everything (Eq. 15 solution fully degenerate),
+    ``k`` means all ``k`` references contribute equally.  The health
+    monitors gauge this after every fit as the weight-degeneracy
+    signal.
+    """
+    return float(np.exp(weight_entropy(weights)))
+
+
+def simplex_violation(weights: ArrayLike) -> float:
+    """Worst violation of the Eq. 15 simplex constraints.
+
+    ``max(|sum(w) - 1|, max(-w, 0))`` over the weight vector (or each
+    row of a weight matrix): zero iff the weights are exactly feasible.
+    A correct solver keeps this at float-rounding level (~1e-15); a
+    drifting one is a silent correctness regression the paper's
+    guarantees do not survive.
+    """
+    w = np.atleast_2d(np.asarray(weights, dtype=float))
+    sum_violation = float(np.abs(w.sum(axis=1) - 1.0).max())
+    negativity = float(np.clip(-w, 0.0, None).max())
+    return max(sum_violation, negativity)
+
+
+def gram_condition_number(gram: ArrayLike) -> float:
+    """2-norm condition number of the Eq. 15 Gram matrix ``A^T A``.
+
+    Large values mean near-collinear reference vectors: the weight
+    solution is ill-determined and small data perturbations move it
+    arbitrarily (the situation §4.4.2's redundant-reference discussion
+    anticipates).  Returns ``inf`` for a singular Gram matrix.
+    """
+    g = np.asarray(gram, dtype=float)
+    if g.ndim != 2 or g.shape[0] != g.shape[1]:
+        raise ValidationError(
+            f"gram must be a square matrix, got shape {g.shape}"
+        )
+    return float(np.linalg.cond(g))
+
+
+def volume_residual(
+    achieved_row_sums: ArrayLike, objective_source: ArrayLike
+) -> float:
+    """Relative L-inf volume-preservation residual (Eq. 16).
+
+    ``max_i |rowsum_i - a_i| / max_j a_j`` — how far the estimated
+    disaggregation matrix's row sums drift from the objective's source
+    aggregates, relative to the attribute's largest aggregate.  Under
+    the row-rescale this is float rounding (~1e-16); anything larger
+    means mass was created or destroyed in the crosswalk.  Accepts
+    matched vectors or ``(n_attrs, m)`` matrices (batched form).
+    """
+    achieved = np.asarray(achieved_row_sums, dtype=float)
+    target = np.asarray(objective_source, dtype=float)
+    if achieved.shape != target.shape:
+        raise ValidationError(
+            f"row sums have shape {achieved.shape} but the objective "
+            f"has shape {target.shape}"
+        )
+    scale = float(np.abs(target).max())
+    if scale <= 0.0:
+        raise ValidationError("objective carries no mass")
+    return float(np.abs(achieved - target).max()) / scale
+
+
 @dataclass
 class BootstrapResult:
     """Bootstrap distribution of GeoAlign's reference weights.

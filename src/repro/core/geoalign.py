@@ -30,9 +30,21 @@ from repro.errors import (
     ShapeMismatchError,
     ValidationError,
 )
+from repro.core.diagnostics import (
+    effective_references,
+    gram_condition_number,
+    simplex_violation,
+    volume_residual,
+    weight_entropy,
+)
 from repro.core.reference import Reference
 from repro.core.solver import SimplexLstsqResult, simplex_lstsq
-from repro.obs.trace import span as _span
+from repro.obs.trace import (
+    set_gauge_max as _gauge_max,
+    set_gauge_min as _gauge_min,
+    span as _span,
+    tracing_active as _tracing_active,
+)
 from repro.partitions.dm import DisaggregationMatrix
 from repro.utils.arrays import as_nonnegative_vector
 from repro.utils.timer import StageTimer
@@ -181,6 +193,26 @@ class GeoAlign:
                 self.solver_result_ = simplex_lstsq(
                     design, rhs, method=self.solver_method
                 )
+            if _tracing_active():
+                # Health gauges (worst-case per session): computed only
+                # under an active trace so the untraced hot path stays
+                # within the <=0.1 % instrumentation budget.
+                weights = self.solver_result_.weights
+                _gauge_max(
+                    "health.simplex_violation_max",
+                    simplex_violation(weights),
+                )
+                _gauge_max(
+                    "health.gram_condition_max",
+                    gram_condition_number(design.T @ design),
+                )
+                _gauge_min(
+                    "health.effective_references_min",
+                    effective_references(weights),
+                )
+                _gauge_min(
+                    "health.weight_entropy_min", weight_entropy(weights)
+                )
         self.weights_ = self.solver_result_.weights
         self.references_ = references
         self.objective_source_ = objective
@@ -244,6 +276,31 @@ class GeoAlign:
             self._estimated_dm = blended.rescale_rows(
                 self.objective_source_, denominators=denom
             )
+            if _tracing_active():
+                # Eq. 16 check: row sums of the estimate must carry the
+                # objective's source aggregates (gated, like the fit
+                # gauges, so untraced runs skip the extra row-sum pass).
+                # Rows with a zero blended denominator cannot carry
+                # anything -- that is a *coverage* property of the
+                # reference data, reported as its own gauge, while the
+                # residual judges the rescale only where it could act.
+                covered = denom > 0.0
+                objective = self.objective_source_
+                _gauge_max(
+                    "health.uncovered_mass_max",
+                    float(objective[~covered].sum() / objective.sum()),
+                )
+                masked = np.where(covered, objective, 0.0)
+                if masked.max() > 0.0:
+                    _gauge_max(
+                        "health.volume_residual_max",
+                        volume_residual(
+                            np.where(
+                                covered, self._estimated_dm.row_sums(), 0.0
+                            ),
+                            masked,
+                        ),
+                    )
         return self._estimated_dm
 
     def predict(self) -> FloatArray:

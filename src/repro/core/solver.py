@@ -40,6 +40,7 @@ from numpy.typing import ArrayLike, NDArray
 
 from repro.errors import SolverError, ValidationError
 from repro.obs.trace import event as _obs_event
+from repro.obs.trace import incr as _obs_incr
 
 FloatArray = NDArray[np.float64]
 
@@ -60,12 +61,18 @@ class SimplexLstsqResult:
         Solver iterations used.
     method:
         Which solver produced the result.
+    converged:
+        ``False`` when an iterative kernel exhausted its iteration cap
+        without meeting its convergence certificate; the returned
+        weights are still feasible, just not certified optimal.  The
+        health monitors count these per run.
     """
 
     weights: FloatArray
     objective: float
     iterations: int
     method: str
+    converged: bool = True
 
 
 def _validate_inputs(
@@ -103,17 +110,28 @@ def _emit_solver_event(
     ``backend`` is the kernel that actually produced the result; it
     differs from ``method`` exactly when the active-set solver fell back
     to projected gradient (degenerate cycling / numerical corners), so
-    ``fallback`` makes silent fallbacks observable.
+    ``fallback`` makes silent fallbacks observable.  The companion
+    counters (``solver.solves`` / ``solver.fallbacks`` /
+    ``solver.nonconverged``) give any active trace the per-run rates
+    the health monitors check; with tracing off every call here is a
+    no-op costing one context-variable read.
     """
+    fallback = result.method != requested
     _obs_event(
         "solver.converged",
         method=requested,
         backend=result.method,
         iterations=result.iterations,
         objective=result.objective,
-        fallback=result.method != requested,
+        fallback=fallback,
+        converged=result.converged,
         n_references=n,
     )
+    _obs_incr("solver.solves")
+    if fallback:
+        _obs_incr("solver.fallbacks")
+    if not result.converged:
+        _obs_incr("solver.nonconverged")
 
 
 @dataclass(frozen=True)
@@ -231,6 +249,7 @@ def simplex_lstsq(
         _objective(A, b, result.weights),
         result.iterations,
         result.method,
+        result.converged,
     )
     _emit_solver_event(method, result, A.shape[1])
     return result
@@ -446,7 +465,7 @@ def _projected_gradient(
                 )
             previous_obj = obj
     return SimplexLstsqResult(
-        w, eqs.objective(w), max_iter, "projected-gradient"
+        w, eqs.objective(w), max_iter, "projected-gradient", converged=False
     )
 
 
@@ -481,7 +500,7 @@ def _frank_wolfe(
             )
         w = w + gamma * direction
     return SimplexLstsqResult(
-        w, eqs.objective(w), max_iter, "frank-wolfe"
+        w, eqs.objective(w), max_iter, "frank-wolfe", converged=False
     )
 
 

@@ -74,7 +74,15 @@ def _clean_numbers(name, section, mapping):
     return clean
 
 
-def save_bench_json(name, metrics, meta=None, stages=None, cache_stats=None):
+def save_bench_json(
+    name,
+    metrics,
+    meta=None,
+    stages=None,
+    cache_stats=None,
+    memory=None,
+    health=None,
+):
     """Persist one benchmark's metrics as ``BENCH_<name>.json``.
 
     Parameters
@@ -100,6 +108,18 @@ def save_bench_json(name, metrics, meta=None, stages=None, cache_stats=None):
         :meth:`~repro.cache.CacheStats.as_dict`), stored under
         ``"cache"``.  The gate derives ``cache_hit_rate`` from hits
         and misses and treats a drop as a regression.
+    memory:
+        Optional mapping of allocation metric name to bytes (typically
+        ``{"peak_bytes": handle.peak_bytes}`` from
+        :func:`repro.obs.memory.track_memory`), stored under
+        ``"memory"``.  The gate compares each entry as ``mem_<name>``
+        under its memory tolerance.
+    health:
+        Optional mapping of health-check name to verdict string
+        (``HealthReport.verdicts()``), stored under ``"health"``.  Any
+        ``"fail"`` verdict in a candidate payload fails the gate
+        outright -- no baseline needed; a failing invariant is never
+        "no worse than before".
 
     Returns
     -------
@@ -116,6 +136,10 @@ def save_bench_json(name, metrics, meta=None, stages=None, cache_stats=None):
         payload["stages"] = _clean_numbers(name, "stage", stages)
     if cache_stats:
         payload["cache"] = _clean_numbers(name, "cache stat", cache_stats)
+    if memory:
+        payload["memory"] = _clean_numbers(name, "memory metric", memory)
+    if health:
+        payload["health"] = {str(k): str(v) for k, v in health.items()}
     path = bench_json_path(name)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -8,20 +8,28 @@ context-variable read when no session is active, so the hot paths stay
 hot; opening a session with :func:`trace` turns them on for everything
 the ``with`` block calls, across module boundaries, via contextvars.
 
-Three consumers share the records:
+Consumers sharing the records:
 
 * the CLI's ``--trace FILE`` (JSON-lines export, :mod:`repro.obs.export`)
   and ``--profile`` (text summary tree, :mod:`repro.obs.profile`) flags,
-* the benchmark harness, which persists stage breakdowns and cache
-  statistics next to its wall-time metrics for the regression gate, and
+* the ``geoalign-repro obs`` analysis family — health reports over a
+  trace (:mod:`repro.obs.health`), run-to-run deltas
+  (:mod:`repro.obs.diff`) and the persistent run registry
+  (:mod:`repro.obs.registry`),
+* the benchmark harness, which persists stage breakdowns, cache
+  statistics and (opt-in, :mod:`repro.obs.memory`) allocation peaks
+  next to its wall-time metrics for the regression gate, and
 * the test suite's ``capture_trace`` fixture, which turns emitted
   spans/events into executable documentation of the engine's promised
   behaviour ("one blend matmul per batch", "second build is a cache
   hit").
 
-See ``docs/observability.md`` for the span model and event schema.
+See ``docs/observability.md`` for the span model, event schema and the
+health-check catalogue.
 """
 
+# Import order matters: repro.obs.trace must load before repro.obs.health,
+# whose repro.core imports come back to repro.obs.trace mid-initialisation.
 from repro.obs.trace import (
     EventRecord,
     SpanRecord,
@@ -30,13 +38,37 @@ from repro.obs.trace import (
     event,
     incr,
     set_gauge,
+    set_gauge_max,
+    set_gauge_min,
     span,
     timed_span,
     trace,
     tracing_active,
 )
-from repro.obs.export import trace_to_jsonl, trace_to_records, write_trace_jsonl
-from repro.obs.profile import format_profile
+from repro.obs.export import (
+    read_trace_jsonl,
+    trace_to_jsonl,
+    trace_to_records,
+    write_trace_jsonl,
+)
+from repro.obs.profile import format_profile, profile_coverage
+from repro.obs.health import (
+    CheckResult,
+    HealthCheck,
+    HealthReport,
+    all_checks,
+    evaluate_health,
+    model_gauges,
+    register_check,
+)
+from repro.obs.registry import (
+    RunRecord,
+    RunRegistry,
+    default_registry_path,
+    record_from_trace,
+)
+from repro.obs.diff import DiffEntry, RunDiff, diff_records
+from repro.obs.memory import MemoryHandle, track_memory
 
 __all__ = [
     "EventRecord",
@@ -46,12 +78,32 @@ __all__ = [
     "event",
     "incr",
     "set_gauge",
+    "set_gauge_max",
+    "set_gauge_min",
     "span",
     "timed_span",
     "trace",
     "tracing_active",
+    "read_trace_jsonl",
     "trace_to_jsonl",
     "trace_to_records",
     "write_trace_jsonl",
     "format_profile",
+    "profile_coverage",
+    "CheckResult",
+    "HealthCheck",
+    "HealthReport",
+    "all_checks",
+    "evaluate_health",
+    "model_gauges",
+    "register_check",
+    "RunRecord",
+    "RunRegistry",
+    "default_registry_path",
+    "record_from_trace",
+    "DiffEntry",
+    "RunDiff",
+    "diff_records",
+    "MemoryHandle",
+    "track_memory",
 ]

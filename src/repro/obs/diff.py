@@ -1,0 +1,214 @@
+"""Run comparison: per-stage timing / counter / gauge deltas.
+
+``geoalign-repro obs diff A B`` answers "what changed between these two
+runs" from their durable records alone: for every stage (per-span-name
+total seconds), counter and gauge present in either run,
+:func:`diff_records` reports baseline value, candidate value, absolute
+delta and ratio, and flags the entries whose relative change crosses a
+threshold — so a 2x slower ``stack.construct`` or a volume-residual
+gauge jumping six orders of magnitude stands out of a fifty-line table
+at a glance.
+
+Inputs are :class:`~repro.obs.registry.RunRecord` objects; the CLI
+builds them on the fly from trace JSONL files or resolves them from
+the run registry, so any two of {trace file, registry id} diff against
+each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.obs.registry import RunRecord
+
+__all__ = ["DiffEntry", "RunDiff", "diff_records"]
+
+#: Relative-change threshold above which an entry is flagged.
+DEFAULT_THRESHOLD = 0.5
+
+#: Stage timings below this many seconds are never flagged: the ratio
+#: of two sub-millisecond timings is timer noise, not a regression.
+MIN_FLAGGED_SECONDS = 1e-3
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared quantity across the two runs.
+
+    ``base``/``cand`` are ``None`` when the quantity exists in only one
+    run (a stage that appeared or disappeared is always flagged).
+    """
+
+    section: str
+    name: str
+    base: float | None
+    cand: float | None
+    flagged: bool
+
+    @property
+    def delta(self) -> float:
+        return (self.cand or 0.0) - (self.base or 0.0)
+
+    @property
+    def ratio(self) -> float | None:
+        """``cand / base``, or ``None`` when the base is zero/absent."""
+        if self.base is None or self.cand is None or self.base == 0.0:  # repro-lint: allow[float-eq] exact-zero base has no meaningful ratio
+            return None
+        return self.cand / self.base
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "section": self.section,
+            "name": self.name,
+            "base": self.base,
+            "cand": self.cand,
+            "delta": self.delta,
+            "ratio": self.ratio,
+            "flagged": self.flagged,
+        }
+
+
+class RunDiff:
+    """All :class:`DiffEntry` rows for one baseline/candidate pair."""
+
+    def __init__(
+        self, base: RunRecord, cand: RunRecord, entries: list[DiffEntry]
+    ) -> None:
+        self.base = base
+        self.cand = cand
+        self.entries = entries
+
+    @property
+    def flagged(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.flagged]
+
+    def section(self, name: str) -> list[DiffEntry]:
+        return [e for e in self.entries if e.section == name]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "base": self.base.run_id,
+            "candidate": self.cand.run_id,
+            "entries": [e.to_dict() for e in self.entries],
+            "flagged": len(self.flagged),
+        }
+
+    def to_text(self) -> str:
+        """The diff as the ``obs diff`` table (flagged rows marked ``!``)."""
+        lines = [
+            f"diff: {self.base.trace_name} ({self.base.run_id}) -> "
+            f"{self.cand.trace_name} ({self.cand.run_id})",
+            f"wall: {self.base.wall_seconds:.4f}s -> "
+            f"{self.cand.wall_seconds:.4f}s",
+        ]
+        if self.base.health or self.cand.health:
+            changed = [
+                name
+                for name in sorted(
+                    set(self.base.health) | set(self.cand.health)
+                )
+                if self.base.health.get(name) != self.cand.health.get(name)
+            ]
+            for name in changed:
+                lines.append(
+                    f"health {name}: {self.base.health.get(name, '-')} -> "
+                    f"{self.cand.health.get(name, '-')}"
+                )
+        header = (
+            f"  {'section':9s}{'name':34s}{'base':>13s}{'cand':>13s}"
+            f"{'delta':>13s}{'ratio':>8s}"
+        )
+        for section in ("stages", "counters", "gauges"):
+            rows = self.section(section)
+            if not rows:
+                continue
+            lines.append(header)
+            for entry in rows:
+                mark = "!" if entry.flagged else " "
+                base = "-" if entry.base is None else f"{entry.base:.5g}"
+                cand = "-" if entry.cand is None else f"{entry.cand:.5g}"
+                ratio = (
+                    "-" if entry.ratio is None else f"{entry.ratio:.3g}x"
+                )
+                lines.append(
+                    f"{mark} {entry.section:9s}{entry.name:34s}"
+                    f"{base:>13s}{cand:>13s}{entry.delta:>13.5g}"
+                    f"{ratio:>8s}"
+                )
+        lines.append(
+            f"{len(self.flagged)} of {len(self.entries)} entries flagged"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunDiff({self.base.run_id} -> {self.cand.run_id}, "
+            f"entries={len(self.entries)}, flagged={len(self.flagged)})"
+        )
+
+
+def _flag(
+    section: str,
+    base: float | None,
+    cand: float | None,
+    threshold: float,
+) -> bool:
+    if base is None or cand is None:
+        return True  # appeared or disappeared
+    if section == "stages" and max(abs(base), abs(cand)) < MIN_FLAGGED_SECONDS:
+        return False
+    scale = max(abs(base), abs(cand))
+    if scale == 0.0:  # repro-lint: allow[float-eq] both exactly zero means no change at all
+        return False
+    return abs(cand - base) / scale > threshold
+
+
+def _diff_section(
+    section: str,
+    base: dict[str, float],
+    cand: dict[str, float],
+    threshold: float,
+) -> list[DiffEntry]:
+    entries: list[DiffEntry] = []
+    for name in sorted(set(base) | set(cand)):
+        b = base.get(name)
+        c = cand.get(name)
+        entries.append(
+            DiffEntry(
+                section=section,
+                name=name,
+                base=b,
+                cand=c,
+                flagged=_flag(section, b, c, threshold),
+            )
+        )
+    return entries
+
+
+def diff_records(
+    base: RunRecord,
+    cand: RunRecord,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> RunDiff:
+    """Compare two run records section by section.
+
+    Parameters
+    ----------
+    base, cand:
+        Baseline and candidate runs.
+    threshold:
+        Relative change (``|delta| / max(|base|, |cand|)``) above which
+        an entry is flagged; quantities present in only one run are
+        always flagged, sub-millisecond stage timings never.
+    """
+    if threshold <= 0.0:
+        raise ValidationError(
+            f"threshold must be positive, got {threshold}"
+        )
+    entries = (
+        _diff_section("stages", base.stages, cand.stages, threshold)
+        + _diff_section("counters", base.counters, cand.counters, threshold)
+        + _diff_section("gauges", base.gauges, cand.gauges, threshold)
+    )
+    return RunDiff(base, cand, entries)

@@ -1,7 +1,8 @@
-"""JSON-lines export of a :class:`~repro.obs.trace.Trace` session.
+"""JSON-lines export (and re-import) of :class:`~repro.obs.trace.Trace`.
 
-The trace file format (consumed by ``--trace FILE`` and the test suite)
-is one JSON object per line, in three record types:
+The trace file format (consumed by ``--trace FILE``, the ``obs``
+analysis subcommands and the test suite) is one JSON object per line,
+in three record types:
 
 ``{"type": "trace", ...}``
     Session header: name, wall seconds, counters and gauges.  Always
@@ -16,23 +17,49 @@ is one JSON object per line, in three record types:
     One event: ``id``, ``span`` (the owning span id), ``name``, ``t``
     and ``fields``.
 
-Every value is JSON-safe: non-scalar span attributes and event fields
+Every value is JSON-safe: numpy scalars are unwrapped to their Python
+equivalents via ``.item()`` (so an ``np.int64`` span attribute stays a
+number, not a repr string); non-scalar span attributes and event fields
 are serialised via ``repr``.
+
+:func:`read_trace_jsonl` is the inverse of :func:`write_trace_jsonl`:
+it reconstructs the recorded sessions (one :class:`Trace` per header
+line) with span hierarchy, events, counters and gauges intact, so a
+trace written by one process can be analysed — health-checked, diffed,
+registered — by another.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.obs.trace import Trace
+import numpy as np
 
-__all__ = ["trace_to_records", "trace_to_jsonl", "write_trace_jsonl"]
+from repro.errors import ValidationError
+from repro.obs.trace import EventRecord, SpanRecord, Trace
+
+__all__ = [
+    "trace_to_records",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "records_to_traces",
+]
 
 
 def _json_safe(value: object) -> object:
-    """Scalars pass through; anything else becomes its repr."""
+    """Scalars pass through; numpy scalars unwrap; the rest is repr'd.
+
+    Numpy scalar types (``np.int64``, ``np.float32``, ``np.bool_``, …)
+    are *not* instances of ``int``/``float``/``bool``, so without the
+    ``.item()`` unwrap they would fall through to ``repr`` and a count
+    of 12 would serialise as the string ``"12"`` — silently de-typing
+    every numpy-valued attribute in the trace.
+    """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, np.generic):
+        return _json_safe(value.item())
     return repr(value)
 
 
@@ -50,8 +77,8 @@ def trace_to_records(session: Trace) -> list[dict[str, object]]:
             "wall_seconds": session.wall_seconds,
             "spans": len(session.spans),
             "events": len(session.events),
-            "counters": dict(session.counters),
-            "gauges": dict(session.gauges),
+            "counters": _safe_mapping(dict(session.counters)),
+            "gauges": _safe_mapping(dict(session.gauges)),
         }
     ]
     for span in sorted(session.spans, key=lambda s: (s.started, s.span_id)):
@@ -100,3 +127,102 @@ def write_trace_jsonl(
     with open(path, mode) as handle:
         handle.write(trace_to_jsonl(session))
     return path
+
+
+def _session_from_header(header: dict[str, object]) -> Trace:
+    """A :class:`Trace` shell rebuilt from one ``"trace"`` record.
+
+    Reconstructed sessions anchor their timeline at 0.0, matching the
+    relative ``t0``/``t1`` values in the file — re-exporting one yields
+    byte-identical records, which is the round-trip contract the test
+    suite pins.
+    """
+    session = Trace(str(header.get("name", "trace")))
+    session.started = 0.0
+    session.ended = float(header.get("wall_seconds", 0.0))  # type: ignore[arg-type]
+    counters = header.get("counters") or {}
+    gauges = header.get("gauges") or {}
+    if not isinstance(counters, dict) or not isinstance(gauges, dict):
+        raise ValidationError("trace header counters/gauges must be mappings")
+    session.counters = {str(k): float(v) for k, v in counters.items()}
+    session.gauges = {str(k): float(v) for k, v in gauges.items()}
+    return session
+
+
+def records_to_traces(records: list[dict[str, object]]) -> list[Trace]:
+    """Rebuild :class:`Trace` sessions from parsed trace records.
+
+    One session per ``"trace"`` header, in file order; span and event
+    records attach to the most recent header (the append layout
+    ``write_trace_jsonl`` produces).
+    """
+    sessions: list[Trace] = []
+    for record in records:
+        kind = record.get("type")
+        if kind == "trace":
+            sessions.append(_session_from_header(record))
+            continue
+        if not sessions:
+            raise ValidationError(
+                "trace file is malformed: span/event record before any "
+                "trace header"
+            )
+        session = sessions[-1]
+        if kind == "span":
+            parent = record.get("parent")
+            span = SpanRecord(
+                span_id=int(record["id"]),  # type: ignore[arg-type]
+                parent_id=None if parent is None else int(parent),  # type: ignore[arg-type]
+                name=str(record["name"]),
+                started=float(record["t0"]),  # type: ignore[arg-type]
+                ended=float(record["t1"]),  # type: ignore[arg-type]
+                attrs=dict(record.get("attrs") or {}),  # type: ignore[call-overload]
+                status=str(record.get("status", "ok")),
+            )
+            session.spans.append(span)
+        elif kind == "event":
+            span_id = record.get("span")
+            event = EventRecord(
+                event_id=int(record["id"]),  # type: ignore[arg-type]
+                span_id=None if span_id is None else int(span_id),  # type: ignore[arg-type]
+                name=str(record["name"]),
+                at=float(record["t"]),  # type: ignore[arg-type]
+                fields=dict(record.get("fields") or {}),  # type: ignore[call-overload]
+            )
+            session.events.append(event)
+        else:
+            raise ValidationError(
+                f"trace file contains unknown record type {kind!r}"
+            )
+    return sessions
+
+
+def read_trace_jsonl(path: str) -> list[Trace]:
+    """Read every session appended to a trace JSONL file.
+
+    The inverse of :func:`write_trace_jsonl`: each ``"trace"`` header
+    opens a new reconstructed :class:`Trace`, and subsequent span/event
+    lines populate it.  Timestamps come back relative to each session's
+    start (``Trace.started`` is 0.0), so durations, hierarchy queries
+    and re-export all behave exactly as on the original object.
+    """
+    records: list[dict[str, object]] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}:{line_number}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(parsed, dict):
+                raise ValidationError(
+                    f"{path}:{line_number}: expected a JSON object"
+                )
+            records.append(parsed)
+    if not records:
+        raise ValidationError(f"{path}: empty trace file")
+    return records_to_traces(records)

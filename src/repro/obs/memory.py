@@ -1,0 +1,89 @@
+"""Opt-in memory observability: tracemalloc peak as a trace gauge.
+
+Peak resident allocation is the metric the paper's scalability story
+quietly depends on (the union-sparsity value matrix of
+:class:`~repro.core.batch.ReferenceStack` is the dominant allocation
+at full scale), but measuring it costs real overhead — ``tracemalloc``
+slows allocation-heavy code by 2-30 % — so it is strictly opt-in:
+nothing in this module runs unless the caller asks (the CLI's
+``--mem``, the benchmark suite's ``measure_memory`` helper).
+
+:func:`track_memory` wraps a block, records the tracemalloc peak into
+the returned handle, and — when a trace session is active — publishes
+it as the ``mem.peak_bytes`` gauge (high-water mark, so nested or
+repeated blocks keep the worst). The benchmark harness persists the
+same number under a ``memory`` section in ``BENCH_*.json``, where the
+regression gate compares it like any other metric.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs.trace import set_gauge_max, tracing_active
+
+__all__ = ["MemoryHandle", "track_memory"]
+
+#: Gauge under which the tracemalloc peak is published.
+PEAK_GAUGE = "mem.peak_bytes"
+
+
+class MemoryHandle:
+    """Peak-allocation carrier for :func:`track_memory`.
+
+    ``peak_bytes`` is 0.0 until the block exits (and stays 0.0 when
+    tracking was disabled).
+    """
+
+    __slots__ = ("peak_bytes",)
+
+    def __init__(self) -> None:
+        self.peak_bytes = 0.0
+
+    @property
+    def peak_mib(self) -> float:
+        """Peak in mebibytes."""
+        return self.peak_bytes / (1024.0 * 1024.0)
+
+    def __repr__(self) -> str:
+        return f"MemoryHandle(peak_bytes={self.peak_bytes:.0f})"
+
+
+@contextmanager
+def track_memory(enabled: bool = True) -> Iterator[MemoryHandle]:
+    """Measure the block's tracemalloc allocation peak (opt-in).
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` makes the whole context a no-op (the handle stays at
+        0.0), so call sites can thread a ``--mem`` flag straight
+        through without branching.
+
+    Notes
+    -----
+    If tracemalloc is already tracing (an enclosing :func:`track_memory`
+    or a debugger), the existing tracer is reused and left running;
+    only the innermost-started context stops it.  The peak is measured
+    relative to this block via ``tracemalloc.reset_peak``, so nested
+    handles report their own block's peak, not the process lifetime's.
+    """
+    handle = MemoryHandle()
+    if not enabled:
+        yield handle
+        return
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        yield handle
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        handle.peak_bytes = float(peak)
+        if started_here:
+            tracemalloc.stop()
+        if tracing_active():
+            set_gauge_max(PEAK_GAUGE, handle.peak_bytes)

@@ -73,14 +73,26 @@ def profile_coverage(session: Trace) -> float:
     return min(covered / wall, 1.0)
 
 
+#: Width of the span-name column in the profile table; longer labels
+#: are truncated with an ellipsis so the numeric columns stay aligned.
+_LABEL_WIDTH = 44
+
+
+def _fit_label(label: str, width: int = _LABEL_WIDTH) -> str:
+    """``label`` padded (or ellipsis-truncated) to exactly ``width``."""
+    if len(label) > width:
+        return label[: width - 1] + "…"
+    return f"{label:{width}s}"
+
+
 def _render(
     node: _Node, parent_seconds: float, depth: int, lines: list[str]
 ) -> None:
     share = 100.0 * node.seconds / parent_seconds if parent_seconds > 0 else 0.0
-    label = "  " * depth + node.name
+    label = _fit_label("  " * depth + node.name)
     flag = f"  errors={node.errors}" if node.errors else ""
     lines.append(
-        f"{label:44s}{node.seconds:10.4f}s{share:7.1f}%{node.count:6d}x{flag}"
+        f"{label}{node.seconds:10.4f}s{share:7.1f}%{node.count:6d}x{flag}"
     )
     for child in sorted(
         node.children.values(), key=lambda n: -n.seconds
@@ -105,7 +117,9 @@ def format_profile(session: Trace) -> str:
         f"{len(session.spans)} spans, {len(session.events)} events, "
         f"coverage {100.0 * coverage:.1f}%"
     ]
-    header = f"{'span':44s}{'seconds':>11s}{'share':>8s}{'count':>7s}"
+    header = (
+        f"{'span':{_LABEL_WIDTH}s}{'seconds':>11s}{'share':>8s}{'count':>7s}"
+    )
     lines.append(header)
     root_nodes = _aggregate(roots, by_parent)
     total = sum(node.seconds for node in root_nodes.values())

@@ -1,0 +1,293 @@
+"""Persistent run registry: append-only JSONL history of traced runs.
+
+A trace file answers "what happened in this run"; the registry answers
+"what has been happening across runs".  Every registered run is one
+JSON line holding the durable facts of a session — trace header
+(name, wall seconds), per-span-name stage timings, counters, gauges,
+the health verdicts of :func:`repro.obs.health.evaluate_health`, and a
+content fingerprint of whatever configuration/data identity the caller
+supplies — so regressions can be localised to "the first run where
+``gram_conditioning`` went warn" without re-running anything.
+
+The file format is append-only JSONL (one :class:`RunRecord` per
+line), the same durability model as the trace files themselves:
+corrupt-resistant, mergeable with ``cat``, and diffable line-by-line.
+The default location is ``.geoalign/registry.jsonl`` under the current
+directory, overridable with the ``REPRO_REGISTRY`` environment
+variable or an explicit path (the CLI's ``--registry FILE``).
+
+Fingerprints are computed through :mod:`repro.cache`'s content hashing
+(imported lazily — :mod:`repro.cache` itself imports the tracing core,
+so a module-level import here would cycle).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+from repro.errors import ValidationError
+from repro.obs.health import HealthReport
+from repro.obs.trace import Trace
+
+__all__ = [
+    "RunRecord",
+    "RunRegistry",
+    "record_from_trace",
+    "default_registry_path",
+]
+
+#: Default registry location, relative to the working directory.
+DEFAULT_REGISTRY = os.path.join(".geoalign", "registry.jsonl")
+
+#: Hex characters of the content fingerprint used as the run id.
+RUN_ID_LENGTH = 12
+
+
+def default_registry_path() -> str:
+    """Registry path: ``$REPRO_REGISTRY`` or ``.geoalign/registry.jsonl``."""
+    return os.environ.get("REPRO_REGISTRY", DEFAULT_REGISTRY)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One registered run: the durable facts of a traced session.
+
+    Attributes
+    ----------
+    run_id:
+        Content-fingerprint prefix identifying the run; identical
+        re-runs of a deterministic pipeline share an id, which is a
+        feature — the registry listing shows them as the same work.
+    created_at:
+        UTC ISO-8601 registration timestamp (bookkeeping, not a
+        measured duration — the ``wallclock`` lint rule governs
+        measurement paths, not provenance stamps).
+    trace_name:
+        Name of the recorded session.
+    wall_seconds:
+        Session wall time.
+    status:
+        Overall health verdict (``ok``/``warn``/``fail``), or ``"-"``
+        when the run was registered without a health evaluation.
+    stages:
+        Per-span-name total seconds (every distinct span name in the
+        session, so ``obs diff`` can compare any stage across runs).
+    counters, gauges:
+        The session's counter and gauge registries.
+    health:
+        Mapping of check name to verdict string.
+    fingerprint:
+        Full content fingerprint of the run's identity (trace name
+        plus caller-supplied config/data fingerprints).
+    meta:
+        Caller-supplied context (CLI argv, dataset name, scale, ...).
+    """
+
+    run_id: str
+    created_at: str
+    trace_name: str
+    wall_seconds: float
+    status: str
+    stages: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    health: dict[str, str] = field(default_factory=dict)
+    fingerprint: str = ""
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "run_id": self.run_id,
+            "created_at": self.created_at,
+            "trace_name": self.trace_name,
+            "wall_seconds": self.wall_seconds,
+            "status": self.status,
+            "stages": dict(self.stages),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "health": dict(self.health),
+            "fingerprint": self.fingerprint,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunRecord":
+        def _float_map(key: str) -> dict[str, float]:
+            raw = payload.get(key) or {}
+            if not isinstance(raw, dict):
+                raise ValidationError(f"run record {key!r} must be a mapping")
+            return {str(k): float(v) for k, v in raw.items()}
+
+        health_raw = payload.get("health") or {}
+        meta_raw = payload.get("meta") or {}
+        if not isinstance(health_raw, dict) or not isinstance(meta_raw, dict):
+            raise ValidationError("run record health/meta must be mappings")
+        return cls(
+            run_id=str(payload["run_id"]),
+            created_at=str(payload.get("created_at", "")),
+            trace_name=str(payload.get("trace_name", "trace")),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),  # type: ignore[arg-type]
+            status=str(payload.get("status", "-")),
+            stages=_float_map("stages"),
+            counters=_float_map("counters"),
+            gauges=_float_map("gauges"),
+            health={str(k): str(v) for k, v in health_raw.items()},
+            fingerprint=str(payload.get("fingerprint", "")),
+            meta=dict(meta_raw),
+        )
+
+    def summary_line(self) -> str:
+        """One listing row: id, verdict, name, wall time, timestamp."""
+        return (
+            f"{self.run_id:>{RUN_ID_LENGTH}s}  {self.status:>4s}  "
+            f"{self.wall_seconds:9.3f}s  {self.created_at:25s}  "
+            f"{self.trace_name}"
+        )
+
+
+def _stage_totals(session: Trace) -> dict[str, float]:
+    """Total seconds per distinct span name, in first-open order."""
+    return {
+        name: session.span_seconds(name) for name in session.span_names()
+    }
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def record_from_trace(
+    session: Trace,
+    report: HealthReport | None = None,
+    meta: Mapping[str, object] | None = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from one traced session.
+
+    Parameters
+    ----------
+    session:
+        A live or re-read :class:`Trace`.
+    report:
+        Optional health evaluation; its verdicts and overall status are
+        folded into the record.
+    meta:
+        Caller context (argv, dataset, scale ...); every value takes
+        part in the run fingerprint, so two runs with different configs
+        can never share an id.
+    """
+    # Lazy: repro.cache imports the tracing core at module level, so a
+    # top-level import here would close an import cycle through
+    # repro.obs.
+    from repro.cache import combine_fingerprints
+
+    meta_dict: dict[str, object] = dict(meta) if meta else {}
+    fingerprint = combine_fingerprints(
+        "run",
+        session.name,
+        repr(round(session.wall_seconds, 9)),
+        repr(sorted(session.counters.items())),
+        repr(sorted(session.gauges.items())),
+        repr(sorted((k, repr(v)) for k, v in meta_dict.items())),
+    )
+    return RunRecord(
+        run_id=fingerprint[:RUN_ID_LENGTH],
+        created_at=_utc_now(),
+        trace_name=session.name,
+        wall_seconds=session.wall_seconds,
+        status=report.status if report is not None else "-",
+        stages=_stage_totals(session),
+        counters=dict(session.counters),
+        gauges=dict(session.gauges),
+        health=report.verdicts() if report is not None else {},
+        fingerprint=fingerprint,
+        meta=meta_dict,
+    )
+
+
+class RunRegistry:
+    """Append-only JSONL store of :class:`RunRecord` lines.
+
+    Parameters
+    ----------
+    path:
+        Registry file; parent directories are created on first append.
+        Defaults to :func:`default_registry_path`.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path if path is not None else default_registry_path()
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Append one record (creating the file and parents); returns it."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        return record
+
+    def load(self) -> list[RunRecord]:
+        """Every registered run, oldest first ([] for a missing file)."""
+        if not os.path.exists(self.path):
+            return []
+        records: list[RunRecord] = []
+        with open(self.path) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    parsed = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValidationError(
+                        f"{self.path}:{line_number}: not valid JSON ({exc})"
+                    ) from exc
+                if not isinstance(parsed, dict):
+                    raise ValidationError(
+                        f"{self.path}:{line_number}: expected a JSON object"
+                    )
+                records.append(RunRecord.from_dict(parsed))
+        return records
+
+    def get(self, run_id: str) -> RunRecord:
+        """The newest record whose id starts with ``run_id``.
+
+        Newest-first resolution means a re-registered deterministic run
+        resolves to its latest registration, and short unambiguous
+        prefixes work like abbreviated VCS hashes.
+        """
+        if not run_id:
+            raise ValidationError("run_id must be non-empty")
+        for record in reversed(self.load()):
+            if record.run_id.startswith(run_id):
+                return record
+        raise ValidationError(
+            f"no run with id prefix {run_id!r} in {self.path}"
+        )
+
+    def last(self, n: int = 10) -> list[RunRecord]:
+        """The most recent ``n`` records, oldest of them first."""
+        if n < 1:
+            raise ValidationError(f"n must be positive, got {n}")
+        return self.load()[-n:]
+
+    def to_text(self, n: int = 10) -> str:
+        """Listing of the most recent ``n`` runs (newest last)."""
+        records = self.last(n)
+        if not records:
+            return f"registry {self.path}: no runs recorded"
+        lines = [
+            f"registry {self.path}: showing {len(records)} of "
+            f"{len(self.load())} runs",
+            f"{'run':>{RUN_ID_LENGTH}s}  {'verd':>4s}  {'wall':>10s}  "
+            f"{'registered (UTC)':25s}  trace",
+        ]
+        lines.extend(record.summary_line() for record in records)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"RunRegistry({self.path!r})"

@@ -46,6 +46,8 @@ __all__ = [
     "event",
     "incr",
     "set_gauge",
+    "set_gauge_max",
+    "set_gauge_min",
     "span",
     "timed_span",
     "trace",
@@ -299,3 +301,29 @@ def set_gauge(name: str, value: float) -> None:
     """Set gauge ``name`` to ``value`` in every active session."""
     for session in _ACTIVE.get():
         session.gauges[name] = float(value)
+
+
+def set_gauge_max(name: str, value: float) -> None:
+    """Raise gauge ``name`` to ``value`` if larger (high-water mark).
+
+    The health monitors emit worst-case-per-run gauges with this: a
+    cross-validation run fits many models, and the run's verdict must
+    reflect the *worst* volume residual or condition number seen, not
+    whichever fit happened to run last.
+    """
+    for session in _ACTIVE.get():
+        current = session.gauges.get(name)
+        if current is None or value > current:
+            session.gauges[name] = float(value)
+
+
+def set_gauge_min(name: str, value: float) -> None:
+    """Lower gauge ``name`` to ``value`` if smaller (low-water mark).
+
+    Mirror of :func:`set_gauge_max` for lower-is-worse health signals
+    (effective number of references under weight degeneracy).
+    """
+    for session in _ACTIVE.get():
+        current = session.gauges.get(name)
+        if current is None or value < current:
+            session.gauges[name] = float(value)

@@ -225,3 +225,181 @@ class TestMain:
             )
         assert cr.main([str(base), str(cand)]) == 0
         assert "no benchmark regressions" in capsys.readouterr().out
+
+
+class TestMemoryKind:
+    @pytest.mark.parametrize(
+        "key",
+        ["mem_batch_peak_bytes", "mem_peak", "peak_bytes", "heap_bytes"],
+    )
+    def test_memory_keys_classified(self, key):
+        assert cr.metric_kind(key) == "memory"
+
+    def test_memory_section_flattens_with_prefix(self):
+        flat = cr.flatten_payload(
+            {"metrics": {}, "memory": {"batch_peak_bytes": 1024.0}},
+            "f.json",
+        )
+        assert flat == {"mem_batch_peak_bytes": 1024.0}
+
+    def test_malformed_memory_section_rejected(self):
+        with pytest.raises(ValueError):
+            cr.flatten_payload(
+                {"metrics": {}, "memory": [1, 2]}, "f.json"
+            )
+
+    def test_memory_defaults_to_time_tolerance(self):
+        regressed, _ = cr.compare_metric(
+            "mem_peak_bytes", 100.0, 150.0, 1.5, 1.05
+        )
+        assert not regressed
+        regressed, _ = cr.compare_metric(
+            "mem_peak_bytes", 100.0, 151.0, 1.5, 1.05
+        )
+        assert regressed
+
+    def test_explicit_mem_tolerance_wins(self):
+        regressed, detail = cr.compare_metric(
+            "mem_peak_bytes", 100.0, 120.0, 1.5, 1.05, 1.1
+        )
+        assert regressed
+        assert "x 1.1" in detail
+        regressed, _ = cr.compare_metric(
+            "mem_peak_bytes", 100.0, 109.0, 1.5, 1.05, 1.1
+        )
+        assert not regressed
+
+    def test_main_rejects_bad_mem_tolerance(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        code = cr.main(
+            [
+                str(tmp_path / "a"),
+                str(tmp_path / "b"),
+                "--mem-tolerance",
+                "0.5",
+            ]
+        )
+        assert code == 2
+
+    def test_memory_regression_end_to_end(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        cand = tmp_path / "cand"
+        base.mkdir()
+        cand.mkdir()
+        payload = {"name": "b", "metrics": {}, "memory": {"peak": 100.0}}
+        (base / "BENCH_b.json").write_text(json.dumps(payload))
+        payload["memory"] = {"peak": 300.0}
+        (cand / "BENCH_b.json").write_text(json.dumps(payload))
+        code = cr.main(
+            [str(base), str(cand), "--mem-tolerance", "2.0"]
+        )
+        assert code == 1
+        assert "mem_peak" in capsys.readouterr().out
+
+
+class TestHealthGate:
+    def test_health_failures_mapping_shape(self):
+        failures = cr.health_failures(
+            {"health": {"volume_preservation": "fail", "other": "ok"}},
+            "src",
+        )
+        assert failures == [("src", "volume_preservation")]
+
+    def test_health_failures_checks_shape(self):
+        failures = cr.health_failures(
+            {
+                "checks": [
+                    {"name": "a", "status": "ok"},
+                    {"name": "b", "status": "fail"},
+                ]
+            },
+            "src",
+        )
+        assert failures == [("src", "b")]
+
+    def test_load_health_file_single_json(self, tmp_path):
+        path = tmp_path / "health.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "trace": "run1",
+                    "checks": [{"name": "volume", "status": "fail"}],
+                }
+            )
+        )
+        assert cr.load_health_file(str(path)) == [("run1", "volume")]
+
+    def test_load_health_file_registry_jsonl(self, tmp_path):
+        path = tmp_path / "registry.jsonl"
+        lines = [
+            {"trace_name": "r1", "health": {"volume": "ok"}},
+            {"trace_name": "r2", "health": {"volume": "fail"}},
+        ]
+        path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        assert cr.load_health_file(str(path)) == [("r2", "volume")]
+
+    def test_candidate_bench_fail_verdict_gates(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        cand = tmp_path / "cand"
+        base.mkdir()
+        cand.mkdir()
+        payload = {"name": "b", "metrics": {"rmse": 1.0}}
+        (base / "BENCH_b.json").write_text(json.dumps(payload))
+        payload["health"] = {"volume_preservation": "fail"}
+        (cand / "BENCH_b.json").write_text(json.dumps(payload))
+        code = cr.main([str(base), str(cand)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "health check volume_preservation FAILED" in out
+
+    def test_baseline_fail_verdict_does_not_gate(self, tmp_path):
+        base = tmp_path / "base"
+        cand = tmp_path / "cand"
+        base.mkdir()
+        cand.mkdir()
+        payload = {
+            "name": "b",
+            "metrics": {"rmse": 1.0},
+            "health": {"volume_preservation": "fail"},
+        }
+        (base / "BENCH_b.json").write_text(json.dumps(payload))
+        payload["health"] = {"volume_preservation": "ok"}
+        (cand / "BENCH_b.json").write_text(json.dumps(payload))
+        assert cr.main([str(base), str(cand)]) == 0
+
+    def test_warn_verdicts_pass(self, tmp_path):
+        base = tmp_path / "base"
+        cand = tmp_path / "cand"
+        base.mkdir()
+        cand.mkdir()
+        payload = {
+            "name": "b",
+            "metrics": {},
+            "health": {"gram_conditioning": "warn"},
+        }
+        (cand / "BENCH_b.json").write_text(json.dumps(payload))
+        assert cr.main([str(base), str(cand)]) == 0
+
+    def test_health_file_failure_gates_empty_dirs(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        cand = tmp_path / "cand"
+        base.mkdir()
+        cand.mkdir()
+        health = tmp_path / "health.json"
+        health.write_text(
+            json.dumps({"trace": "t", "health": {"volume": "fail"}})
+        )
+        code = cr.main([str(base), str(cand), "--health", str(health)])
+        assert code == 1
+        assert "health:volume" in capsys.readouterr().out
+
+    def test_missing_health_file_exits_two(self, tmp_path):
+        base = tmp_path / "base"
+        cand = tmp_path / "cand"
+        base.mkdir()
+        cand.mkdir()
+        code = cr.main(
+            [str(base), str(cand), "--health", str(tmp_path / "nope.json")]
+        )
+        assert code == 2

@@ -227,3 +227,224 @@ class TestBadInput:
         code, _ = _run(["fig5a", "--scale", "7.5"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestObsParser:
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_report_flags(self):
+        args = build_parser().parse_args(
+            ["obs", "report", "run.jsonl", "--json", "out.jsonl"]
+        )
+        assert args.obs_command == "report"
+        assert args.trace_file == "run.jsonl"
+        assert args.json_out == "out.jsonl"
+
+    def test_diff_flags(self):
+        args = build_parser().parse_args(
+            ["obs", "diff", "a.jsonl", "b.jsonl", "--threshold", "0.2"]
+        )
+        assert (args.base, args.cand) == ("a.jsonl", "b.jsonl")
+        assert args.threshold == 0.2
+
+    def test_mem_and_registry_flags(self):
+        args = build_parser().parse_args(
+            ["fig5a", "--mem", "--registry", "runs.jsonl"]
+        )
+        assert args.mem is True
+        assert args.registry == "runs.jsonl"
+        args = build_parser().parse_args(["fig5a"])
+        assert args.mem is False
+        assert args.registry is None
+
+
+def _write_failing_trace(path):
+    """A minimal trace whose volume gauge is grossly violated."""
+    from repro.obs import Trace, write_trace_jsonl
+
+    session = Trace("doomed")
+    session.started = 0.0
+    session.ended = 1.0
+    session.gauges = {"health.volume_residual_max": 1.0}
+    write_trace_jsonl(session, str(path))
+
+
+class TestObsReport:
+    def test_report_on_fresh_trace_is_healthy(self, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        code, _ = _run(
+            ["align", "--scale", str(TEST_SCALE), "--trace", str(trace_file)]
+        )
+        assert code == 0
+        code, out = _run(["obs", "report", str(trace_file)])
+        assert code == 0
+        assert "health report: cli.align" in out
+        assert "verdict OK" in out
+        for check in ("volume_preservation", "simplex_feasibility"):
+            assert check in out
+
+    def test_report_json_output(self, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        _run(
+            ["align", "--scale", str(TEST_SCALE), "--trace", str(trace_file)]
+        )
+        json_file = tmp_path / "health.jsonl"
+        code, out = _run(
+            ["obs", "report", str(trace_file), "--json", str(json_file)]
+        )
+        assert code == 0
+        assert f"[health json written {json_file}]" in out
+        (payload,) = [
+            json.loads(line)
+            for line in json_file.read_text().strip().splitlines()
+        ]
+        assert payload["trace"] == "cli.align"
+        assert payload["status"] == "ok"
+        names = {c["name"] for c in payload["checks"]}
+        assert "volume_preservation" in names
+
+    def test_report_exits_one_on_fail_verdict(self, tmp_path):
+        trace_file = tmp_path / "bad.jsonl"
+        _write_failing_trace(trace_file)
+        code, out = _run(["obs", "report", str(trace_file)])
+        assert code == 1
+        assert "verdict FAIL" in out
+
+    def test_report_missing_file_exits_two(self, tmp_path, capsys):
+        code, _ = _run(["obs", "report", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsRegistryCli:
+    def _registered_run(self, tmp_path, seed):
+        registry = tmp_path / "runs.jsonl"
+        code, out = _run(
+            [
+                "align",
+                "--scale",
+                str(TEST_SCALE),
+                "--seed",
+                str(seed),
+                "--registry",
+                str(registry),
+            ]
+        )
+        assert code == 0
+        (line,) = [l for l in out.splitlines() if l.startswith("[registered")]
+        run_id = line.split()[1]
+        return registry, run_id
+
+    def test_figure_run_registers_and_lists(self, tmp_path):
+        registry, run_id = self._registered_run(tmp_path, seed=1)
+        assert registry.is_file()
+        code, out = _run(["obs", "list", "--registry", str(registry)])
+        assert code == 0
+        assert run_id in out
+        assert "cli.align" in out
+
+    def test_show_resolves_prefix(self, tmp_path):
+        registry, run_id = self._registered_run(tmp_path, seed=1)
+        code, out = _run(
+            ["obs", "show", run_id[:6], "--registry", str(registry)]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["run_id"] == run_id
+        assert payload["trace_name"] == "cli.align"
+        assert payload["health"]["volume_preservation"] == "ok"
+        assert payload["meta"]["command"] == "align"
+
+    def test_show_unknown_id_exits_two(self, tmp_path, capsys):
+        registry, _ = self._registered_run(tmp_path, seed=1)
+        code, _ = _run(
+            ["obs", "show", "zzzzzz", "--registry", str(registry)]
+        )
+        assert code == 2
+        assert "no run with id prefix" in capsys.readouterr().err
+
+    def test_diff_two_registry_runs(self, tmp_path):
+        registry, base_id = self._registered_run(tmp_path, seed=1)
+        _, cand_id = self._registered_run(tmp_path, seed=2)
+        code, out = _run(
+            [
+                "obs",
+                "diff",
+                base_id,
+                cand_id,
+                "--registry",
+                str(registry),
+            ]
+        )
+        assert code == 0
+        assert f"({base_id}) ->" in out
+        assert "entries flagged" in out
+
+    def test_diff_two_trace_files(self, tmp_path):
+        base = tmp_path / "base.jsonl"
+        cand = tmp_path / "cand.jsonl"
+        for path, seed in ((base, 1), (cand, 2)):
+            _run(
+                [
+                    "align",
+                    "--scale",
+                    str(TEST_SCALE),
+                    "--seed",
+                    str(seed),
+                    "--trace",
+                    str(path),
+                ]
+            )
+        code, out = _run(["obs", "diff", str(base), str(cand)])
+        assert code == 0
+        assert "diff: cli.align" in out
+        assert "stages" in out
+
+    def test_diff_surfaces_health_transitions(self, tmp_path):
+        good = tmp_path / "good.jsonl"
+        _run(
+            ["align", "--scale", str(TEST_SCALE), "--trace", str(good)]
+        )
+        bad = tmp_path / "bad.jsonl"
+        _write_failing_trace(bad)
+        code, out = _run(["obs", "diff", str(good), str(bad)])
+        assert code == 0
+        assert "health volume_preservation: ok -> fail" in out
+
+    def test_diff_bad_threshold_exits_two(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        _write_failing_trace(base)
+        code, _ = _run(
+            ["obs", "diff", str(base), str(base), "--threshold", "0"]
+        )
+        assert code == 2
+        assert "threshold" in capsys.readouterr().err
+
+
+class TestMemFlag:
+    def test_mem_prints_peak(self):
+        code, out = _run(["fig5a", "--scale", str(TEST_SCALE), "--mem"])
+        assert code == 0
+        assert "[mem peak" in out
+
+    def test_mem_gauge_lands_in_trace(self, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        code, _ = _run(
+            [
+                "align",
+                "--scale",
+                str(TEST_SCALE),
+                "--mem",
+                "--trace",
+                str(trace_file),
+            ]
+        )
+        assert code == 0
+        header = json.loads(trace_file.read_text().splitlines()[0])
+        assert header["gauges"]["mem.peak_bytes"] > 0
+
+    def test_without_mem_no_peak_output(self):
+        _, out = _run(["fig5a", "--scale", str(TEST_SCALE)])
+        assert "[mem peak" not in out

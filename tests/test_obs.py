@@ -9,6 +9,7 @@ executable contracts.
 """
 
 import json
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -24,6 +25,7 @@ from repro.obs import (
     event,
     format_profile,
     incr,
+    read_trace_jsonl,
     set_gauge,
     span,
     timed_span,
@@ -31,6 +33,7 @@ from repro.obs import (
     trace_to_jsonl,
     trace_to_records,
     tracing_active,
+    track_memory,
     write_trace_jsonl,
 )
 from repro.obs.profile import profile_coverage
@@ -417,3 +420,159 @@ class TestRefitTelemetryStaleness:
         assert set(second) == set(first)
         for stage, seconds in second.items():
             assert seconds < first[stage] * 10 + 0.05
+
+
+# ---------------------------------------------------------------------------
+# round-trip fidelity: write -> read -> re-export is lossless
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    def _session(self, name="sess"):
+        with trace(name, flavour="test") as session:
+            with span("a", n=2):
+                with span("b"):
+                    event("tick", ratio=0.5, count=np.int64(7))
+            incr("cache.hits", 3)
+            set_gauge("health.volume_residual_max", 1e-12)
+        return session
+
+    def test_read_rebuilds_the_session_exactly(self, tmp_path):
+        original = self._session()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(original, path)
+        (rebuilt,) = read_trace_jsonl(path)
+        assert rebuilt.name == original.name
+        assert rebuilt.wall_seconds == pytest.approx(original.wall_seconds)
+        assert rebuilt.counters == original.counters
+        assert rebuilt.gauges == original.gauges
+        assert len(rebuilt.spans) == len(original.spans)
+        assert rebuilt.span_names() == original.span_names()
+        for name in original.span_names():
+            assert rebuilt.span_seconds(name) == pytest.approx(
+                original.span_seconds(name)
+            )
+        # Hierarchy survives: same parent chain for the deepest span.
+        (deep,) = rebuilt.find_spans("b")
+        assert [s.name for s in rebuilt.ancestors_of(deep)] == ["a", "sess"]
+        (evt,) = rebuilt.find_events("tick")
+        assert evt.fields["ratio"] == 0.5
+        assert evt.fields["count"] == 7  # numpy scalar stayed a number
+
+    def test_reexport_is_byte_identical(self, tmp_path):
+        """The round-trip contract: export(read(x)) == x."""
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(self._session(), path)
+        first = open(path).read()
+        (rebuilt,) = read_trace_jsonl(path)
+        assert trace_to_jsonl(rebuilt) == first
+        # And the fixed point holds: another cycle changes nothing.
+        path2 = str(tmp_path / "again.jsonl")
+        write_trace_jsonl(rebuilt, path2)
+        assert open(path2).read() == first
+
+    def test_multi_session_appended_file_round_trips(self, tmp_path):
+        """An `all`-style file (several appended sessions) is lossless."""
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(self._session("one"), path)
+        write_trace_jsonl(self._session("two"), path, append=True)
+        write_trace_jsonl(self._session("three"), path, append=True)
+        sessions = read_trace_jsonl(path)
+        assert [s.name for s in sessions] == ["one", "two", "three"]
+        rebuilt_text = "".join(trace_to_jsonl(s) for s in sessions)
+        assert rebuilt_text == open(path).read()
+        for session in sessions:
+            assert session.counters == {"cache.hits": 3.0}
+            assert len(session.spans) == 3
+
+    def test_malformed_files_are_validation_errors(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(ValidationError, match="empty trace file"):
+            read_trace_jsonl(str(empty))
+        headless = tmp_path / "headless.jsonl"
+        headless.write_text(
+            '{"type": "span", "id": 0, "parent": null, "name": "x", '
+            '"t0": 0.0, "t1": 1.0, "seconds": 1.0, "status": "ok", '
+            '"attrs": {}}\n'
+        )
+        with pytest.raises(ValidationError, match="before any"):
+            read_trace_jsonl(str(headless))
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json\n")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            read_trace_jsonl(str(garbage))
+        unknown = tmp_path / "unknown.jsonl"
+        unknown.write_text(
+            '{"type": "trace", "name": "t", "wall_seconds": 0.0}\n'
+            '{"type": "mystery"}\n'
+        )
+        with pytest.raises(ValidationError, match="unknown record type"):
+            read_trace_jsonl(str(unknown))
+
+    def test_reconstructed_sessions_health_check(self, tmp_path):
+        """A re-read trace feeds evaluate_health like a live one."""
+        from repro.obs import evaluate_health
+
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(self._session(), path)
+        (rebuilt,) = read_trace_jsonl(path)
+        report = evaluate_health(rebuilt)
+        assert report.get("volume_preservation").status == "ok"
+
+
+# ---------------------------------------------------------------------------
+# opt-in memory observability
+# ---------------------------------------------------------------------------
+
+
+class TestTrackMemory:
+    def test_disabled_is_a_true_noop(self):
+        assert not tracemalloc.is_tracing()
+        with track_memory(enabled=False) as mem:
+            assert not tracemalloc.is_tracing()
+            [0] * 10_000
+        assert mem.peak_bytes == 0.0
+        assert mem.peak_mib == 0.0
+
+    def test_enabled_measures_the_blocks_peak(self):
+        with track_memory() as mem:
+            blob = np.zeros(1_000_000)  # ~8 MB
+            del blob
+        assert not tracemalloc.is_tracing()  # stopped what it started
+        assert mem.peak_bytes > 7_000_000
+        assert mem.peak_mib == pytest.approx(
+            mem.peak_bytes / 1048576.0
+        )
+
+    def test_nested_blocks_share_one_tracer(self):
+        with track_memory() as outer:
+            blob = np.zeros(500_000)
+            with track_memory() as inner:
+                np.zeros(50_000)
+            # Only the innermost-started context stops the tracer.
+            assert tracemalloc.is_tracing()
+            del blob
+        assert not tracemalloc.is_tracing()
+        # The inner peak counts the still-live outer allocation plus its
+        # own block, so it can never exceed the outer peak.
+        assert 0.0 < inner.peak_bytes <= outer.peak_bytes
+
+    def test_gauge_published_into_active_session(self):
+        with trace("t") as session:
+            with track_memory() as mem:
+                np.zeros(100_000)
+        assert session.gauges["mem.peak_bytes"] == mem.peak_bytes
+
+    def test_gauge_keeps_the_high_water_mark(self):
+        with trace("t") as session:
+            with track_memory():
+                np.zeros(1_000_000)
+            with track_memory() as small:
+                np.zeros(1_000)
+        assert session.gauges["mem.peak_bytes"] > small.peak_bytes
+
+    def test_no_session_no_gauge_no_error(self):
+        with track_memory() as mem:
+            np.zeros(10_000)
+        assert mem.peak_bytes > 0.0

@@ -1,0 +1,271 @@
+"""Run registry (append-only JSONL history) and run diffing.
+
+The registry is the durable cross-run memory: record_from_trace
+distils a session into a RunRecord, RunRegistry appends/reads them,
+and diff_records compares any two records stage by stage.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.geoalign import GeoAlign
+from repro.errors import ValidationError
+from repro.obs import (
+    RunRecord,
+    RunRegistry,
+    default_registry_path,
+    diff_records,
+    evaluate_health,
+    record_from_trace,
+)
+from repro.obs.diff import MIN_FLAGGED_SECONDS, DiffEntry
+from repro.obs.registry import DEFAULT_REGISTRY
+from repro.obs.trace import Trace
+
+
+def _session(name="run", wall=2.0, counters=None, gauges=None):
+    session = Trace(name)
+    session.started = 0.0
+    session.ended = wall
+    session.counters = dict(counters or {})
+    session.gauges = dict(gauges or {})
+    return session
+
+
+def _record(run_id="abc123", **overrides):
+    base = dict(
+        run_id=run_id,
+        created_at="2026-08-06T00:00:00+00:00",
+        trace_name="t",
+        wall_seconds=1.0,
+        status="ok",
+        stages={"fit": 0.5},
+        counters={"solver.solves": 4.0},
+        gauges={"health.volume_residual_max": 1e-12},
+        health={"volume_preservation": "ok"},
+        fingerprint=run_id * 4,
+        meta={"scale": 0.1},
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestRunRecord:
+    def test_dict_round_trip(self):
+        record = _record()
+        assert RunRecord.from_dict(record.to_dict()) == record
+
+    def test_from_dict_defaults_missing_sections(self):
+        record = RunRecord.from_dict({"run_id": "x"})
+        assert record.status == "-"
+        assert record.stages == {}
+        assert record.health == {}
+
+    def test_from_dict_rejects_non_mapping_sections(self):
+        with pytest.raises(ValidationError):
+            RunRecord.from_dict({"run_id": "x", "stages": [1, 2]})
+        with pytest.raises(ValidationError):
+            RunRecord.from_dict({"run_id": "x", "health": "bad"})
+
+    def test_summary_line_carries_the_essentials(self):
+        line = _record().summary_line()
+        assert "abc123" in line
+        assert "ok" in line
+        assert "t" in line
+
+
+class TestRecordFromTrace:
+    def test_captures_session_facts(self, capture_trace, paired_references):
+        with capture_trace("aligned") as session:
+            GeoAlign().fit_predict(paired_references, np.arange(1.0, 7.0))
+        report = evaluate_health(session)
+        record = record_from_trace(session, report, meta={"scale": 0.1})
+        assert record.trace_name == "aligned"
+        assert record.wall_seconds == session.wall_seconds
+        assert record.status == report.status
+        assert record.health == report.verdicts()
+        assert record.counters == session.counters
+        assert record.gauges == session.gauges
+        assert record.meta == {"scale": 0.1}
+        # One stage entry per distinct span name, totalled.
+        assert set(record.stages) == set(session.span_names())
+        assert record.stages["geoalign.fit"] == pytest.approx(
+            session.span_seconds("geoalign.fit")
+        )
+
+    def test_without_report_status_is_dash(self):
+        record = record_from_trace(_session())
+        assert record.status == "-"
+        assert record.health == {}
+
+    def test_fingerprint_is_deterministic(self):
+        a = record_from_trace(_session(counters={"c": 1.0}))
+        b = record_from_trace(_session(counters={"c": 1.0}))
+        assert a.run_id == b.run_id
+        assert a.fingerprint == b.fingerprint
+        assert len(a.run_id) == 12
+
+    def test_fingerprint_depends_on_meta_and_content(self):
+        base = record_from_trace(_session())
+        assert record_from_trace(_session(), meta={"k": 1}).run_id != base.run_id
+        assert (
+            record_from_trace(_session(counters={"c": 1.0})).run_id
+            != base.run_id
+        )
+
+
+class TestRunRegistry:
+    def test_default_path_honours_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REGISTRY", raising=False)
+        assert default_registry_path() == DEFAULT_REGISTRY
+        monkeypatch.setenv("REPRO_REGISTRY", "/tmp/other.jsonl")
+        assert default_registry_path() == "/tmp/other.jsonl"
+        assert RunRegistry().path == "/tmp/other.jsonl"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "none.jsonl"))
+        assert registry.load() == []
+        assert "no runs recorded" in registry.to_text()
+
+    def test_append_creates_parents_and_round_trips(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "registry.jsonl"
+        registry = RunRegistry(str(path))
+        registry.append(_record("aaa111"))
+        registry.append(_record("bbb222"))
+        assert [r.run_id for r in registry.load()] == ["aaa111", "bbb222"]
+        assert registry.load()[0] == _record("aaa111")
+        # Appended lines are valid standalone JSON (mergeable with cat).
+        lines = path.read_text().strip().splitlines()
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+    def test_get_resolves_prefixes_newest_first(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "r.jsonl"))
+        registry.append(_record("abc111", trace_name="old"))
+        registry.append(_record("abc222", trace_name="new"))
+        assert registry.get("abc222").trace_name == "new"
+        assert registry.get("abc1").trace_name == "old"
+        # An ambiguous prefix resolves to the newest registration.
+        assert registry.get("abc").trace_name == "new"
+
+    def test_get_rejects_empty_and_unknown_ids(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "r.jsonl"))
+        registry.append(_record("abc111"))
+        with pytest.raises(ValidationError):
+            registry.get("")
+        with pytest.raises(ValidationError):
+            registry.get("zzz")
+
+    def test_last_and_to_text(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "r.jsonl"))
+        for i in range(5):
+            registry.append(_record(f"id{i:04d}0000"))
+        assert [r.run_id for r in registry.last(2)] == [
+            "id00030000",
+            "id00040000",
+        ]
+        with pytest.raises(ValidationError):
+            registry.last(0)
+        text = registry.to_text(2)
+        assert "showing 2 of 5 runs" in text
+        assert "id00040000" in text
+        assert "id00000000" not in text
+
+    def test_corrupt_line_is_a_validation_error(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"run_id": "ok1"}\nnot json\n')
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            RunRegistry(str(path)).load()
+
+
+class TestDiff:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            diff_records(_record(), _record(), threshold=0.0)
+
+    def test_unchanged_runs_flag_nothing(self):
+        diff = diff_records(_record(), _record())
+        assert diff.flagged == []
+        assert len(diff.entries) == 3  # one stage, one counter, one gauge
+
+    def test_relative_change_over_threshold_is_flagged(self):
+        base = _record(gauges={"g": 1.0}, stages={}, counters={})
+        worse = _record(gauges={"g": 3.0}, stages={}, counters={})
+        diff = diff_records(base, worse, threshold=0.5)
+        (entry,) = diff.entries
+        assert entry.flagged
+        assert entry.delta == 2.0
+        assert entry.ratio == 3.0
+        # Same pair under a looser threshold passes.
+        assert diff_records(base, worse, threshold=0.7).flagged == []
+
+    def test_appeared_and_disappeared_always_flag(self):
+        base = _record(counters={"old": 1.0}, stages={}, gauges={})
+        cand = _record(counters={"new": 1.0}, stages={}, gauges={})
+        diff = diff_records(base, cand)
+        by_name = {e.name: e for e in diff.entries}
+        assert by_name["old"].flagged and by_name["old"].cand is None
+        assert by_name["new"].flagged and by_name["new"].base is None
+        assert by_name["new"].ratio is None
+
+    def test_submillisecond_stages_never_flag(self):
+        base = _record(stages={"tiny": MIN_FLAGGED_SECONDS / 10}, counters={}, gauges={})
+        cand = _record(
+            stages={"tiny": MIN_FLAGGED_SECONDS / 2}, counters={}, gauges={}
+        )
+        assert diff_records(base, cand).flagged == []
+
+    def test_both_zero_is_no_change(self):
+        base = _record(gauges={"g": 0.0}, stages={}, counters={})
+        assert diff_records(base, base).flagged == []
+
+    def test_entry_dict_carries_derived_fields(self):
+        entry = DiffEntry(
+            section="gauges", name="g", base=2.0, cand=1.0, flagged=True
+        )
+        payload = entry.to_dict()
+        assert payload["delta"] == -1.0
+        assert payload["ratio"] == 0.5
+        assert payload["flagged"] is True
+
+    def test_to_text_marks_flags_and_health_changes(self):
+        base = _record(
+            health={"volume_preservation": "ok"},
+            gauges={"health.volume_residual_max": 1e-12},
+        )
+        cand = _record(
+            "def456",
+            health={"volume_preservation": "fail"},
+            gauges={"health.volume_residual_max": 0.5},
+        )
+        text = diff_records(base, cand).to_text()
+        assert "health volume_preservation: ok -> fail" in text
+        assert "! gauges" in text
+        assert "1 of 3 entries flagged" in text
+        assert "abc123" in text and "def456" in text
+
+    def test_sections_are_partitioned(self):
+        diff = diff_records(_record(), _record())
+        assert [e.name for e in diff.section("stages")] == ["fit"]
+        assert [e.name for e in diff.section("counters")] == [
+            "solver.solves"
+        ]
+        assert diff.to_dict()["flagged"] == 0
+
+    def test_real_traces_diff_end_to_end(
+        self, capture_trace, paired_references
+    ):
+        objective = np.arange(1.0, 7.0)
+        with capture_trace("base") as base_session:
+            GeoAlign().fit_predict(paired_references, objective)
+        with capture_trace("cand") as cand_session:
+            for _ in range(3):
+                GeoAlign().fit_predict(paired_references, objective)
+        base = record_from_trace(base_session)
+        cand = record_from_trace(cand_session)
+        diff = diff_records(base, cand)
+        by_name = {e.name: e for e in diff.section("counters")}
+        assert by_name["solver.solves"].base == 1.0
+        assert by_name["solver.solves"].cand == 3.0
+        assert by_name["solver.solves"].flagged
