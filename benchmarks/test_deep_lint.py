@@ -1,0 +1,57 @@
+"""Deep-lint wall time and baseline gate as a tracked benchmark.
+
+The whole-program pass (``geoalign-repro lint --deep``) runs on every
+CI push, so its cost is a developer-facing latency budget: the ISSUE
+caps it at 30 s on the full ``src/repro`` tree.  This bench times one
+cold run, gates it against the committed violation baseline (zero *new*
+violations), and records ``deep_lint_seconds`` in ``BENCH_lint.json``
+so ``check_regression.py`` flags a creeping slowdown of the analyzer
+itself long before the hard cap.
+"""
+
+import os
+import time
+
+from repro.analysis import (
+    DEFAULT_BASELINE_PATH,
+    compare_to_baseline,
+    deep_lint_paths,
+    load_baseline,
+)
+from repro.experiments.reporting import save_bench_json
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_PACKAGE = os.path.join(REPO_ROOT, "src", "repro")
+
+#: Hard wall-time cap from the ISSUE acceptance criteria.
+MAX_DEEP_LINT_SECONDS = 30.0
+
+
+def test_deep_lint_wall_time_and_gate(report):
+    start = time.perf_counter()
+    lint_report = deep_lint_paths([SRC_PACKAGE])
+    seconds = time.perf_counter() - start
+
+    baseline = load_baseline(os.path.join(REPO_ROOT, DEFAULT_BASELINE_PATH))
+    gate = compare_to_baseline(lint_report.violations, baseline)
+
+    coverage = lint_report.stats.get("instrumentation_coverage", {})
+    report(
+        f"deep lint: {lint_report.stats['files']} files, "
+        f"{lint_report.stats['functions']} functions in {seconds:.2f}s; "
+        f"{len(lint_report.violations)} violations "
+        f"({len(gate.new)} new vs baseline), "
+        f"coverage {coverage.get('coverage_pct', 0.0):.1f}%"
+    )
+    save_bench_json(
+        "lint",
+        {"deep_lint_seconds": seconds},
+        meta={
+            "files": lint_report.stats["files"],
+            "functions": lint_report.stats["functions"],
+            "violations": len(lint_report.violations),
+            "new_vs_baseline": len(gate.new),
+        },
+    )
+    assert gate.passed, f"new deep-lint violations: {sorted(gate.new)}"
+    assert seconds < MAX_DEEP_LINT_SECONDS

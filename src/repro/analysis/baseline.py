@@ -1,0 +1,131 @@
+"""Violation baseline for ratcheting the deep pass.
+
+A baseline is a committed JSON file mapping ``"module:rule-id"`` to the
+number of known violations.  The deep CI gate compares the current run
+against it:
+
+* a (module, rule) count **above** the baseline is a *new* violation and
+  fails the gate;
+* a count **below** the baseline is progress -- the gate passes and asks
+  (via :func:`format_gate_report`) for the baseline to be re-recorded so
+  the improvement ratchets.
+
+Keys are dotted module names (via
+:func:`repro.analysis.engine.module_name_for_path`), not file paths:
+tests invoke the analyzer with absolute paths and CI with ``src``, and
+both must agree on what is already known.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.analysis.engine import module_name_for_path
+from repro.analysis.violations import Violation
+
+#: Default committed location, relative to the repository root.
+DEFAULT_BASELINE_PATH = "lint-baseline.json"
+
+
+def _key(violation: Violation) -> str:
+    return f"{module_name_for_path(violation.path)}:{violation.rule_id}"
+
+
+def count_violations(violations: Sequence[Violation]) -> dict[str, int]:
+    """``"module:rule-id" -> count`` for one run's violations."""
+    return dict(Counter(_key(violation) for violation in violations))
+
+
+def load_baseline(path: str) -> dict[str, int]:
+    """Read a committed baseline file; missing file means empty baseline."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"baseline file {path!r} is not valid JSON: {exc}"
+            ) from exc
+    counts = payload.get("counts")
+    if not isinstance(counts, dict) or not all(
+        isinstance(key, str) and isinstance(value, int)
+        for key, value in counts.items()
+    ):
+        raise ValidationError(
+            f"baseline file {path!r} must contain a 'counts' object "
+            "mapping 'module:rule-id' strings to integers"
+        )
+    return dict(counts)
+
+
+def save_baseline(path: str, violations: Sequence[Violation]) -> None:
+    """Write the current violation counts as the new baseline."""
+    payload = {
+        "comment": (
+            "repro-lint --deep violation baseline; counts are keyed by "
+            "'module:rule-id' and may only go down.  Re-record with "
+            "'geoalign-repro lint --deep --write-baseline' after "
+            "deliberate changes."
+        ),
+        "counts": dict(sorted(count_violations(violations).items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@dataclass
+class GateResult:
+    """Outcome of comparing one run against the committed baseline."""
+
+    #: "module:rule-id" keys whose count exceeds the baseline, mapped to
+    #: (current, allowed).
+    new: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Keys whose count dropped below the baseline (ratchet candidates).
+    improved: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.new
+
+
+def compare_to_baseline(
+    violations: Sequence[Violation], baseline: dict[str, int]
+) -> GateResult:
+    """Diff current counts against the baseline."""
+    current = count_violations(violations)
+    result = GateResult()
+    for key in sorted(set(current) | set(baseline)):
+        now = current.get(key, 0)
+        allowed = baseline.get(key, 0)
+        if now > allowed:
+            result.new[key] = (now, allowed)
+        elif now < allowed:
+            result.improved[key] = (now, allowed)
+    return result
+
+
+def format_gate_report(result: GateResult) -> str:
+    """Human-readable gate outcome for the CLI/CI log."""
+    lines: list[str] = []
+    for key, (now, allowed) in result.new.items():
+        lines.append(
+            f"repro-lint: NEW violations for {key}: {now} found, "
+            f"{allowed} allowed by baseline"
+        )
+    for key, (now, allowed) in result.improved.items():
+        lines.append(
+            f"repro-lint: improved {key}: {now} found, baseline allows "
+            f"{allowed}; re-record with --write-baseline to ratchet"
+        )
+    if result.passed:
+        lines.append("repro-lint: baseline gate passed")
+    else:
+        lines.append("repro-lint: baseline gate FAILED")
+    return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Project call graph + thread fan-out discovery for ``--deep`` rules.
+
+Built on :class:`~repro.analysis.project.ProjectContext`, this module
+answers the two reachability questions the deep rule families ask:
+
+* *What can this entry point reach?* -- instrumentation coverage walks
+  forward from the CLI/experiment entry points to find the hot-path
+  functions a user request actually executes.
+* *What runs on a worker thread?* -- the concurrency rules walk forward
+  from every callable handed to ``ThreadPoolExecutor.submit/map`` or
+  ``threading.Thread(target=...)``; anything reachable from there may
+  execute concurrently with the submitting thread.
+
+Resolution inherits the conservative stance of the project model: an
+edge exists only when the callee is positively identified.  The one
+deliberate recall exception is :func:`_resolve_thread_callee`'s
+unique-method fallback -- a bound method handed to ``pool.map`` (e.g.
+``stack.dm_from_values``) resolves by method name when exactly one
+project class defines it, because missing a thread entry silently
+disables every concurrency check downstream of it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.analysis.project import FunctionInfo, ProjectContext
+
+__all__ = ["CallGraph", "ThreadFanout", "iter_own_nodes"]
+
+#: Constructors that create a *thread* execution context.  Process
+#: pools are excluded on purpose: workers there share no memory, so the
+#: shared-state rules do not apply (pickling bugs are a different class).
+_THREAD_POOLS = frozenset(
+    {
+        "ThreadPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+        "futures.ThreadPoolExecutor",
+    }
+)
+_THREAD_CLASSES = frozenset({"Thread", "threading.Thread"})
+
+#: Executor methods whose first argument is the submitted callable.
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+@dataclass(frozen=True)
+class ThreadFanout:
+    """One site where a callable is handed to another thread."""
+
+    caller: str
+    callee: str | None
+    api: str
+    line: int
+    col: int
+
+
+def iter_own_nodes(
+    fn_node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterable[ast.AST]:
+    """AST nodes of one function body, *excluding* nested function bodies.
+
+    Nested defs own their statements (they have their own
+    :class:`~repro.analysis.project.FunctionInfo`); attributing their
+    calls to the enclosing function would make every outer function
+    look like it performs its workers' writes.
+    """
+    queue: deque[ast.AST] = deque()
+    for stmt in fn_node.body:
+        queue.append(stmt)
+    while queue:
+        node = queue.popleft()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # stop at the nested def's boundary
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class CallGraph:
+    """Caller -> callee edges over project functions, plus fan-out sites.
+
+    Attributes
+    ----------
+    edges:
+        Caller qualname -> set of *project* callee qualnames.
+    external_calls:
+        Caller qualname -> dotted names of identified non-project
+        targets (``numpy.zeros``, ``repro.obs.trace.span`` when obs is
+        outside the analyzed tree).  The dataflow pass reads these for
+        instrumentation detection.
+    fanouts:
+        Every :class:`ThreadFanout` found, in file order.
+    """
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.edges: dict[str, set[str]] = {}
+        self.external_calls: dict[str, set[str]] = {}
+        self.fanouts: list[ThreadFanout] = []
+        for fn in project.functions.values():
+            self._index_function(fn)
+
+    # -- construction ---------------------------------------------------
+    def _index_function(self, fn: FunctionInfo) -> None:
+        edges = self.edges.setdefault(fn.qualname, set())
+        external = self.external_calls.setdefault(fn.qualname, set())
+        pool_vars = self._pool_variables(fn)
+        for node in iter_own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self.project.resolve_call(fn, node)
+            if target is not None:
+                if target in self.project.functions:
+                    edges.add(target)
+                elif target in self.project.classes:
+                    init = self.project.resolve_method(
+                        self.project.classes[target], "__init__"
+                    )
+                    if init is not None:
+                        edges.add(init)
+                else:
+                    external.add(target)
+            self._maybe_record_fanout(fn, node, pool_vars)
+
+    def _pool_variables(self, fn: FunctionInfo) -> set[str]:
+        """Local names bound to a thread-pool instance inside ``fn``."""
+        pools: set[str] = set()
+        module = self.project.module_of(fn)
+
+        def is_pool_ctor(expr: ast.expr) -> bool:
+            if not isinstance(expr, ast.Call):
+                return False
+            name = _dotted(expr.func)
+            if name is None:
+                return False
+            resolved = module.imports.get(name.split(".")[0], name)
+            return (
+                name in _THREAD_POOLS
+                or resolved in _THREAD_POOLS
+                or name.split(".")[-1] == "ThreadPoolExecutor"
+            )
+
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Assign) and is_pool_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        pools.add(target.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if is_pool_ctor(item.context_expr) and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        pools.add(item.optional_vars.id)
+        return pools
+
+    def _maybe_record_fanout(
+        self, fn: FunctionInfo, call: ast.Call, pool_vars: set[str]
+    ) -> None:
+        func = call.func
+        callee_expr: ast.expr | None = None
+        api: str | None = None
+        if isinstance(func, ast.Attribute) and func.attr in _SUBMIT_METHODS:
+            base = func.value
+            is_pool = isinstance(base, ast.Name) and base.id in pool_vars
+            if isinstance(base, ast.Call):
+                # Chained form: ThreadPoolExecutor(...).submit(f, ...)
+                ctor = _dotted(base.func)
+                is_pool = ctor is not None and (
+                    ctor in _THREAD_POOLS
+                    or ctor.split(".")[-1] == "ThreadPoolExecutor"
+                )
+            if is_pool and call.args:
+                callee_expr = call.args[0]
+                api = func.attr
+        else:
+            name = _dotted(func)
+            if name is not None:
+                module = self.project.module_of(fn)
+                resolved = module.imports.get(name.split(".")[0], name)
+                if name in _THREAD_CLASSES or resolved in _THREAD_CLASSES:
+                    for keyword in call.keywords:
+                        if keyword.arg == "target":
+                            callee_expr = keyword.value
+                            api = "Thread"
+        if callee_expr is None or api is None:
+            return
+        callee = self._resolve_thread_callee(fn, callee_expr)
+        self.fanouts.append(
+            ThreadFanout(
+                caller=fn.qualname,
+                callee=callee,
+                api=api,
+                line=int(call.lineno),
+                col=int(call.col_offset),
+            )
+        )
+        if callee is not None and callee in self.project.functions:
+            self.edges.setdefault(fn.qualname, set()).add(callee)
+
+    def _resolve_thread_callee(
+        self, fn: FunctionInfo, expr: ast.expr
+    ) -> str | None:
+        """Target of a callable handed to a thread API.
+
+        Bare names go through normal scope resolution.  Bound methods
+        (``obj.method``) fall back to a unique-method-name search over
+        every project class: wrong-but-unique is impossible, and a miss
+        here would silently exempt the worker from every thread rule.
+        """
+        if isinstance(expr, ast.Name):
+            resolved = self.project.resolve_name(fn, expr.id)
+            if resolved is not None:
+                return resolved
+            return None
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id in (
+                "self",
+                "cls",
+            ):
+                if fn.class_name is not None:
+                    cls = self.project.classes.get(
+                        f"{fn.module_name}.{fn.class_name}"
+                    )
+                    if cls is not None:
+                        return self.project.resolve_method(cls, expr.attr)
+            owners = [
+                cls
+                for cls in self.project.classes.values()
+                if expr.attr in cls.methods
+            ]
+            if len(owners) == 1:
+                return owners[0].methods[expr.attr]
+        return None
+
+    # -- queries --------------------------------------------------------
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Project functions reachable from ``roots`` (roots included
+        when they are project functions)."""
+        seen: set[str] = set()
+        queue = deque(
+            root for root in roots if root in self.project.functions
+        )
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.edges.get(current, ()))
+        return seen
+
+    def thread_entries(self) -> set[str]:
+        """Resolved project callees of every thread fan-out site."""
+        return {
+            fanout.callee
+            for fanout in self.fanouts
+            if fanout.callee is not None
+            and fanout.callee in self.project.functions
+        }
+
+    def thread_reachable(self) -> set[str]:
+        """Everything that may execute on a worker thread."""
+        return self.reachable_from(self.thread_entries())
+
+    def __repr__(self) -> str:
+        n_edges = sum(len(v) for v in self.edges.values())
+        return (
+            f"CallGraph(functions={len(self.edges)}, edges={n_edges}, "
+            f"fanouts={len(self.fanouts)})"
+        )

@@ -1,0 +1,583 @@
+"""Per-function dataflow facts for the deep rule families.
+
+For every project function this pass extracts the facts the
+concurrency/purity/instrumentation rules combine with call-graph
+reachability:
+
+* **Shared-state writes** -- in-place writes whose target is module
+  state, closure state of an enclosing function, or a local *derived*
+  from module state (``for session in _ACTIVE.get(): session.counters[k]
+  = ...`` is a write to state rooted at module-level ``_ACTIVE``).
+  Each write records whether it sits inside a ``with <...lock...>:``
+  block, so the concurrency rule can distinguish guarded from unguarded
+  mutation.
+* **Parameter mutation** -- which parameters a function writes in place
+  (the per-file ``ndarray-mutation`` logic), plus every call site that
+  forwards a parameter into a callee, from which
+  :meth:`DataflowIndex.transitive_param_mutations` computes the
+  interprocedural closure the ``alias-mutation`` rule reports.
+* **Instrumentation** -- whether the function opens an obs span/timed
+  span, emits an event/counter, or sets a ``health.*`` gauge.
+* **Float returns** and **RNG bindings** -- for the cross-call float
+  comparison rule and the shared-Generator thread rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, iter_own_nodes
+from repro.analysis.project import FunctionInfo, ModuleInfo, ProjectContext
+
+__all__ = ["DataflowIndex", "FunctionFacts", "SharedWrite"]
+
+#: Method names that mutate their receiver in place (containers and
+#: ndarrays alike).
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "move_to_end",
+        "sort",
+        "fill",
+        "resize",
+        "partition",
+        "put",
+        "setflags",
+        "itemset",
+    }
+)
+
+#: Obs entry points that open a span (or a whole session).
+_SPAN_OPENERS = frozenset({"span", "timed_span", "trace"})
+#: Obs entry points that emit point records / counters.
+_EMITTERS = frozenset({"event", "incr"})
+#: Obs gauge setters; count as instrumentation when the gauge name
+#: literal starts with "health.".
+_GAUGE_SETTERS = frozenset({"set_gauge", "set_gauge_max", "set_gauge_min"})
+#: RNG constructors whose results must not cross thread boundaries.
+#: ``spawn_rngs`` is excluded: per-task spawned children are the
+#: *correct* pattern for threaded randomness.
+_RNG_CONSTRUCTORS = frozenset({"as_rng", "as_generator", "default_rng"})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """Base ``Name`` of an attribute/subscript chain (``a.b[c].d`` -> a)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _root_name_of_expr(expr: ast.expr | None) -> str | None:
+    """Root Name of an arbitrary expression (calls unwrapped too)."""
+    while expr is not None:
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        elif isinstance(expr, (ast.Attribute, ast.Subscript)):
+            expr = expr.value
+        elif isinstance(expr, ast.Name):
+            return expr.id
+        else:
+            return None
+    return None
+
+
+def _is_lock_guard(item: ast.withitem) -> bool:
+    """Whether one ``with`` item looks like acquiring a lock."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    name = _dotted(expr)
+    return name is not None and "lock" in name.lower()
+
+
+def _iter_guarded_statements(
+    stmts: list[ast.stmt], guarded: bool
+) -> Iterator[tuple[ast.stmt, bool]]:
+    """Yield ``(statement, inside_lock_guard)`` pairs, depth first,
+    stopping at nested function boundaries.
+
+    Each statement is yielded exactly once; nested statement lists
+    (``if``/``for``/``with``/``try`` bodies) are traversed with the
+    guard state of their enclosing ``with`` blocks.
+    """
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stmt_guarded = guarded
+        if isinstance(stmt, (ast.With, ast.AsyncWith)) and any(
+            _is_lock_guard(item) for item in stmt.items
+        ):
+            stmt_guarded = True
+        yield stmt, stmt_guarded
+        for field_name in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, field_name, None)
+            if value:
+                yield from _iter_guarded_statements(
+                    list(value), stmt_guarded
+                )
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _iter_guarded_statements(
+                list(handler.body), stmt_guarded
+            )
+
+
+def _iter_statement_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """AST nodes of the *expression* parts of one statement: its direct
+    fields that are expressions, walked fully (expressions cannot
+    contain statements), excluding nested statement lists."""
+    for _name, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield from ast.walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, (ast.expr, ast.withitem, ast.keyword)):
+                    yield from ast.walk(item)
+
+
+@dataclass(frozen=True)
+class SharedWrite:
+    """One in-place write to state visible outside the function."""
+
+    line: int
+    col: int
+    #: The written expression, roughly as source text.
+    target: str
+    #: "global" (module-level name), "closure" (enclosing function
+    #: local), or "derived" (local obtained from a module-level name).
+    kind: str
+    #: Module-level / closure name the state is rooted at (for messages).
+    root: str
+    #: True when the write sits inside a ``with <...lock...>:`` block.
+    guarded: bool
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the deep rules need to know about one function."""
+
+    qualname: str
+    shared_writes: list[SharedWrite] = field(default_factory=list)
+    #: Parameters this function mutates in place, directly.
+    mutated_params: set[str] = field(default_factory=set)
+    #: ``(callee_qualname, callee_param, own_param, line, col)`` for
+    #: every parameter forwarded into a resolved project call.
+    param_forwards: list[tuple[str, str, str, int, int]] = field(
+        default_factory=list
+    )
+    instrumented: bool = False
+    #: Which obs calls made it instrumented (for reports).
+    instrumentation: list[str] = field(default_factory=list)
+    opens_trace_session: bool = False
+    #: ``(line, col, var)`` of direct ContextVar ``.set()``/``.reset()``.
+    contextvar_mutations: list[tuple[int, int, str]] = field(
+        default_factory=list
+    )
+    returns_float: bool = False
+    #: Local names bound to a freshly constructed RNG inside this
+    #: function (candidates for unsafe sharing with nested workers).
+    rng_bindings: set[str] = field(default_factory=set)
+    #: Names read by this function but bound by an enclosing function.
+    free_variables: set[str] = field(default_factory=set)
+
+
+def _local_bindings(fn: FunctionInfo) -> set[str]:
+    """Names bound inside ``fn`` (params, assignments, loops, withs)."""
+    bound = set(fn.params) | {"self", "cls"}
+    node = fn.node
+    if node.args.vararg:
+        bound.add(node.args.vararg.arg)
+    if node.args.kwarg:
+        bound.add(node.args.kwarg.arg)
+    for sub in iter_own_nodes(node):
+        if isinstance(sub, ast.Name) and isinstance(
+            sub.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(sub.name)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            bound.add(sub.name)
+    return bound
+
+
+def _returns_float(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Statically float-returning: ``-> float`` or float-literal returns."""
+    returns = node.returns
+    if isinstance(returns, ast.Name) and returns.id == "float":
+        return True
+    if isinstance(returns, ast.Constant) and returns.value == "float":
+        return True
+    values = [
+        sub.value
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Return) and sub.value is not None
+    ]
+    return bool(values) and all(
+        isinstance(v, ast.Constant) and isinstance(v.value, float)
+        for v in values
+    )
+
+
+class DataflowIndex:
+    """Facts for every project function, plus interprocedural closures."""
+
+    def __init__(self, project: ProjectContext, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self.facts: dict[str, FunctionFacts] = {}
+        for fn in project.functions.values():
+            self.facts[fn.qualname] = self._analyze(fn)
+        self._transitive_mutations: dict[str, set[str]] | None = None
+
+    # -- single-function analysis --------------------------------------
+    def _enclosing_locals(self, fn: FunctionInfo) -> set[str]:
+        """Names bound by any enclosing function (closure candidates)."""
+        names: set[str] = set()
+        parent = (
+            self.project.functions.get(fn.parent_qualname)
+            if fn.parent_qualname
+            else None
+        )
+        while parent is not None:
+            names |= _local_bindings(parent)
+            parent = (
+                self.project.functions.get(parent.parent_qualname)
+                if parent.parent_qualname
+                else None
+            )
+        return names
+
+    def _derived_locals(
+        self, fn: FunctionInfo, shared_roots: set[str], module: ModuleInfo
+    ) -> dict[str, str]:
+        """Locals obtained *from* module-level state: ``v = NAME...`` or
+        ``for v in NAME...``; writes through them are shared writes."""
+        derived: dict[str, str] = {}
+        sources = shared_roots | module.contextvars
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Assign):
+                root = _root_name_of_expr(node.value)
+                if root in sources:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            derived[target.id] = root or ""
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                root = _root_name_of_expr(node.iter)
+                if root in sources and isinstance(node.target, ast.Name):
+                    derived[node.target.id] = root or ""
+        return derived
+
+    def _analyze(self, fn: FunctionInfo) -> FunctionFacts:
+        facts = FunctionFacts(qualname=fn.qualname)
+        module = self.project.module_of(fn)
+        facts.returns_float = _returns_float(fn.node)
+        local = _local_bindings(fn)
+        closure = self._enclosing_locals(fn) - local
+        global_decls: set[str] = set()
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Global):
+                global_decls.update(node.names)
+        shared_roots = set(module.mutable_globals) | global_decls
+        derived = self._derived_locals(fn, shared_roots, module)
+        facts.free_variables = {
+            sub.id
+            for sub in iter_own_nodes(fn.node)
+            if isinstance(sub, ast.Name)
+            and isinstance(sub.ctx, ast.Load)
+            and sub.id in closure
+        }
+
+        def classify(root: str) -> tuple[str, str] | None:
+            if root in derived:
+                return "derived", derived[root] or root
+            if root in global_decls:
+                return "global", root
+            if root in module.mutable_globals and root not in local:
+                return "global", root
+            if root in closure and root not in local:
+                return "closure", root
+            return None
+
+        self._scan_writes(fn, facts, classify, global_decls)
+        self._scan_calls(fn, facts, module)
+        self._scan_rng_bindings(fn, facts)
+        return facts
+
+    def _scan_writes(
+        self,
+        fn: FunctionInfo,
+        facts: FunctionFacts,
+        classify: Callable[[str], tuple[str, str] | None],
+        global_decls: set[str],
+    ) -> None:
+        params = set(fn.params)
+
+        def record(node: ast.AST, target: ast.expr, guarded: bool) -> None:
+            root = _root_name(target)
+            if root is None:
+                return
+            kind_root = classify(root)
+            if kind_root is None:
+                return
+            kind, state_root = kind_root
+            facts.shared_writes.append(
+                SharedWrite(
+                    line=int(getattr(node, "lineno", 1)),
+                    col=int(getattr(node, "col_offset", 0)),
+                    target=ast.unparse(target),
+                    kind=kind,
+                    root=state_root,
+                    guarded=guarded,
+                )
+            )
+
+        for stmt, guarded in _iter_guarded_statements(
+            list(fn.node.body), False
+        ):
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    # Rebinding a local is not a shared write; only
+                    # writes *through* an object (subscript/attribute)
+                    # or rebinds of a declared-global name are.
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        record(stmt, target, guarded)
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id in global_decls
+                    ):
+                        record(stmt, target, guarded)
+                    # Direct parameter mutation: the interprocedural
+                    # seed for the alias-mutation fixpoint.
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in params
+                    ):
+                        facts.mutated_params.add(target.value.id)
+                    elif (
+                        isinstance(stmt, ast.AugAssign)
+                        and isinstance(target, ast.Name)
+                        and target.id in params
+                    ):
+                        facts.mutated_params.add(target.id)
+            # Mutator-method calls anywhere in this statement's
+            # expressions (x.append(...), registry.update(...)).
+            for node in _iter_statement_exprs(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    not isinstance(func, ast.Attribute)
+                    or func.attr not in MUTATOR_METHODS
+                ):
+                    continue
+                root = _root_name(func.value)
+                if root is None:
+                    continue
+                if root in params and isinstance(func.value, ast.Name):
+                    facts.mutated_params.add(root)
+                record(node, func.value, guarded)
+
+    def _scan_calls(
+        self, fn: FunctionInfo, facts: FunctionFacts, module: ModuleInfo
+    ) -> None:
+        for node in iter_own_nodes(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is not None:
+                self._classify_obs_call(facts, module, node, name)
+            # Parameter forwarding into resolved project calls.
+            target = self.project.resolve_call(fn, node)
+            if target is None or target not in self.project.functions:
+                continue
+            callee = self.project.functions[target]
+            for index, arg in enumerate(node.args):
+                if (
+                    isinstance(arg, ast.Name)
+                    and arg.id in fn.params
+                    and index < len(callee.params)
+                ):
+                    facts.param_forwards.append(
+                        (
+                            target,
+                            callee.params[index],
+                            arg.id,
+                            int(node.lineno),
+                            int(node.col_offset),
+                        )
+                    )
+            for keyword in node.keywords:
+                if (
+                    keyword.arg is not None
+                    and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id in fn.params
+                    and keyword.arg in callee.params
+                ):
+                    facts.param_forwards.append(
+                        (
+                            target,
+                            keyword.arg,
+                            keyword.value.id,
+                            int(node.lineno),
+                            int(node.col_offset),
+                        )
+                    )
+
+    def _classify_obs_call(
+        self,
+        facts: FunctionFacts,
+        module: ModuleInfo,
+        node: ast.Call,
+        name: str,
+    ) -> None:
+        resolved = module.imports.get(name, name)
+        tail = resolved.split(".")[-1]
+        is_obs = (
+            resolved.startswith("repro.obs")
+            or name.split(".")[0] == "obs"
+            # A bare name that resolves to itself was defined locally or
+            # star-imported; accept it as obs only for the unambiguous
+            # helper names.
+            or (resolved == name and "." not in name)
+        )
+        if tail in _SPAN_OPENERS and is_obs:
+            facts.instrumented = True
+            facts.instrumentation.append(tail)
+            if tail == "trace":
+                facts.opens_trace_session = True
+        elif tail in _EMITTERS and is_obs:
+            facts.instrumented = True
+            facts.instrumentation.append(tail)
+        elif tail in _GAUGE_SETTERS and is_obs and node.args:
+            first = node.args[0]
+            if (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+                and first.value.startswith("health.")
+            ):
+                facts.instrumented = True
+                facts.instrumentation.append(f"{tail}:{first.value}")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stage"
+        ):
+            # StageTimer.stage() is a span-emitting façade.
+            facts.instrumented = True
+            facts.instrumentation.append("stage")
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("set", "reset")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in module.contextvars
+        ):
+            facts.contextvar_mutations.append(
+                (
+                    int(node.lineno),
+                    int(node.col_offset),
+                    node.func.value.id,
+                )
+            )
+
+    def _scan_rng_bindings(
+        self, fn: FunctionInfo, facts: FunctionFacts
+    ) -> None:
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                name = _dotted(node.value.func)
+                if (
+                    name is not None
+                    and name.split(".")[-1] in _RNG_CONSTRUCTORS
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            facts.rng_bindings.add(target.id)
+        for arg in (
+            *fn.node.args.posonlyargs,
+            *fn.node.args.args,
+            *fn.node.args.kwonlyargs,
+        ):
+            annotation = arg.annotation
+            dotted = _dotted(annotation) if annotation is not None else None
+            if dotted is not None and dotted.split(".")[-1] == "Generator":
+                facts.rng_bindings.add(arg.arg)
+
+    # -- interprocedural closures --------------------------------------
+    def transitive_param_mutations(self) -> dict[str, set[str]]:
+        """Fixpoint: parameters mutated directly *or via a callee*."""
+        if self._transitive_mutations is not None:
+            return self._transitive_mutations
+        mutated = {
+            qualname: set(facts.mutated_params)
+            for qualname, facts in self.facts.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, facts in self.facts.items():
+                for (
+                    callee,
+                    callee_param,
+                    own_param,
+                    _line,
+                    _col,
+                ) in facts.param_forwards:
+                    if (
+                        callee_param in mutated.get(callee, set())
+                        and own_param not in mutated[qualname]
+                    ):
+                        mutated[qualname].add(own_param)
+                        changed = True
+        self._transitive_mutations = mutated
+        return mutated
+
+    def mutation_witness(
+        self, qualname: str, param: str
+    ) -> tuple[str, str, int, int] | None:
+        """The call site through which ``param`` of ``qualname`` gets
+        mutated: ``(callee, callee_param, line, col)`` -- or ``None``
+        when the mutation is direct (no forwarding edge involved)."""
+        mutated = self.transitive_param_mutations()
+        facts = self.facts.get(qualname)
+        if facts is None:
+            return None
+        for callee, callee_param, own_param, line, col in (
+            facts.param_forwards
+        ):
+            if own_param == param and callee_param in mutated.get(
+                callee, set()
+            ):
+                return callee, callee_param, line, col
+        return None

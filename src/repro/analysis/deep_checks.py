@@ -1,0 +1,408 @@
+"""Whole-program (``--deep``) rule families for ``repro-lint``.
+
+These rules combine the project symbol table
+(:mod:`repro.analysis.project`), the call graph
+(:mod:`repro.analysis.callgraph`) and the per-function dataflow facts
+(:mod:`repro.analysis.dataflow`) to catch defects no single file can
+show:
+
+* **Concurrency safety** (``thread-shared-state``, ``thread-shared-rng``,
+  ``thread-span-misuse``) -- unguarded writes to shared mutable state,
+  NumPy ``Generator`` objects and obs ContextVars crossing thread
+  boundaries via ``ThreadPoolExecutor`` / ``threading.Thread`` fan-out.
+* **Aliasing / purity** (``alias-mutation``) -- a public core/partitions
+  function forwarding a parameter into a callee that mutates it in
+  place: invisible to the per-file ``ndarray-mutation`` rule because the
+  write lives in another function (often another module).
+* **Instrumentation coverage** (``missing-instrumentation``) -- hot-path
+  public functions reachable from the CLI/experiment entry points that
+  never open a span nor emit a ``health.*`` gauge; also publishes the
+  coverage percentage into the run stats.
+* **Cross-call float comparison** (``cross-float-eq``) -- ``==``/``!=``
+  against the result of a project function that statically returns a
+  float, escalating the per-file literal check across call edges.
+
+All rules follow the conservative stance of the project model: they
+fire only on positively identified facts, so the pass stays quiet
+enough to gate CI through the committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.callgraph import CallGraph, iter_own_nodes
+from repro.analysis.dataflow import DataflowIndex
+from repro.analysis.project import FunctionInfo, ProjectContext
+from repro.analysis.registry import ProjectRule, register_project_rule
+from repro.analysis.violations import Violation
+
+#: Modules that implement the obs machinery itself; exempt from the
+#: thread rules (the trace module must touch its own registries and
+#: ContextVars to provide the safe API everyone else uses).
+_OBS_INTERNAL = frozenset({"repro.obs.trace", "repro.obs.timing"})
+
+#: Module prefixes considered the numerical hot path for the
+#: instrumentation-coverage rule.
+_HOT_PREFIXES = ("repro.core", "repro.partitions")
+
+#: Modules whose public functions are treated as workload entry points.
+_ENTRY_MODULES = ("repro.cli", "repro.experiments")
+
+
+def _analysis_state(project: ProjectContext) -> tuple[CallGraph, DataflowIndex]:
+    """Build (once per run) and cache the graph + dataflow on the project."""
+    cached = project.stats.get("_analysis_state")
+    if isinstance(cached, tuple):
+        return cached  # type: ignore[return-value]
+    graph = CallGraph(project)
+    dataflow = DataflowIndex(project, graph)
+    project.stats["_analysis_state"] = (graph, dataflow)
+    return graph, dataflow
+
+
+def _violation(
+    rule: ProjectRule, fn: FunctionInfo, line: int, col: int, message: str
+) -> Violation:
+    return Violation(
+        path=fn.path,
+        line=line,
+        col=col,
+        rule_id=rule.id,
+        message=message,
+        severity=rule.severity,
+    )
+
+
+def _in_modules(module_name: str, prefixes: Iterable[str]) -> bool:
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def _is_public_api(fn: FunctionInfo) -> bool:
+    """Public top-level function, or public method of a public class."""
+    return (
+        fn.is_public
+        and fn.parent_qualname is None
+        and not fn.name.startswith("__")
+        and (fn.class_name is None or not fn.class_name.startswith("_"))
+    )
+
+
+# ----------------------------------------------------------------------
+# thread-shared-state
+# ----------------------------------------------------------------------
+@register_project_rule
+class ThreadSharedStateRule(ProjectRule):
+    """No unguarded writes to shared mutable state on worker threads."""
+
+    id = "thread-shared-state"
+    summary = (
+        "functions reachable from thread fan-out must not write module or "
+        "closure state without a lock"
+    )
+    rationale = (
+        "BatchAligner fans per-stack work across a ThreadPoolExecutor "
+        "(§6 scale-out); a racy registry or cache write corrupts "
+        "whichever run happens to lose the interleaving, which no "
+        "single-threaded test reproduces."
+    )
+    severity = "error"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        graph, dataflow = _analysis_state(project)
+        on_thread = graph.thread_reachable()
+        for qualname in sorted(on_thread):
+            fn = project.functions[qualname]
+            facts = dataflow.facts[qualname]
+            for write in facts.shared_writes:
+                if write.guarded:
+                    continue
+                yield _violation(
+                    self,
+                    fn,
+                    write.line,
+                    write.col,
+                    f"{qualname!r} runs on worker threads and writes "
+                    f"shared {write.kind} state {write.target!r} (rooted "
+                    f"at {write.root!r}) without holding a lock; guard "
+                    "the write with a lock or buffer per-thread and "
+                    "merge at join",
+                )
+
+
+# ----------------------------------------------------------------------
+# thread-shared-rng
+# ----------------------------------------------------------------------
+@register_project_rule
+class ThreadSharedRngRule(ProjectRule):
+    """NumPy Generators must not be shared across thread boundaries."""
+
+    id = "thread-shared-rng"
+    summary = "no numpy Generator shared between submitting and worker threads"
+    rationale = (
+        "np.random.Generator is not thread-safe; concurrent draws can "
+        "repeat or skip states, silently breaking the seed-reproducibility "
+        "contract every experiment depends on.  Spawn per-task child "
+        "generators (repro.utils.rng.spawn_rngs) instead."
+    )
+    severity = "error"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        graph, dataflow = _analysis_state(project)
+        for fanout in graph.fanouts:
+            if fanout.callee is None:
+                continue
+            callee_facts = dataflow.facts.get(fanout.callee)
+            caller_facts = dataflow.facts.get(fanout.caller)
+            if callee_facts is None or caller_facts is None:
+                continue
+            shared = callee_facts.free_variables & caller_facts.rng_bindings
+            if not shared:
+                continue
+            caller_fn = project.functions[fanout.caller]
+            names = ", ".join(sorted(shared))
+            yield _violation(
+                self,
+                caller_fn,
+                fanout.line,
+                fanout.col,
+                f"worker {fanout.callee!r} submitted via "
+                f"{fanout.api} closes over RNG(s) {names} created in "
+                f"{fanout.caller!r}; generators are not thread-safe -- "
+                "spawn per-task children with "
+                "repro.utils.rng.spawn_rngs instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# thread-span-misuse
+# ----------------------------------------------------------------------
+@register_project_rule
+class ThreadSpanMisuseRule(ProjectRule):
+    """Obs ContextVars must only be mutated by the obs machinery itself."""
+
+    id = "thread-span-misuse"
+    summary = (
+        "no direct ContextVar .set()/.reset() from thread-reachable code "
+        "outside repro.obs"
+    )
+    rationale = (
+        "Trace sessions live in ContextVars that do not propagate into "
+        "pool workers; setting them directly from worker-reachable code "
+        "leaks state into the wrong thread's context.  Use "
+        "repro.obs.trace.current_trace_context()/activate() to carry a "
+        "session across the boundary."
+    )
+    severity = "error"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        graph, dataflow = _analysis_state(project)
+        on_thread = graph.thread_reachable()
+        for qualname in sorted(on_thread):
+            fn = project.functions[qualname]
+            if fn.module_name in _OBS_INTERNAL:
+                continue
+            facts = dataflow.facts[qualname]
+            for line, col, var in facts.contextvar_mutations:
+                yield _violation(
+                    self,
+                    fn,
+                    line,
+                    col,
+                    f"{qualname!r} runs on worker threads and mutates "
+                    f"ContextVar {var!r} directly; context does not "
+                    "propagate across threads -- use the obs "
+                    "trace-context helpers instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# alias-mutation
+# ----------------------------------------------------------------------
+@register_project_rule
+class AliasMutationRule(ProjectRule):
+    """Public core functions must not mutate parameters *via callees*."""
+
+    id = "alias-mutation"
+    summary = (
+        "public core/partitions functions must not forward parameters "
+        "into callees that mutate them in place"
+    )
+    rationale = (
+        "The per-file ndarray-mutation rule sees direct writes only; "
+        "aliasing through a call edge (public fit() handing its "
+        "caller's array to a helper that scales it in place) corrupts "
+        "reference DMs across cross-validation folds (§4.2) just the "
+        "same, one module away from where anyone is looking."
+    )
+    severity = "error"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        _graph, dataflow = _analysis_state(project)
+        transitive = dataflow.transitive_param_mutations()
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            if not _is_public_api(fn):
+                continue
+            if not _in_modules(fn.module_name, _HOT_PREFIXES):
+                continue
+            facts = dataflow.facts[qualname]
+            for param in sorted(transitive.get(qualname, ())):
+                if param in facts.mutated_params:
+                    continue  # direct writes are the per-file rule's job
+                witness = dataflow.mutation_witness(qualname, param)
+                if witness is None:
+                    continue
+                callee, callee_param, line, col = witness
+                yield _violation(
+                    self,
+                    fn,
+                    line,
+                    col,
+                    f"public function {qualname!r} forwards parameter "
+                    f"{param!r} to {callee!r} which mutates it in place "
+                    f"(as {callee_param!r}); copy before the call or "
+                    "make the callee pure",
+                )
+
+
+# ----------------------------------------------------------------------
+# missing-instrumentation
+# ----------------------------------------------------------------------
+@register_project_rule
+class MissingInstrumentationRule(ProjectRule):
+    """Hot-path public functions should open a span or emit health gauges."""
+
+    id = "missing-instrumentation"
+    summary = (
+        "hot-path public functions reachable from CLI/experiment entry "
+        "points should open a span or emit a health.* gauge"
+    )
+    rationale = (
+        "The obs layer exists so numerical-health regressions surface in "
+        "traces (conditioning, fallbacks, volume drift); an "
+        "uninstrumented hot-path function is a blind spot exactly where "
+        "interpolation error accumulates."
+    )
+    severity = "warning"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        graph, dataflow = _analysis_state(project)
+        entries = [
+            qualname
+            for qualname, fn in project.functions.items()
+            if fn.is_public
+            and fn.parent_qualname is None
+            and _in_modules(fn.module_name, _ENTRY_MODULES)
+            and (fn.name.startswith("run") or fn.name == "main")
+        ]
+        reachable = graph.reachable_from(entries)
+        hot = [
+            qualname
+            for qualname in sorted(reachable)
+            if _is_public_api(fn := project.functions[qualname])
+            and _in_modules(fn.module_name, _HOT_PREFIXES)
+        ]
+
+        def covered(qualname: str) -> bool:
+            if dataflow.facts[qualname].instrumented:
+                return True
+            # One level of delegation: a thin public wrapper whose
+            # direct callee is instrumented counts as covered.
+            return any(
+                callee in dataflow.facts
+                and dataflow.facts[callee].instrumented
+                for callee in graph.edges.get(qualname, ())
+            )
+
+        n_covered = sum(1 for qualname in hot if covered(qualname))
+        project.stats["instrumentation_coverage"] = {
+            "entry_points": len(entries),
+            "hot_path_functions": len(hot),
+            "instrumented": n_covered,
+            "coverage_pct": round(100.0 * n_covered / len(hot), 1)
+            if hot
+            else 100.0,
+        }
+        for qualname in hot:
+            if covered(qualname):
+                continue
+            fn = project.functions[qualname]
+            yield _violation(
+                self,
+                fn,
+                fn.lineno,
+                int(fn.node.col_offset),
+                f"hot-path public function {qualname!r} is reachable "
+                "from CLI/experiment entry points but neither opens a "
+                "span nor emits a health.* gauge; add obs "
+                "instrumentation or delegate to an instrumented helper",
+            )
+
+
+# ----------------------------------------------------------------------
+# cross-float-eq
+# ----------------------------------------------------------------------
+@register_project_rule
+class CrossFloatEqRule(ProjectRule):
+    """No exact equality against float-returning project functions."""
+
+    id = "cross-float-eq"
+    summary = (
+        "no ==/!= against the result of a project function that returns "
+        "float"
+    )
+    rationale = (
+        "The per-file float-eq rule only sees literal operands; comparing "
+        "the *result* of an error metric or volume computation with == "
+        "has the same roundoff failure mode, hidden behind a call edge."
+    )
+    severity = "error"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        _graph, dataflow = _analysis_state(project)
+
+        def returns_float(fn: FunctionInfo, call: ast.Call) -> bool:
+            target = project.resolve_call(fn, call)
+            if target is None:
+                return False
+            facts = dataflow.facts.get(target)
+            return facts is not None and facts.returns_float
+
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            for node in iter_own_nodes(fn.node):
+                if not isinstance(node, ast.Compare):
+                    continue
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(
+                    node.ops, operands[:-1], operands[1:]
+                ):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    offender = None
+                    if isinstance(left, ast.Call) and returns_float(
+                        fn, left
+                    ):
+                        offender = left
+                    elif isinstance(right, ast.Call) and returns_float(
+                        fn, right
+                    ):
+                        offender = right
+                    if offender is None:
+                        continue
+                    callee = project.resolve_call(fn, offender)
+                    yield _violation(
+                        self,
+                        fn,
+                        int(node.lineno),
+                        int(node.col_offset),
+                        f"exact ==/!= against the float result of "
+                        f"{callee!r}; use np.isclose or "
+                        "repro.utils.arrays helpers",
+                    )
+                    break

@@ -1,0 +1,494 @@
+"""Whole-program model for the deep (``--deep``) analysis pass.
+
+The per-file rules of :mod:`repro.analysis.checks` see one
+:class:`~repro.analysis.registry.FileContext` at a time, which is blind
+to exactly the bugs that cross module boundaries: a worker function
+submitted to a thread pool in ``repro.core.batch`` writing registry
+state defined in ``repro.obs.trace``, or a public solver entry passing
+its caller's array into a helper that mutates it.  This module builds
+the shared substrate those analyses need:
+
+* :class:`ModuleInfo` -- one parsed module: import table, module-level
+  bindings, mutable module state, suppressions.
+* :class:`FunctionInfo` -- every function, method *and nested function*
+  under a stable dotted qualname (``repro.core.batch.BatchAligner.fit``,
+  ``...._compute_scaled_values._scale_chunk``).
+* :class:`ClassInfo` -- classes with their method tables and resolvable
+  bases, for ``self.method()`` / ``Cls().method()`` call resolution.
+* :class:`ProjectContext` -- the whole project plus a best-effort name
+  resolver used by the call graph (:mod:`repro.analysis.callgraph`) and
+  the dataflow facts (:mod:`repro.analysis.dataflow`).
+
+Resolution is deliberately *syntactic and conservative*: a name that
+cannot be traced to a project definition resolves to its dotted text
+(so external calls keep a useful identity) or ``None``.  Unresolvable
+is never treated as dangerous on its own -- deep rules only fire on
+positively identified facts, keeping the pass quiet enough to gate CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.suppressions import Suppressions, collect_suppressions
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectContext",
+]
+
+#: Module-level value expressions treated as mutable containers.
+_MUTABLE_LITERALS = (
+    ast.Dict,
+    ast.List,
+    ast.Set,
+    ast.DictComp,
+    ast.ListComp,
+    ast.SetComp,
+)
+
+#: Constructor names whose results are immutable (not shared *mutable*
+#: state even when bound at module level).
+_IMMUTABLE_CALLS = frozenset(
+    {"frozenset", "tuple", "count", "compile", "TypeVar", "namedtuple"}
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method or nested function in the project."""
+
+    qualname: str
+    module_name: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+    parent_qualname: str | None = None
+    #: Positional/keyword parameter names, in signature order
+    #: (``self``/``cls`` excluded for methods).
+    params: list[str] = field(default_factory=list)
+    is_public: bool = True
+    #: Qualnames of functions nested directly inside this one.
+    nested: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def lineno(self) -> int:
+        return int(self.node.lineno)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its method table and raw base names."""
+
+    qualname: str
+    module_name: str
+    node: ast.ClassDef
+    #: Method name -> FunctionInfo qualname.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: Base-class expressions as dotted text (unresolved).
+    bases: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its name-binding environment."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    #: Local alias -> dotted import target ("np" -> "numpy",
+    #: "_span" -> "repro.obs.trace.span").
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Module-level name -> qualname of the function/class it binds.
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers or instances,
+    #: mapped to the line of their binding.  These are the shared-state
+    #: candidates the concurrency rules care about.
+    mutable_globals: dict[str, int] = field(default_factory=dict)
+    #: Module-level names bound to ``ContextVar(...)`` instances.  Kept
+    #: out of ``mutable_globals`` because ContextVars have their own
+    #: thread-affinity rule rather than the generic shared-state one.
+    contextvars: set[str] = field(default_factory=set)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Dotted text of a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _iter_direct_defs(
+    body: list[ast.stmt],
+) -> "list[ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef]":
+    """Function/class definitions belonging to this scope, at any
+    statement depth (inside ``if``/``with``/``try`` blocks too), without
+    descending into the found definitions themselves."""
+    found: list[ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef] = []
+    for stmt in body:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            found.append(stmt)
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, field_name, None)
+            if value:
+                found.extend(_iter_direct_defs(list(value)))
+        for handler in getattr(stmt, "handlers", ()):
+            found.extend(_iter_direct_defs(list(handler.body)))
+    return found
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Alias table from every import statement (any nesting level)."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports are not used in src/repro
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return imports
+
+
+def _is_mutable_binding(value: ast.expr, imports: dict[str, str]) -> bool:
+    """Whether a module-level assignment binds shared *mutable* state."""
+    if isinstance(value, _MUTABLE_LITERALS):
+        return True
+    if isinstance(value, ast.Call):
+        name = _dotted(value.func)
+        if name is None:
+            return True
+        tail = name.split(".")[-1]
+        if tail in _IMMUTABLE_CALLS:
+            return False
+        target = imports.get(name.split(".")[0], "")
+        # itertools.count() et al. are iterators, mutated by design and
+        # safe under the GIL one next() at a time; ContextVars get their
+        # own dedicated rule, not the generic shared-state one.
+        if tail == "ContextVar" or target == "itertools":
+            return False
+        return True
+    return False
+
+
+class ProjectContext:
+    """Every parsed module of one analysis run, plus name resolution.
+
+    Built once per ``--deep`` invocation by :meth:`build`; the call
+    graph, dataflow pass and project rules all share one instance.
+    ``stats`` is a scratch mapping project rules publish run-level
+    numbers into (the instrumentation-coverage percentage), which the
+    reporters surface alongside the violation list.
+    """
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.stats: dict[str, object] = {}
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(
+        cls, parsed: list[tuple[str, str, ast.Module, str]]
+    ) -> "ProjectContext":
+        """Build from ``(path, module_name, tree, source)`` tuples."""
+        project = cls()
+        for path, module_name, tree, source in parsed:
+            info = ModuleInfo(
+                path=path,
+                name=module_name,
+                tree=tree,
+                source=source,
+                suppressions=collect_suppressions(source),
+                imports=_collect_imports(tree),
+            )
+            project.modules[module_name] = info
+            project._index_module(info)
+        return project
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        for definition in _iter_direct_defs(list(module.tree.body)):
+            if isinstance(
+                definition, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self._index_function(module, definition, None, None)
+            else:
+                self._index_class(module, definition)
+        for node in module.tree.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if value is not None and _is_mutable_binding(
+                        value, module.imports
+                    ):
+                        module.mutable_globals[target.id] = int(node.lineno)
+                    if (
+                        isinstance(value, ast.Call)
+                        and (name := _dotted(value.func)) is not None
+                        and name.split(".")[-1] == "ContextVar"
+                    ):
+                        module.contextvars.add(target.id)
+
+    def _index_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        info = ClassInfo(
+            qualname=qualname,
+            module_name=module.name,
+            node=node,
+            bases=[
+                base
+                for base in (_dotted(b) for b in node.bases)
+                if base is not None
+            ],
+        )
+        self.classes[qualname] = info
+        module.bindings[node.name] = qualname
+        for item in _iter_direct_defs(list(node.body)):
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._index_function(module, item, node.name, None)
+                info.methods[item.name] = fn.qualname
+
+    def _index_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+        parent: FunctionInfo | None,
+    ) -> FunctionInfo:
+        if parent is not None:
+            qualname = f"{parent.qualname}.{node.name}"
+        elif class_name is not None:
+            qualname = f"{module.name}.{class_name}.{node.name}"
+        else:
+            qualname = f"{module.name}.{node.name}"
+        params = [
+            arg.arg
+            for arg in (
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+            )
+            if arg.arg not in ("self", "cls")
+        ]
+        info = FunctionInfo(
+            qualname=qualname,
+            module_name=module.name,
+            path=module.path,
+            node=node,
+            class_name=class_name,
+            parent_qualname=parent.qualname if parent else None,
+            params=params,
+            is_public=not node.name.startswith("_"),
+        )
+        self.functions[qualname] = info
+        if parent is None and class_name is None:
+            module.bindings[node.name] = qualname
+        if parent is not None:
+            parent.nested.append(qualname)
+        for item in _iter_direct_defs(list(node.body)):
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, item, class_name, info)
+        return info
+
+    # -- resolution -----------------------------------------------------
+    def module_of(self, fn: FunctionInfo) -> ModuleInfo:
+        return self.modules[fn.module_name]
+
+    def resolve_class(
+        self, module: ModuleInfo, dotted: str
+    ) -> ClassInfo | None:
+        """Class named by ``dotted`` as seen from ``module`` (else None)."""
+        if dotted in self.classes:
+            return self.classes[dotted]
+        local = module.bindings.get(dotted)
+        if local in self.classes:
+            return self.classes[local]
+        imported = module.imports.get(dotted.split(".")[0])
+        if imported is not None:
+            tail = dotted.split(".")[1:]
+            candidate = ".".join([imported, *tail])
+            if candidate in self.classes:
+                return self.classes[candidate]
+        return None
+
+    def resolve_method(
+        self, cls_info: ClassInfo, method: str
+    ) -> str | None:
+        """Qualname of ``method`` on ``cls_info`` or its project bases."""
+        seen: set[str] = set()
+        queue = [cls_info]
+        while queue:
+            current = queue.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if method in current.methods:
+                return current.methods[method]
+            module = self.modules.get(current.module_name)
+            if module is None:
+                continue
+            for base in current.bases:
+                resolved = self.resolve_class(module, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def resolve_name(
+        self, fn: FunctionInfo, name: str
+    ) -> str | None:
+        """Qualname/dotted target of a bare ``name`` as seen from ``fn``.
+
+        Lookup order mirrors Python scoping: enclosing functions'
+        nested defs, then module-level bindings, then imports; a hit in
+        the project wins, an import of something external resolves to
+        its dotted text.
+        """
+        current: FunctionInfo | None = fn
+        while current is not None:
+            for nested_qualname in current.nested:
+                if nested_qualname.rsplit(".", 1)[-1] == name:
+                    return nested_qualname
+            current = (
+                self.functions.get(current.parent_qualname)
+                if current.parent_qualname
+                else None
+            )
+        module = self.module_of(fn)
+        if name in module.bindings:
+            return module.bindings[name]
+        if name in module.imports:
+            return module.imports[name]
+        return None
+
+    def resolve_call(
+        self, fn: FunctionInfo, call: ast.Call
+    ) -> str | None:
+        """Best-effort target qualname of one call site inside ``fn``.
+
+        Handles bare names (scope chain), dotted imports
+        (``mod.func``), ``self.method()`` / ``cls.method()`` with
+        project-base inheritance, constructor-then-method chains
+        (``Cls(...).method(...)``) and method calls on locals assigned
+        from a project-class constructor.  Returns the dotted text for
+        identifiable external targets, ``None`` when nothing can be
+        said.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.resolve_name(fn, func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        # self.method() / cls.method()
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+            if fn.class_name is not None:
+                cls_qual = f"{fn.module_name}.{fn.class_name}"
+                cls_info = self.classes.get(cls_qual)
+                if cls_info is not None:
+                    resolved = self.resolve_method(cls_info, func.attr)
+                    if resolved is not None:
+                        return resolved
+            return None
+        # Cls(...).method(...)
+        if isinstance(base, ast.Call):
+            ctor = _dotted(base.func)
+            if ctor is not None:
+                cls_info = self.resolve_class(self.module_of(fn), ctor)
+                if cls_info is not None:
+                    return self.resolve_method(cls_info, func.attr)
+            return None
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        # var.method() where var was assigned from a project constructor
+        var_cls = self._local_instance_class(fn, head)
+        if var_cls is not None and "." not in rest:
+            return self.resolve_method(var_cls, func.attr)
+        module = self.module_of(fn)
+        # module-alias attribute: np.zeros, solver.simplex_lstsq
+        target = module.imports.get(head)
+        if target is not None:
+            candidate = f"{target}.{rest}" if rest else target
+            if candidate in self.functions:
+                return candidate
+            # from repro.core import solver; solver.fit -> function
+            parts = candidate.rsplit(".", 1)
+            if len(parts) == 2 and parts[0] in self.modules:
+                bound = self.modules[parts[0]].bindings.get(parts[1])
+                if bound is not None:
+                    return bound
+            return candidate
+        if dotted in self.functions:
+            return dotted
+        return None
+
+    def _local_instance_class(
+        self, fn: FunctionInfo, var: str
+    ) -> ClassInfo | None:
+        """Class of a local assigned ``var = Cls(...)``, or an annotated
+        parameter ``var: Cls`` -- the two idioms the experiments use."""
+        module = self.module_of(fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                ctor = _dotted(node.value.func)
+                if ctor is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == var:
+                        return self.resolve_class(module, ctor)
+        for arg in (
+            *fn.node.args.posonlyargs,
+            *fn.node.args.args,
+            *fn.node.args.kwonlyargs,
+        ):
+            if arg.arg == var and arg.annotation is not None:
+                annotation = _dotted(arg.annotation)
+                if annotation is not None:
+                    return self.resolve_class(module, annotation)
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"ProjectContext(modules={len(self.modules)}, "
+            f"functions={len(self.functions)}, classes={len(self.classes)})"
+        )

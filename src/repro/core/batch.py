@@ -53,6 +53,8 @@ from repro.core.reference import Reference
 from repro.core.solver import SimplexLstsqResult, simplex_lstsq_from_gram
 from repro.obs.trace import event as _obs_event
 from repro.obs.trace import (
+    current_trace_context as _trace_context,
+    incr as _obs_incr,
     set_gauge_max as _gauge_max,
     set_gauge_min as _gauge_min,
     span as _span,
@@ -645,13 +647,20 @@ class BatchAligner:
                     min(self.n_jobs, blended.shape[0]),
                 )
 
-                def _scale_chunk(rows: IntArray) -> None:
-                    scaled[rows] = (
-                        blended[rows] * factors[rows][:, stack.entry_rows]
-                    )
+                # ContextVar-based trace sessions do not propagate into
+                # pool workers on their own; each worker re-activates a
+                # snapshot of the submitting thread's tracing state so
+                # its counters land in the same (lock-guarded) sessions.
+                obs_ctx = _trace_context()
 
-                # Recorded from the calling thread: contextvar-based
-                # trace sessions do not propagate into pool workers.
+                def _scale_chunk(rows: IntArray) -> None:
+                    with obs_ctx.activate():
+                        scaled[rows] = (  # repro-lint: allow[thread-shared-state] disjoint row chunks: each worker writes only its own rows
+                            blended[rows]
+                            * factors[rows][:, stack.entry_rows]
+                        )
+                        _obs_incr("batch.rows_scaled", float(len(rows)))
+
                 _obs_event(
                     "batch.fanout",
                     n_jobs=self.n_jobs,
@@ -700,8 +709,14 @@ class BatchAligner:
         stack, _, _ = self._require_fitted()
         scaled = self._compute_scaled_values()
         if self.n_jobs > 1 and scaled.shape[0] > 1:
+            obs_ctx = _trace_context()
+
+            def _dm_task(row: FloatArray) -> DisaggregationMatrix:
+                with obs_ctx.activate():
+                    return stack.dm_from_values(row)
+
             with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
-                return list(pool.map(stack.dm_from_values, scaled))
+                return list(pool.map(_dm_task, scaled))
         return [stack.dm_from_values(row) for row in scaled]
 
     def predict(self) -> FloatArray:

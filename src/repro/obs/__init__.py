@@ -35,6 +35,8 @@ from repro.obs.trace import (
     SpanRecord,
     TimedHandle,
     Trace,
+    TraceContext,
+    current_trace_context,
     event,
     incr,
     set_gauge,
@@ -75,6 +77,8 @@ __all__ = [
     "SpanRecord",
     "TimedHandle",
     "Trace",
+    "TraceContext",
+    "current_trace_context",
     "event",
     "incr",
     "set_gauge",

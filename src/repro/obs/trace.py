@@ -32,6 +32,7 @@ report times relative to the session start.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections.abc import Iterator
 from contextlib import contextmanager
@@ -43,6 +44,8 @@ __all__ = [
     "SpanRecord",
     "TimedHandle",
     "Trace",
+    "TraceContext",
+    "current_trace_context",
     "event",
     "incr",
     "set_gauge",
@@ -129,13 +132,20 @@ class Trace:
         self.events: list[EventRecord] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        # Guards every mutation of the four registries above.  Sessions
+        # are shared with pool workers via TraceContext.activate(), so
+        # counter/gauge read-modify-writes race without it; the lock is
+        # uncontended (and cheap) in single-threaded runs.
+        self._lock = threading.Lock()
 
     # -- recording ------------------------------------------------------
     def _record_span(self, record: SpanRecord) -> None:
-        self.spans.append(record)
+        with self._lock:
+            self.spans.append(record)
 
     def _record_event(self, record: EventRecord) -> None:
-        self.events.append(record)
+        with self._lock:
+            self.events.append(record)
 
     # -- queries (used by tests, export and the profile tree) -----------
     @property
@@ -292,15 +302,24 @@ def event(name: str, /, **fields: object) -> None:
 
 
 def incr(name: str, amount: float = 1.0) -> None:
-    """Add ``amount`` to counter ``name`` in every active session."""
+    """Add ``amount`` to counter ``name`` in every active session.
+
+    Thread-safe: the read-modify-write runs under the session lock, so
+    pool workers carrying a session via :class:`TraceContext` never lose
+    increments to interleaving.
+    """
     for session in _ACTIVE.get():
-        session.counters[name] = session.counters.get(name, 0.0) + amount
+        with session._lock:
+            session.counters[name] = (
+                session.counters.get(name, 0.0) + amount
+            )
 
 
 def set_gauge(name: str, value: float) -> None:
     """Set gauge ``name`` to ``value`` in every active session."""
     for session in _ACTIVE.get():
-        session.gauges[name] = float(value)
+        with session._lock:
+            session.gauges[name] = float(value)
 
 
 def set_gauge_max(name: str, value: float) -> None:
@@ -309,12 +328,15 @@ def set_gauge_max(name: str, value: float) -> None:
     The health monitors emit worst-case-per-run gauges with this: a
     cross-validation run fits many models, and the run's verdict must
     reflect the *worst* volume residual or condition number seen, not
-    whichever fit happened to run last.
+    whichever fit happened to run last.  The compare-and-set runs under
+    the session lock so concurrent workers cannot overwrite a higher
+    water mark with a lower one.
     """
     for session in _ACTIVE.get():
-        current = session.gauges.get(name)
-        if current is None or value > current:
-            session.gauges[name] = float(value)
+        with session._lock:
+            current = session.gauges.get(name)
+            if current is None or value > current:
+                session.gauges[name] = float(value)
 
 
 def set_gauge_min(name: str, value: float) -> None:
@@ -324,6 +346,50 @@ def set_gauge_min(name: str, value: float) -> None:
     (effective number of references under weight degeneracy).
     """
     for session in _ACTIVE.get():
-        current = session.gauges.get(name)
-        if current is None or value < current:
-            session.gauges[name] = float(value)
+        with session._lock:
+            current = session.gauges.get(name)
+            if current is None or value < current:
+                session.gauges[name] = float(value)
+
+
+# ----------------------------------------------------------------------
+# Cross-thread propagation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable snapshot of the tracing state of one thread.
+
+    ContextVars do not propagate into ``ThreadPoolExecutor`` workers:
+    without help, instrumentation in a worker sees no active sessions
+    and is silently dropped.  A single copied ``contextvars.Context``
+    cannot be the fix either -- ``Context.run`` raises when entered
+    concurrently from several threads.  So the submitting thread takes
+    one cheap snapshot::
+
+        ctx = current_trace_context()
+        pool.map(lambda item: worker(ctx, item), items)
+
+    and each worker wraps its body in ``with ctx.activate():``, which
+    re-points the worker's *own* context at the captured sessions and
+    parent span.  Record delivery is safe because every
+    :class:`Trace` guards its registries with a lock.
+    """
+
+    sessions: tuple[Trace, ...]
+    parent_id: int | None
+
+    @contextmanager
+    def activate(self) -> Iterator[None]:
+        """Make the captured sessions current for this thread's block."""
+        active_token = _ACTIVE.set(self.sessions)
+        parent_token = _PARENT.set(self.parent_id)
+        try:
+            yield
+        finally:
+            _PARENT.reset(parent_token)
+            _ACTIVE.reset(active_token)
+
+
+def current_trace_context() -> TraceContext:
+    """Snapshot the calling thread's sessions + current span."""
+    return TraceContext(sessions=_ACTIVE.get(), parent_id=_PARENT.get())

@@ -1,0 +1,21 @@
+"""Deep-lint fixture: parameter mutation hidden behind a call edge.
+
+``scale_rows`` never writes ``values`` itself, so the per-file
+``ndarray-mutation`` rule stays quiet; the private helper it delegates
+to mutates the array in place, corrupting the caller's buffer.
+"""
+
+
+def scale_rows(values, factors):
+    _scale_inplace(values, factors)  # FIRE alias-mutation
+    return values
+
+
+def scale_rows_safe(values, factors):
+    copy = values.copy()
+    _scale_inplace(copy, factors)  # fresh copy: caller's array is safe
+    return copy
+
+
+def _scale_inplace(out, factors):
+    out[:] = out * factors

@@ -1,0 +1,13 @@
+"""Deep-lint fixture: exact equality against a float-returning callee."""
+
+
+def error_ratio(a, b) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-12)
+
+
+def is_perfect(a, b, target):
+    return error_ratio(a, b) == target  # FIRE cross-float-eq
+
+
+def is_close(a, b, target, tol):
+    return abs(error_ratio(a, b) - target) < tol

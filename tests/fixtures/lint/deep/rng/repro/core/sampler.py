@@ -1,0 +1,26 @@
+"""Deep-lint fixture: one Generator shared by every pool worker."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+def sample_all(seed, items):
+    rng = as_rng(seed)
+
+    def _draw(item):
+        return rng.normal() + item
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(_draw, items))  # FIRE thread-shared-rng
+
+
+def sample_all_safe(seed, items):
+    rngs = spawn_rngs(seed, len(items))
+
+    def _draw(pair):
+        child, item = pair
+        return child.normal() + item
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(_draw, zip(rngs, items)))

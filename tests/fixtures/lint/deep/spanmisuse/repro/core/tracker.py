@@ -1,0 +1,19 @@
+"""Deep-lint fixture: ContextVar mutated from thread-reachable code."""
+
+from concurrent.futures import ThreadPoolExecutor
+from contextvars import ContextVar
+
+CURRENT = ContextVar("fixture_current", default=None)
+
+
+def set_current(value):
+    CURRENT.set(value)  # FIRE thread-span-misuse
+
+
+def run_parallel(items):
+    def _work(item):
+        set_current(item)
+        return item
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(_work, items))

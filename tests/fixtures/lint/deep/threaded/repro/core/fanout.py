@@ -1,0 +1,23 @@
+"""Deep-lint fixture: the thread fan-out reaching repro.registry.bump."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.registry import bump, bump_guarded
+
+_LOCK = threading.Lock()
+
+
+def run_all(keys):
+    def _work(key):
+        bump(key)
+        bump_guarded(key, _LOCK)
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        list(pool.map(_work, keys))
+
+
+def run_serial(keys):
+    # No fan-out here: calling bump from one thread is not a violation.
+    for key in keys:
+        bump(key)

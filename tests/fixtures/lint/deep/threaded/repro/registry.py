@@ -1,0 +1,20 @@
+"""Deep-lint fixture: module-level registry mutated from pool workers.
+
+The write below is fine single-threaded; it becomes a data race when
+``repro.core.fanout`` fans ``bump`` out across a ThreadPoolExecutor.
+Only the whole-program pass can see that, because the fan-out lives in
+another module.
+"""
+
+COUNTS = {}
+
+LIMIT = frozenset({"a", "b"})  # immutable: never shared-state
+
+
+def bump(key):
+    COUNTS[key] = COUNTS.get(key, 0) + 1  # FIRE thread-shared-state
+
+
+def bump_guarded(key, lock):
+    with lock:
+        COUNTS[key] = COUNTS.get(key, 0) + 1  # guarded: no fire

@@ -1,0 +1,12 @@
+"""Deep-lint fixture: one instrumented and one bare hot-path function."""
+
+from repro.obs.trace import span
+
+
+def compute_thing(x):  # FIRE missing-instrumentation
+    return x * 2.0
+
+
+def compute_traced(x):
+    with span("hotpath.compute"):
+        return x * 3.0

@@ -1,0 +1,7 @@
+"""Deep-lint fixture: experiment entry point reaching a bare hot path."""
+
+from repro.core.hotpath import compute_thing, compute_traced
+
+
+def run_demo(x):
+    return compute_thing(x) + compute_traced(x)

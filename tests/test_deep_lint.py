@@ -1,0 +1,392 @@
+"""Tests for the whole-program (``--deep``) analysis pass.
+
+Covers the six project rules via mini-trees under
+``tests/fixtures/lint/deep``, suppression edge cases and the
+stale-suppression detector, the SARIF reporter, the violation baseline
+(ratchet), the CLI surface, and the meta-check that the live ``src``
+tree reports zero *new* violations against the committed baseline.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_BASELINE_PATH,
+    STALE_SUPPRESSION_RULE,
+    Violation,
+    all_project_rules,
+    all_rules,
+    collect_suppressions,
+    compare_to_baseline,
+    count_violations,
+    deep_lint_paths,
+    load_baseline,
+    render_sarif,
+    save_baseline,
+)
+from repro.cli import main
+from repro.errors import ValidationError
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+DEEP_FIXTURES = FIXTURES / "deep"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_PACKAGE = REPO_ROOT / "src" / "repro"
+
+EXPECTED_DEEP_RULE_IDS = {
+    "thread-shared-state",
+    "thread-shared-rng",
+    "thread-span-misuse",
+    "alias-mutation",
+    "missing-instrumentation",
+    "cross-float-eq",
+}
+
+#: (fixture case dir, rule expected to fire, file the violation anchors in).
+DEEP_CASES = [
+    ("threaded", "thread-shared-state", "repro/registry.py"),
+    ("alias", "alias-mutation", "repro/core/scaling.py"),
+    ("uninstrumented", "missing-instrumentation", "repro/core/hotpath.py"),
+    ("rng", "thread-shared-rng", "repro/core/sampler.py"),
+    ("spanmisuse", "thread-span-misuse", "repro/core/tracker.py"),
+    ("floateq", "cross-float-eq", "repro/core/metricx.py"),
+]
+
+
+def fire_lines(path):
+    """Line numbers carrying a ``# FIRE`` marker in a fixture file."""
+    return {
+        lineno
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1)
+        if "# FIRE" in line
+    }
+
+
+def _run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+def _deep_case(case):
+    return deep_lint_paths([str(DEEP_FIXTURES / case)])
+
+
+class TestProjectRegistry:
+    def test_all_deep_rules_registered(self):
+        assert set(all_project_rules()) == EXPECTED_DEEP_RULE_IDS
+
+    def test_deep_and_file_rule_ids_disjoint(self):
+        assert not set(all_project_rules()) & set(all_rules())
+
+
+class TestDeepFixtures:
+    @pytest.mark.parametrize(
+        "case,rule_id,rel_path", DEEP_CASES, ids=[c[0] for c in DEEP_CASES]
+    )
+    def test_fixture_fires_exactly_at_markers(self, case, rule_id, rel_path):
+        report = _deep_case(case)
+        anchor = DEEP_FIXTURES / case / rel_path
+        expected = fire_lines(anchor)
+        assert expected, f"fixture {case} has no # FIRE markers"
+        hits = [v for v in report.violations if v.rule_id == rule_id]
+        assert {v.line for v in hits} == expected
+        assert {v.path for v in hits} == {str(anchor)}
+
+    @pytest.mark.parametrize(
+        "case,rule_id,rel_path", DEEP_CASES, ids=[c[0] for c in DEEP_CASES]
+    )
+    def test_fixture_fires_nothing_else(self, case, rule_id, rel_path):
+        report = _deep_case(case)
+        assert {v.rule_id for v in report.violations} == {rule_id}
+
+    def test_select_restricts_deep_rules(self):
+        report = deep_lint_paths(
+            [str(DEEP_FIXTURES / "threaded")],
+            select=["thread-shared-rng"],
+        )
+        assert report.violations == []
+
+    def test_guarded_write_not_flagged(self):
+        report = _deep_case("threaded")
+        registry = DEEP_FIXTURES / "threaded" / "repro" / "registry.py"
+        guarded_line = next(
+            lineno
+            for lineno, line in enumerate(
+                registry.read_text().splitlines(), start=1
+            )
+            if "guarded: no fire" in line
+        )
+        assert guarded_line not in {v.line for v in report.violations}
+
+    def test_stats_count_fanout_sites(self):
+        report = _deep_case("threaded")
+        assert report.stats["thread_fanout_sites"] == 1
+        assert report.stats["files"] == 2
+
+    def test_instrumentation_coverage_published(self):
+        report = _deep_case("uninstrumented")
+        coverage = report.stats["instrumentation_coverage"]
+        assert coverage["entry_points"] == 1
+        assert coverage["hot_path_functions"] == 2
+        assert coverage["instrumented"] == 1
+        assert coverage["coverage_pct"] == pytest.approx(50.0)
+
+    def test_missing_instrumentation_is_warning(self):
+        report = _deep_case("uninstrumented")
+        (violation,) = report.violations
+        assert violation.severity == "warning"
+
+
+class TestSuppressionParsing:
+    def test_multiple_rule_ids_one_comment(self):
+        sup = collect_suppressions(
+            "x = 1  # repro-lint: allow[float-eq, no-print]\n"
+        )
+        assert sup.by_line == {1: {"float-eq", "no-print"}}
+
+    def test_trailing_justification_text(self):
+        sup = collect_suppressions(
+            "x = 1  # repro-lint: allow[wallclock] timing the wall is the point\n"
+        )
+        assert sup.by_line == {1: {"wallclock"}}
+
+    def test_magic_text_in_string_literal_ignored(self):
+        sup = collect_suppressions('x = "# repro-lint: allow[float-eq]"\n')
+        assert sup.by_line == {}
+
+    def test_empty_ids_dropped(self):
+        sup = collect_suppressions("x = 1  # repro-lint: allow[float-eq, ]\n")
+        assert sup.by_line == {1: {"float-eq"}}
+
+
+class TestStaleSuppressions:
+    def _lint_tree(self, tmp_path, source):
+        target = tmp_path / "snippet.py"
+        target.write_text(source)
+        return deep_lint_paths([str(target)])
+
+    def test_matching_suppression_is_not_stale(self, tmp_path):
+        report = self._lint_tree(
+            tmp_path,
+            "def check(x):\n"
+            "    return x == 1.5  # repro-lint: allow[float-eq] tolerated\n",
+        )
+        assert report.violations == []
+
+    def test_unmatched_suppression_is_stale(self, tmp_path):
+        report = self._lint_tree(
+            tmp_path,
+            "def check(x):\n"
+            "    return x < 1.5  # repro-lint: allow[float-eq] stale now\n",
+        )
+        (violation,) = report.violations
+        assert violation.rule_id == STALE_SUPPRESSION_RULE
+        assert violation.line == 2
+        assert "allow[float-eq]" in violation.message
+
+    def test_multi_id_suppression_stale_per_rule(self, tmp_path):
+        report = self._lint_tree(
+            tmp_path,
+            "def check(x):\n"
+            "    return x == 1.5  # repro-lint: allow[float-eq, no-print]\n",
+        )
+        (violation,) = report.violations
+        assert violation.rule_id == STALE_SUPPRESSION_RULE
+        assert "allow[no-print]" in violation.message
+
+    def test_unknown_rule_id_not_reported_stale(self, tmp_path):
+        # Ids outside the active set are ignored (e.g. a rule selected
+        # away); staleness is only provable for rules that actually ran.
+        report = self._lint_tree(
+            tmp_path,
+            "x = 1  # repro-lint: allow[some-future-rule]\n",
+        )
+        assert report.violations == []
+
+
+class TestSarifReporter:
+    def _violations(self):
+        return [
+            Violation(
+                path="src/repro/core/solver.py",
+                line=10,
+                col=4,
+                rule_id="thread-shared-state",
+                message="boom",
+            ),
+            Violation(
+                path="src/repro/core/diagnostics.py",
+                line=3,
+                col=0,
+                rule_id="missing-instrumentation",
+                message="bare",
+                severity="warning",
+            ),
+        ]
+
+    def test_sarif_shape(self):
+        doc = json.loads(render_sarif(self._violations()))
+        assert doc["version"] == "2.1.0"
+        assert "sarif" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        results = run["results"]
+        assert [r["ruleId"] for r in results] == [
+            "thread-shared-state",
+            "missing-instrumentation",
+        ]
+        assert [r["level"] for r in results] == ["error", "warning"]
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 10
+        assert region["startColumn"] == 5  # SARIF columns are 1-based
+
+    def test_sarif_rule_catalogue_covers_both_registries(self):
+        doc = json.loads(render_sarif([]))
+        ids = {
+            rule["id"]
+            for rule in doc["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert set(all_rules()) <= ids
+        assert EXPECTED_DEEP_RULE_IDS <= ids
+
+    def test_sarif_carries_stats(self):
+        doc = json.loads(
+            render_sarif([], {"files": 3, "thread_fanout_sites": 1})
+        )
+        assert doc["runs"][0]["properties"]["stats"]["files"] == 3
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), self._violations())
+        assert load_baseline(str(path)) == {
+            "repro.core.solver:thread-shared-state": 2,
+            "repro.core.batch:alias-mutation": 1,
+        }
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == {}
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"counts": {"repro.core:x": "three"}}')
+        with pytest.raises(ValidationError):
+            load_baseline(str(path))
+        path.write_text("not json")
+        with pytest.raises(ValidationError):
+            load_baseline(str(path))
+
+    def test_gate_flags_new_and_improved(self):
+        violations = self._violations()
+        baseline = count_violations(violations)
+        same = compare_to_baseline(violations, baseline)
+        assert same.passed and not same.new and not same.improved
+
+        regressed = compare_to_baseline(
+            violations + [violations[0]], baseline
+        )
+        assert not regressed.passed
+        assert regressed.new == {
+            "repro.core.solver:thread-shared-state": (3, 2)
+        }
+
+        improved = compare_to_baseline(violations[:1], baseline)
+        assert improved.passed
+        assert improved.improved == {
+            "repro.core.solver:thread-shared-state": (1, 2),
+            "repro.core.batch:alias-mutation": (0, 1),
+        }
+
+    def test_keys_are_path_invariant(self):
+        relative = Violation("src/repro/core/solver.py", 1, 0, "x", "m")
+        absolute = Violation("/abs/src/repro/core/solver.py", 9, 0, "x", "m")
+        assert count_violations([relative]) == count_violations([absolute])
+
+    @staticmethod
+    def _violations():
+        return [
+            Violation("src/repro/core/solver.py", 10, 0, "thread-shared-state", "m"),
+            Violation("src/repro/core/solver.py", 20, 0, "thread-shared-state", "m"),
+            Violation("src/repro/core/batch.py", 5, 0, "alias-mutation", "m"),
+        ]
+
+
+class TestDeepCli:
+    def test_deep_without_baseline_exits_one_on_violations(self, tmp_path):
+        absent = tmp_path / "absent.json"
+        code, out = _run_cli(
+            [
+                "lint",
+                "--deep",
+                "--baseline",
+                str(absent),
+                str(DEEP_FIXTURES / "threaded"),
+            ]
+        )
+        assert code == 1
+        assert "thread-shared-state" in out
+        assert "baseline gate FAILED" in out
+
+    def test_write_baseline_then_gate_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        case = str(DEEP_FIXTURES / "threaded")
+        code, _ = _run_cli(
+            ["lint", "--write-baseline", "--baseline", str(baseline), case]
+        )
+        assert code == 0
+        assert baseline.exists()
+        code, out = _run_cli(
+            ["lint", "--deep", "--baseline", str(baseline), case]
+        )
+        assert code == 0
+        assert "baseline gate passed" in out
+
+    def test_sarif_format_implies_deep_and_writes_output(self, tmp_path):
+        output = tmp_path / "lint.sarif"
+        baseline = tmp_path / "absent.json"
+        code, out = _run_cli(
+            [
+                "lint",
+                "--format",
+                "sarif",
+                "--output",
+                str(output),
+                "--baseline",
+                str(baseline),
+                str(DEEP_FIXTURES / "floateq"),
+            ]
+        )
+        assert code == 1  # cross-float-eq fires, no baseline allows it
+        doc = json.loads(output.read_text())
+        assert doc["version"] == "2.1.0"
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == [
+            "cross-float-eq"
+        ]
+
+    def test_list_rules_marks_deep_rules(self):
+        code, out = _run_cli(["lint", "--list-rules"])
+        assert code == 0
+        assert "thread-shared-state" in out
+        assert "(deep)" in out
+
+
+class TestLiveTree:
+    def test_src_reports_no_new_violations_vs_committed_baseline(self):
+        baseline_path = REPO_ROOT / DEFAULT_BASELINE_PATH
+        assert baseline_path.exists(), "commit lint-baseline.json"
+        report = deep_lint_paths([str(SRC_PACKAGE)])
+        gate = compare_to_baseline(
+            report.violations, load_baseline(str(baseline_path))
+        )
+        assert gate.passed, format(gate.new)
+
+    def test_src_has_no_deep_errors(self):
+        # Warnings are ratcheted via the baseline; hard errors (races,
+        # aliasing bugs) must never appear in the live tree at all.
+        report = deep_lint_paths([str(SRC_PACKAGE)])
+        errors = [v for v in report.violations if v.severity == "error"]
+        assert errors == []

@@ -139,6 +139,116 @@ class TestTraceCore:
 
 
 # ---------------------------------------------------------------------------
+# cross-thread propagation + registry thread safety
+# ---------------------------------------------------------------------------
+
+
+class TestTraceThreadSafety:
+    def test_workers_see_no_sessions_without_context(self):
+        # The baseline hazard: ContextVars do not propagate into pool
+        # workers, so naive worker instrumentation is silently dropped.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with trace("t") as session:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                list(pool.map(lambda _: incr("lost"), range(8)))
+        assert "lost" not in session.counters
+
+    def test_trace_context_carries_sessions_into_workers(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.obs import current_trace_context
+
+        with trace("t") as session:
+            ctx = current_trace_context()
+
+            def worker(i):
+                with ctx.activate():
+                    incr("done")
+                    with span("work", i=i):
+                        pass
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                list(pool.map(worker, range(8)))
+        assert session.counters["done"] == 8.0
+        assert len(session.find_spans("work")) == 8
+        # Worker spans attach under the submitting thread's span.
+        root = session.root_spans()[0]
+        for record in session.find_spans("work"):
+            assert record.parent_id == root.span_id
+
+    def test_concurrent_incr_loses_no_updates(self):
+        # Regression: counter updates are read-modify-write; before the
+        # per-session lock, concurrent workers interleaved and lost
+        # increments nondeterministically.
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.obs import current_trace_context
+
+        n_threads, n_iter = 8, 2_000
+        with trace("race") as session:
+            ctx = current_trace_context()
+
+            def hammer(_):
+                with ctx.activate():
+                    for _ in range(n_iter):
+                        incr("hits")
+
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                list(pool.map(hammer, range(n_threads)))
+        assert session.counters["hits"] == float(n_threads * n_iter)
+
+    def test_concurrent_gauge_max_keeps_high_water_mark(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.obs import current_trace_context, set_gauge_max
+
+        values = list(range(100))
+        with trace("gauges") as session:
+            ctx = current_trace_context()
+
+            def push(value):
+                with ctx.activate():
+                    set_gauge_max("health.peak", float(value))
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                list(pool.map(push, values))
+        assert session.gauges["health.peak"] == 99.0
+
+    def test_activate_restores_previous_state(self):
+        from repro.obs import current_trace_context
+
+        ctx = current_trace_context()  # snapshot with no sessions
+        with trace("t") as session:
+            with ctx.activate():
+                assert not tracing_active()
+                incr("invisible")
+            assert tracing_active()
+            incr("visible")
+        assert "invisible" not in session.counters
+        assert session.counters["visible"] == 1.0
+
+    def test_batch_fanout_counters_reach_session(self, paired_references):
+        # End-to-end: BatchAligner's pool workers now deliver their
+        # per-chunk counters into the active session.
+        objectives = np.vstack(
+            [r.source_vector for r in paired_references] * 3
+        )
+        with trace("batch") as session:
+            BatchAligner(n_jobs=4).fit_predict(
+                paired_references * 3, objectives
+            )
+        # One fan-out with >1 chunk happened, and every worker-side
+        # per-chunk counter survived the thread boundary: the row total
+        # equals the number of attributes scaled.
+        (fanout,) = session.find_events("batch.fanout")
+        assert fanout.fields["chunks"] > 1
+        assert session.counters["batch.rows_scaled"] == float(
+            objectives.shape[0]
+        )
+
+
+# ---------------------------------------------------------------------------
 # export
 # ---------------------------------------------------------------------------
 
