@@ -19,6 +19,7 @@ array([12.,  2.])
 from repro.cache import PipelineCache, default_cache
 from repro.core.geoalign import GeoAlign
 from repro.core.batch import BatchAligner, ReferenceStack
+from repro.core.shard import ShardedAligner, ShardPlan, plan_shards
 from repro.core.baselines import (
     ArealWeighting,
     Dasymetric,
@@ -42,6 +43,9 @@ __all__ = [
     "GeoAlign",
     "BatchAligner",
     "ReferenceStack",
+    "ShardedAligner",
+    "ShardPlan",
+    "plan_shards",
     "PipelineCache",
     "default_cache",
     "ArealWeighting",

@@ -6,10 +6,14 @@ answers the two reachability questions the deep rule families ask:
 * *What can this entry point reach?* -- instrumentation coverage walks
   forward from the CLI/experiment entry points to find the hot-path
   functions a user request actually executes.
-* *What runs on a worker thread?* -- the concurrency rules walk forward
-  from every callable handed to ``ThreadPoolExecutor.submit/map`` or
-  ``threading.Thread(target=...)``; anything reachable from there may
-  execute concurrently with the submitting thread.
+* *What runs on a worker?* -- the concurrency rules walk forward from
+  every callable handed to ``ThreadPoolExecutor.submit/map``,
+  ``ProcessPoolExecutor.submit/map`` or ``threading.Thread(target=...)``;
+  anything reachable from there may execute concurrently with (threads)
+  or in a different address space from (processes) the submitting
+  function.  Each fan-out site carries a ``kind`` so the rules can
+  phrase the failure mode correctly: thread workers race on shared
+  memory, process workers silently lose writes at the pickle boundary.
 
 Resolution inherits the conservative stance of the project model: an
 edge exists only when the callee is positively identified.  The one
@@ -31,14 +35,23 @@ from repro.analysis.project import FunctionInfo, ProjectContext
 
 __all__ = ["CallGraph", "ThreadFanout", "iter_own_nodes"]
 
-#: Constructors that create a *thread* execution context.  Process
-#: pools are excluded on purpose: workers there share no memory, so the
-#: shared-state rules do not apply (pickling bugs are a different class).
+#: Constructors that create a *thread* execution context.
 _THREAD_POOLS = frozenset(
     {
         "ThreadPoolExecutor",
         "concurrent.futures.ThreadPoolExecutor",
         "futures.ThreadPoolExecutor",
+    }
+)
+#: Constructors that create a *process* execution context.  Workers
+#: there share no memory: a module/closure write is not a race but a
+#: silently-lost update (each child mutates its own copy), and a closed
+#: over Generator is pickled per task, duplicating its stream.
+_PROCESS_POOLS = frozenset(
+    {
+        "ProcessPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "futures.ProcessPoolExecutor",
     }
 )
 _THREAD_CLASSES = frozenset({"Thread", "threading.Thread"})
@@ -49,13 +62,19 @@ _SUBMIT_METHODS = frozenset({"submit", "map"})
 
 @dataclass(frozen=True)
 class ThreadFanout:
-    """One site where a callable is handed to another thread."""
+    """One site where a callable is handed to another thread or process.
+
+    ``kind`` is ``"thread"`` for ``ThreadPoolExecutor`` /
+    ``threading.Thread`` sites and ``"process"`` for
+    ``ProcessPoolExecutor`` sites.
+    """
 
     caller: str
     callee: str | None
     api: str
     line: int
     col: int
+    kind: str = "thread"
 
 
 def iter_own_nodes(
@@ -136,54 +155,63 @@ class CallGraph:
                     external.add(target)
             self._maybe_record_fanout(fn, node, pool_vars)
 
-    def _pool_variables(self, fn: FunctionInfo) -> set[str]:
-        """Local names bound to a thread-pool instance inside ``fn``."""
-        pools: set[str] = set()
+    def _pool_kind(self, fn: FunctionInfo, expr: ast.expr) -> str | None:
+        """``"thread"``/``"process"`` when ``expr`` constructs a pool."""
+        if not isinstance(expr, ast.Call):
+            return None
+        name = _dotted(expr.func)
+        if name is None:
+            return None
         module = self.project.module_of(fn)
+        resolved = module.imports.get(name.split(".")[0], name)
+        if (
+            name in _THREAD_POOLS
+            or resolved in _THREAD_POOLS
+            or name.split(".")[-1] == "ThreadPoolExecutor"
+        ):
+            return "thread"
+        if (
+            name in _PROCESS_POOLS
+            or resolved in _PROCESS_POOLS
+            or name.split(".")[-1] == "ProcessPoolExecutor"
+        ):
+            return "process"
+        return None
 
-        def is_pool_ctor(expr: ast.expr) -> bool:
-            if not isinstance(expr, ast.Call):
-                return False
-            name = _dotted(expr.func)
-            if name is None:
-                return False
-            resolved = module.imports.get(name.split(".")[0], name)
-            return (
-                name in _THREAD_POOLS
-                or resolved in _THREAD_POOLS
-                or name.split(".")[-1] == "ThreadPoolExecutor"
-            )
-
+    def _pool_variables(self, fn: FunctionInfo) -> dict[str, str]:
+        """Local names bound to a pool instance inside ``fn`` -> kind."""
+        pools: dict[str, str] = {}
         for node in iter_own_nodes(fn.node):
-            if isinstance(node, ast.Assign) and is_pool_ctor(node.value):
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        pools.add(target.id)
+            if isinstance(node, ast.Assign):
+                kind = self._pool_kind(fn, node.value)
+                if kind is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            pools[target.id] = kind
             elif isinstance(node, (ast.With, ast.AsyncWith)):
                 for item in node.items:
-                    if is_pool_ctor(item.context_expr) and isinstance(
+                    kind = self._pool_kind(fn, item.context_expr)
+                    if kind is not None and isinstance(
                         item.optional_vars, ast.Name
                     ):
-                        pools.add(item.optional_vars.id)
+                        pools[item.optional_vars.id] = kind
         return pools
 
     def _maybe_record_fanout(
-        self, fn: FunctionInfo, call: ast.Call, pool_vars: set[str]
+        self, fn: FunctionInfo, call: ast.Call, pool_vars: dict[str, str]
     ) -> None:
         func = call.func
         callee_expr: ast.expr | None = None
         api: str | None = None
+        kind: str | None = None
         if isinstance(func, ast.Attribute) and func.attr in _SUBMIT_METHODS:
             base = func.value
-            is_pool = isinstance(base, ast.Name) and base.id in pool_vars
-            if isinstance(base, ast.Call):
+            if isinstance(base, ast.Name):
+                kind = pool_vars.get(base.id)
+            elif isinstance(base, ast.Call):
                 # Chained form: ThreadPoolExecutor(...).submit(f, ...)
-                ctor = _dotted(base.func)
-                is_pool = ctor is not None and (
-                    ctor in _THREAD_POOLS
-                    or ctor.split(".")[-1] == "ThreadPoolExecutor"
-                )
-            if is_pool and call.args:
+                kind = self._pool_kind(fn, base)
+            if kind is not None and call.args:
                 callee_expr = call.args[0]
                 api = func.attr
         else:
@@ -196,7 +224,8 @@ class CallGraph:
                         if keyword.arg == "target":
                             callee_expr = keyword.value
                             api = "Thread"
-        if callee_expr is None or api is None:
+                            kind = "thread"
+        if callee_expr is None or api is None or kind is None:
             return
         callee = self._resolve_thread_callee(fn, callee_expr)
         self.fanouts.append(
@@ -206,6 +235,7 @@ class CallGraph:
                 api=api,
                 line=int(call.lineno),
                 col=int(call.col_offset),
+                kind=kind,
             )
         )
         if callee is not None and callee in self.project.functions:
@@ -262,18 +292,30 @@ class CallGraph:
             queue.extend(self.edges.get(current, ()))
         return seen
 
-    def thread_entries(self) -> set[str]:
-        """Resolved project callees of every thread fan-out site."""
+    def _entries_of_kind(self, kind: str) -> set[str]:
         return {
             fanout.callee
             for fanout in self.fanouts
-            if fanout.callee is not None
+            if fanout.kind == kind
+            and fanout.callee is not None
             and fanout.callee in self.project.functions
         }
+
+    def thread_entries(self) -> set[str]:
+        """Resolved project callees of every *thread* fan-out site."""
+        return self._entries_of_kind("thread")
 
     def thread_reachable(self) -> set[str]:
         """Everything that may execute on a worker thread."""
         return self.reachable_from(self.thread_entries())
+
+    def process_entries(self) -> set[str]:
+        """Resolved project callees of every *process* fan-out site."""
+        return self._entries_of_kind("process")
+
+    def process_reachable(self) -> set[str]:
+        """Everything that may execute in a pool worker process."""
+        return self.reachable_from(self.process_entries())
 
     def __repr__(self) -> str:
         n_edges = sum(len(v) for v in self.edges.values())

@@ -270,15 +270,20 @@ class BareExceptRule(Rule):
     rationale = (
         "Swallowing SolverError or ValidationError turns a detectable "
         "simplex-infeasibility (Eq. 15) into silently wrong aggregates; "
-        "broad handlers are only acceptable when they re-raise."
+        "broad handlers are only acceptable when they re-raise (bare "
+        "'raise', or wrap-and-chain 'raise ReproError(...) from exc')."
     )
 
     _BROAD = frozenset({"Exception", "BaseException"})
 
     @staticmethod
     def _reraises(handler: ast.ExceptHandler) -> bool:
+        # A bare ``raise`` propagates the original; ``raise X(...) from
+        # exc`` converts it at a boundary without losing the chain.
+        # Both keep the failure observable.
         return any(
-            isinstance(node, ast.Raise) and node.exc is None
+            isinstance(node, ast.Raise)
+            and (node.exc is None or node.cause is not None)
             for node in ast.walk(handler)
         )
 

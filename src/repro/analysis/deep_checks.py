@@ -8,8 +8,12 @@ show:
 
 * **Concurrency safety** (``thread-shared-state``, ``thread-shared-rng``,
   ``thread-span-misuse``) -- unguarded writes to shared mutable state,
-  NumPy ``Generator`` objects and obs ContextVars crossing thread
-  boundaries via ``ThreadPoolExecutor`` / ``threading.Thread`` fan-out.
+  NumPy ``Generator`` objects and obs ContextVars crossing worker
+  boundaries via ``ThreadPoolExecutor`` / ``ProcessPoolExecutor`` /
+  ``threading.Thread`` fan-out.  Thread and process sites fire the same
+  rule ids with kind-specific messages: threads race on shared memory,
+  processes silently lose the write (each worker mutates its own pickled
+  copy) or duplicate the generator stream (pickled per task).
 * **Aliasing / purity** (``alias-mutation``) -- a public core/partitions
   function forwarding a parameter into a callee that mutates it in
   place: invisible to the per-file ``ndarray-mutation`` rule because the
@@ -101,20 +105,27 @@ class ThreadSharedStateRule(ProjectRule):
 
     id = "thread-shared-state"
     summary = (
-        "functions reachable from thread fan-out must not write module or "
-        "closure state without a lock"
+        "functions reachable from thread or process fan-out must not "
+        "write module or closure state (threads: without a lock; "
+        "processes: at all -- the write is lost at the pickle boundary)"
     )
     rationale = (
         "BatchAligner fans per-stack work across a ThreadPoolExecutor "
-        "(§6 scale-out); a racy registry or cache write corrupts "
-        "whichever run happens to lose the interleaving, which no "
-        "single-threaded test reproduces."
+        "and ShardedAligner across a ProcessPoolExecutor (§6 scale-out); "
+        "a racy registry write corrupts whichever threaded run loses the "
+        "interleaving, and the same write in a process worker mutates a "
+        "pickled copy the parent never sees -- neither failure "
+        "reproduces in a single-worker test."
     )
     severity = "error"
 
     def check_project(self, project: ProjectContext) -> Iterable[Violation]:
         graph, dataflow = _analysis_state(project)
         on_thread = graph.thread_reachable()
+        # Thread-reachability wins when a function is reachable both
+        # ways: the race is the immediate bug, and one message per
+        # write keeps the baseline counts stable.
+        on_process = graph.process_reachable() - on_thread
         for qualname in sorted(on_thread):
             fn = project.functions[qualname]
             facts = dataflow.facts[qualname]
@@ -132,6 +143,25 @@ class ThreadSharedStateRule(ProjectRule):
                     "the write with a lock or buffer per-thread and "
                     "merge at join",
                 )
+        for qualname in sorted(on_process):
+            fn = project.functions[qualname]
+            facts = dataflow.facts[qualname]
+            for write in facts.shared_writes:
+                # A lock does not help across processes: the guarded
+                # write still lands in the worker's own copy.  Fire on
+                # guarded writes too.
+                yield _violation(
+                    self,
+                    fn,
+                    write.line,
+                    write.col,
+                    f"{qualname!r} runs in pool worker processes and "
+                    f"writes shared {write.kind} state {write.target!r} "
+                    f"(rooted at {write.root!r}); each worker mutates "
+                    "its own pickled copy, so the write is silently "
+                    "lost at the process boundary -- return results "
+                    "from the worker and merge in the parent instead",
+                )
 
 
 # ----------------------------------------------------------------------
@@ -142,12 +172,17 @@ class ThreadSharedRngRule(ProjectRule):
     """NumPy Generators must not be shared across thread boundaries."""
 
     id = "thread-shared-rng"
-    summary = "no numpy Generator shared between submitting and worker threads"
+    summary = (
+        "no numpy Generator shared between the submitting function and "
+        "its thread or process pool workers"
+    )
     rationale = (
         "np.random.Generator is not thread-safe; concurrent draws can "
         "repeat or skip states, silently breaking the seed-reproducibility "
-        "contract every experiment depends on.  Spawn per-task child "
-        "generators (repro.utils.rng.spawn_rngs) instead."
+        "contract every experiment depends on.  Across a process pool the "
+        "generator is pickled per task instead, so every worker replays "
+        "the same stream.  Spawn per-task child generators "
+        "(repro.utils.rng.spawn_rngs) either way."
     )
     severity = "error"
 
@@ -165,6 +200,13 @@ class ThreadSharedRngRule(ProjectRule):
                 continue
             caller_fn = project.functions[fanout.caller]
             names = ", ".join(sorted(shared))
+            if fanout.kind == "process":
+                failure = (
+                    "the generator is pickled into every worker "
+                    "process, so each task replays the same stream"
+                )
+            else:
+                failure = "generators are not thread-safe"
             yield _violation(
                 self,
                 caller_fn,
@@ -172,7 +214,7 @@ class ThreadSharedRngRule(ProjectRule):
                 fanout.col,
                 f"worker {fanout.callee!r} submitted via "
                 f"{fanout.api} closes over RNG(s) {names} created in "
-                f"{fanout.caller!r}; generators are not thread-safe -- "
+                f"{fanout.caller!r}; {failure} -- "
                 "spawn per-task children with "
                 "repro.utils.rng.spawn_rngs instead",
             )

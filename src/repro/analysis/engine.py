@@ -283,14 +283,17 @@ def deep_lint_paths(
         if not key.startswith("_")
     }
     graph_state = project.stats.get("_analysis_state")
-    fanouts = len(graph_state[0].fanouts) if graph_state else 0
+    fanouts = graph_state[0].fanouts if graph_state else []
+    thread_sites = sum(1 for f in fanouts if f.kind == "thread")
+    process_sites = sum(1 for f in fanouts if f.kind == "process")
     report.stats = {
         "files": len(parsed),
         "skipped_files": skipped_files,
         "modules": len(project.modules),
         "functions": len(project.functions),
         "classes": len(project.classes),
-        "thread_fanout_sites": fanouts,
+        "thread_fanout_sites": thread_sites,
+        "process_fanout_sites": process_sites,
         **stats,
     }
     return report

@@ -49,7 +49,8 @@ def render_text(
             "repro-lint: analyzed "
             f"{stats.get('files', 0)} files, "
             f"{stats.get('functions', 0)} functions, "
-            f"{stats.get('thread_fanout_sites', 0)} thread fan-out sites"
+            f"{stats.get('thread_fanout_sites', 0)} thread / "
+            f"{stats.get('process_fanout_sites', 0)} process fan-out sites"
         )
     return "\n".join(lines)
 

@@ -16,6 +16,7 @@ a world against the rest) through the batched engine -- or, with
 
     geoalign-repro align --universe ny --scale 0.25
     geoalign-repro align --no-batch --jobs 1
+    geoalign-repro align --shards 4 --shard-workers 4
 
 Scale 1.0 (the default) is paper scale: 30,238 zip units at the top
 rung.  Reports print to stdout and, with ``--out``, are also written as
@@ -167,6 +168,31 @@ def build_parser():
         type=int,
         default=1,
         help="threads for the batch rescale/re-aggregate stage",
+    )
+    align.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "partition the universe into N boundary-owned shards and run "
+            "the map-reduce engine (engine='sharded'); 0 (default) keeps "
+            "the monolithic engine selected by --batch/--no-batch"
+        ),
+    )
+    align.add_argument(
+        "--shard-strategy",
+        choices=("tile", "block"),
+        default="tile",
+        help="shard partitioning: target-column tiles (default) or "
+        "contiguous source-row blocks",
+    )
+    align.add_argument(
+        "--shard-workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="process-pool width for the shard map phases (1 = inline)",
     )
 
     obs_cmd = sub.add_parser(
@@ -336,12 +362,21 @@ def _run_figure(name, args):
         from repro.cache import PipelineCache
         from repro.experiments.align import run_alignment
 
+        if args.shards:
+            engine = "sharded"
+        elif args.batch:
+            engine = "batch"
+        else:
+            engine = "loop"
         return run_alignment(
             scale=args.scale,
             universe=args.universe,
-            engine="batch" if args.batch else "loop",
-            cache=PipelineCache() if args.batch else None,
+            engine=engine,
+            cache=PipelineCache() if engine != "loop" else None,
             n_jobs=args.jobs,
+            n_shards=args.shards or 2,
+            shard_strategy=args.shard_strategy,
+            shard_workers=args.shard_workers,
             **_seed_kwargs(args),
         ).to_text()
     raise ValueError(f"unknown figure {name!r}")

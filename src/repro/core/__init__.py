@@ -8,6 +8,10 @@
 ``batch``
     The batched multi-attribute engine: N objectives against one shared
     reference stack, with the design/Gram and union-DM work done once.
+``shard``
+    The sharded map-reduce engine: the batch computation partitioned
+    into boundary-owned shards, mapped over a process pool and reduced
+    back to the monolithic answer (globally volume-preserving).
 ``baselines``
     Areal weighting, the single-reference dasymetric method, and a
     target-level regression baseline from the related-work taxonomy.
@@ -25,6 +29,7 @@ from repro.core.solver import (
 )
 from repro.core.geoalign import GeoAlign
 from repro.core.batch import BatchAligner, ReferenceStack
+from repro.core.shard import ShardedAligner, ShardPlan, ShardSpec, plan_shards
 from repro.core.baselines import ArealWeighting, Dasymetric, RegressionCrosswalk
 from repro.core.diagnostics import (
     BootstrapResult,
@@ -42,6 +47,10 @@ __all__ = [
     "GeoAlign",
     "BatchAligner",
     "ReferenceStack",
+    "ShardedAligner",
+    "ShardPlan",
+    "ShardSpec",
+    "plan_shards",
     "ArealWeighting",
     "Dasymetric",
     "RegressionCrosswalk",

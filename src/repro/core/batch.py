@@ -102,6 +102,189 @@ def _validated_references(references: Iterable[Reference]) -> list[Reference]:
     return refs
 
 
+def _coerce_objectives_matrix(objectives: ArrayLike, n_sources: int) -> FloatArray:
+    """Validate objectives into an ``(n_attrs, n_sources)`` float matrix.
+
+    Shared by :class:`BatchAligner` and the sharded engine
+    (:mod:`repro.core.shard`) so both paths reject exactly the same
+    malformed inputs.
+    """
+    if isinstance(objectives, (list, tuple)):
+        rows = [
+            as_nonnegative_vector(row, name=f"objectives[{i}]")
+            for i, row in enumerate(objectives)
+        ]
+        if not rows:
+            raise ValidationError("objectives must not be empty")
+        matrix = np.vstack(rows)
+    else:
+        matrix = np.asarray(objectives, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix[np.newaxis, :]
+        if matrix.ndim != 2:
+            raise ValidationError(
+                f"objectives must be (n_attrs, n_sources), got shape "
+                f"{matrix.shape}"
+            )
+        if not np.all(np.isfinite(matrix)):
+            raise ValidationError("objectives contain non-finite entries")
+        if matrix.size and matrix.min() < 0:
+            raise ValidationError(
+                "objective aggregates must be non-negative"
+            )
+    if matrix.shape[1] != n_sources:
+        raise ShapeMismatchError(
+            f"objectives cover {matrix.shape[1]} source units but the "
+            f"references cover {n_sources}"
+        )
+    if matrix.shape[0] == 0:
+        raise ValidationError("objectives must not be empty")
+    sums = matrix.sum(axis=1)
+    if np.any(sums <= 0):
+        bad = int(np.flatnonzero(sums <= 0)[0])
+        raise ValidationError(
+            f"objective {bad} is identically zero; every attribute "
+            "must carry positive total mass"
+        )
+    return matrix
+
+
+def _coerce_mask_matrix(
+    masks: ArrayLike | None, n_attrs: int, n_refs: int
+) -> BoolArray:
+    """Validate per-attribute reference masks (default: all-true)."""
+    if masks is None:
+        return np.ones((n_attrs, n_refs), dtype=bool)
+    mask_matrix = np.asarray(masks, dtype=bool)
+    if mask_matrix.shape != (n_attrs, n_refs):
+        raise ShapeMismatchError(
+            f"masks must have shape ({n_attrs}, {n_refs}), got "
+            f"{mask_matrix.shape}"
+        )
+    counts = mask_matrix.sum(axis=1)
+    if np.any(counts == 0):
+        bad = int(np.flatnonzero(counts == 0)[0])
+        raise ValidationError(
+            f"attribute {bad} masks out every reference; each needs "
+            "at least one"
+        )
+    return mask_matrix
+
+
+def _normalized_rhs(objective_matrix: FloatArray, normalize: bool) -> FloatArray:
+    """Eq. 15 right-hand sides: per-attribute max-normalised objectives."""
+    if normalize:
+        result: FloatArray = objective_matrix / objective_matrix.max(
+            axis=1, keepdims=True
+        )
+        return result
+    return objective_matrix
+
+
+def _solve_masked_weights(
+    gram: FloatArray,
+    atb_all: FloatArray,
+    btb_all: FloatArray,
+    mask_matrix: BoolArray,
+    method: str,
+) -> tuple[FloatArray, list[SimplexLstsqResult]]:
+    """Per-attribute Eq. 15 simplex solves over one shared Gram matrix.
+
+    ``atb_all`` is ``(k, n_attrs)`` (column j is ``A^T b_j``), ``btb_all``
+    is ``(n_attrs,)``.  Masked-out references get weight exactly 0.0 via
+    the sub-Gram solve.  Returns the ``(n_attrs, k)`` weight matrix plus
+    the per-attribute solver results.  The monolithic and sharded engines
+    both reduce to this solve, which is what makes them equivalent: only
+    the way ``gram``/``atb_all``/``btb_all`` are accumulated differs.
+    """
+    n_attrs, n_refs = mask_matrix.shape
+    results: list[SimplexLstsqResult] = []
+    weights = np.zeros((n_attrs, n_refs))
+    for j in range(n_attrs):
+        mask = mask_matrix[j]
+        if mask.all():
+            result = simplex_lstsq_from_gram(
+                gram,
+                atb_all[:, j],
+                btb=float(btb_all[j]),
+                method=method,
+            )
+            weights[j] = result.weights
+        else:
+            idx = np.flatnonzero(mask)
+            result = simplex_lstsq_from_gram(
+                gram[np.ix_(idx, idx)],
+                atb_all[idx, j],
+                btb=float(btb_all[j]),
+                method=method,
+            )
+            weights[j, idx] = result.weights
+        results.append(result)
+    return weights, results
+
+
+def _emit_volume_health_gauges(
+    objectives: FloatArray,
+    covered: BoolArray,
+    achieved_row_sums: FloatArray,
+) -> None:
+    """Eq. 16 residual and uncovered-mass gauges over covered rows.
+
+    ``covered`` marks rows where the blend gave the rescale a positive
+    denominator; mass in uncovered rows is a reference-coverage property
+    (its own gauge), not a rescale defect, so the residual is measured
+    over coverable rows only.  Residuals are relative to each
+    attribute's largest covered source aggregate; the gauges keep the
+    worst case.  Callers gate on :func:`tracing_active` before computing
+    ``achieved_row_sums`` so the untraced path pays nothing.
+    """
+    _gauge_max(
+        "health.uncovered_mass_max",
+        float(
+            (
+                np.where(covered, 0.0, objectives).sum(axis=1)
+                / objectives.sum(axis=1)
+            ).max()
+        ),
+    )
+    masked = np.where(covered, objectives, 0.0)
+    achieved = np.where(covered, achieved_row_sums, 0.0)
+    scale_per_attr = masked.max(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_attr = np.where(
+            scale_per_attr > 0.0,
+            np.abs(achieved - masked).max(axis=1) / scale_per_attr,
+            0.0,
+        )
+    _gauge_max("health.volume_residual_max", float(per_attr.max()))
+
+
+def _emit_weight_health_gauges(weights: FloatArray, gram: FloatArray) -> None:
+    """Post-solve health gauges, worst case over the batch.
+
+    Gated on an active trace so the untraced path pays nothing beyond
+    the contextvar read.
+    """
+    if not _tracing_active():
+        return
+    _gauge_max(
+        "health.simplex_violation_max",
+        simplex_violation(weights),
+    )
+    _gauge_max(
+        "health.gram_condition_max",
+        gram_condition_number(gram),
+    )
+    _gauge_min(
+        "health.effective_references_min",
+        min(effective_references(row) for row in weights),
+    )
+    _gauge_min(
+        "health.weight_entropy_min",
+        min(weight_entropy(row) for row in weights),
+    )
+
+
 class ReferenceStack:
     """All attribute-independent work for one reference set, done once.
 
@@ -420,64 +603,51 @@ class BatchAligner:
     def _coerce_objectives(
         self, objectives: ArrayLike, n_sources: int
     ) -> FloatArray:
-        if isinstance(objectives, (list, tuple)):
-            rows = [
-                as_nonnegative_vector(row, name=f"objectives[{i}]")
-                for i, row in enumerate(objectives)
-            ]
-            if not rows:
-                raise ValidationError("objectives must not be empty")
-            matrix = np.vstack(rows)
-        else:
-            matrix = np.asarray(objectives, dtype=float)
-            if matrix.ndim == 1:
-                matrix = matrix[np.newaxis, :]
-            if matrix.ndim != 2:
-                raise ValidationError(
-                    f"objectives must be (n_attrs, n_sources), got shape "
-                    f"{matrix.shape}"
-                )
-            if not np.all(np.isfinite(matrix)):
-                raise ValidationError("objectives contain non-finite entries")
-            if matrix.size and matrix.min() < 0:
-                raise ValidationError(
-                    "objective aggregates must be non-negative"
-                )
-        if matrix.shape[1] != n_sources:
-            raise ShapeMismatchError(
-                f"objectives cover {matrix.shape[1]} source units but the "
-                f"references cover {n_sources}"
-            )
-        if matrix.shape[0] == 0:
-            raise ValidationError("objectives must not be empty")
-        sums = matrix.sum(axis=1)
-        if np.any(sums <= 0):
-            bad = int(np.flatnonzero(sums <= 0)[0])
-            raise ValidationError(
-                f"objective {bad} is identically zero; every attribute "
-                "must carry positive total mass"
-            )
-        return matrix
+        return _coerce_objectives_matrix(objectives, n_sources)
 
     def _coerce_masks(
         self, masks: ArrayLike | None, n_attrs: int, n_refs: int
     ) -> BoolArray:
-        if masks is None:
-            return np.ones((n_attrs, n_refs), dtype=bool)
-        mask_matrix = np.asarray(masks, dtype=bool)
-        if mask_matrix.shape != (n_attrs, n_refs):
-            raise ShapeMismatchError(
-                f"masks must have shape ({n_attrs}, {n_refs}), got "
-                f"{mask_matrix.shape}"
-            )
-        counts = mask_matrix.sum(axis=1)
-        if np.any(counts == 0):
-            bad = int(np.flatnonzero(counts == 0)[0])
-            raise ValidationError(
-                f"attribute {bad} masks out every reference; each needs "
-                "at least one"
-            )
-        return mask_matrix
+        return _coerce_mask_matrix(masks, n_attrs, n_refs)
+
+    def _resolve_stack(
+        self, references: Iterable[Reference] | ReferenceStack
+    ) -> ReferenceStack:
+        """A prebuilt stack (normalize must agree) or a fresh build."""
+        if isinstance(references, ReferenceStack):
+            if references.normalize != self.normalize:
+                raise ValidationError(
+                    "prebuilt ReferenceStack was built with "
+                    f"normalize={references.normalize}, aligner has "
+                    f"normalize={self.normalize}"
+                )
+            return references
+        return ReferenceStack.build(
+            references, normalize=self.normalize, cache=self.cache
+        )
+
+    def _coerce_fit_inputs(
+        self,
+        references: Iterable[Reference] | ReferenceStack,
+        objectives: ArrayLike,
+        attribute_names: Sequence[str] | None,
+        masks: ArrayLike | None,
+    ) -> tuple[ReferenceStack, FloatArray, BoolArray, list[str]]:
+        """Validate the full fit input set, shared with the sharded engine."""
+        stack = self._resolve_stack(references)
+        objective_matrix = _coerce_objectives_matrix(objectives, stack.n_sources)
+        n_attrs = objective_matrix.shape[0]
+        mask_matrix = _coerce_mask_matrix(masks, n_attrs, stack.n_references)
+        if attribute_names is None:
+            names = [f"attr-{i}" for i in range(n_attrs)]
+        else:
+            names = [str(n) for n in attribute_names]
+            if len(names) != n_attrs:
+                raise ShapeMismatchError(
+                    f"{n_attrs} objectives but {len(names)} attribute "
+                    "names"
+                )
+        return stack, objective_matrix, mask_matrix, names
 
     def fit(
         self,
@@ -508,90 +678,30 @@ class BatchAligner:
         # stage timings and report multi-fit totals as one run's.
         self.timer_.reset()
         with _span("batch.fit", solver=self.solver_method) as fit_span:
-            if isinstance(references, ReferenceStack):
-                if references.normalize != self.normalize:
-                    raise ValidationError(
-                        "prebuilt ReferenceStack was built with "
-                        f"normalize={references.normalize}, aligner has "
-                        f"normalize={self.normalize}"
-                    )
-                stack = references
-            else:
-                stack = ReferenceStack.build(
-                    references, normalize=self.normalize, cache=self.cache
+            stack, objective_matrix, mask_matrix, names = (
+                self._coerce_fit_inputs(
+                    references, objectives, attribute_names, masks
                 )
-            objective_matrix = self._coerce_objectives(
-                objectives, stack.n_sources
             )
             n_attrs = objective_matrix.shape[0]
-            mask_matrix = self._coerce_masks(
-                masks, n_attrs, stack.n_references
-            )
             if fit_span is not None:
                 fit_span.attrs["n_attrs"] = n_attrs
                 fit_span.attrs["n_references"] = stack.n_references
-            if attribute_names is None:
-                names = [f"attr-{i}" for i in range(n_attrs)]
-            else:
-                names = [str(n) for n in attribute_names]
-                if len(names) != n_attrs:
-                    raise ShapeMismatchError(
-                        f"{n_attrs} objectives but {len(names)} attribute "
-                        "names"
-                    )
 
             with self.timer_.stage("weights"):
-                if self.normalize:
-                    rhs = objective_matrix / objective_matrix.max(
-                        axis=1, keepdims=True
-                    )
-                else:
-                    rhs = objective_matrix
+                rhs = _normalized_rhs(objective_matrix, self.normalize)
                 # One matmul projects every attribute onto the shared
                 # design: column j of atb_all is A^T b_j.
                 atb_all = stack.design.T @ rhs.T
                 btb_all = np.einsum("ij,ij->i", rhs, rhs)
-                results: list[SimplexLstsqResult] = []
-                weights = np.zeros((n_attrs, stack.n_references))
-                for j in range(n_attrs):
-                    mask = mask_matrix[j]
-                    if mask.all():
-                        result = simplex_lstsq_from_gram(
-                            stack.gram,
-                            atb_all[:, j],
-                            btb=float(btb_all[j]),
-                            method=self.solver_method,
-                        )
-                        weights[j] = result.weights
-                    else:
-                        idx = np.flatnonzero(mask)
-                        result = simplex_lstsq_from_gram(
-                            stack.gram[np.ix_(idx, idx)],
-                            atb_all[idx, j],
-                            btb=float(btb_all[j]),
-                            method=self.solver_method,
-                        )
-                        weights[j, idx] = result.weights
-                    results.append(result)
-            if _tracing_active():
-                # Health gauges, worst case over the batch; gated so the
-                # untraced path pays nothing beyond the contextvar read.
-                _gauge_max(
-                    "health.simplex_violation_max",
-                    simplex_violation(weights),
+                weights, results = _solve_masked_weights(
+                    stack.gram,
+                    atb_all,
+                    btb_all,
+                    mask_matrix,
+                    self.solver_method,
                 )
-                _gauge_max(
-                    "health.gram_condition_max",
-                    gram_condition_number(stack.gram),
-                )
-                _gauge_min(
-                    "health.effective_references_min",
-                    min(effective_references(row) for row in weights),
-                )
-                _gauge_min(
-                    "health.weight_entropy_min",
-                    min(weight_entropy(row) for row in weights),
-                )
+            _emit_weight_health_gauges(weights, stack.gram)
         self.stack_ = stack
         self.weights_ = weights
         self.masks_ = mask_matrix
@@ -673,33 +783,8 @@ class BatchAligner:
             else:
                 scaled = blended * factors[:, stack.entry_rows]
             if _tracing_active():
-                # Eq. 16 per attribute, relative to each attribute's
-                # largest source aggregate; the gauge keeps the worst.
-                # Zero-denominator rows are a reference-coverage
-                # property (own gauge), not a rescale defect, so the
-                # residual is measured over coverable rows only.
-                covered = denominators > 0.0
-                _gauge_max(
-                    "health.uncovered_mass_max",
-                    float(
-                        (
-                            np.where(covered, 0.0, objectives).sum(axis=1)
-                            / objectives.sum(axis=1)
-                        ).max()
-                    ),
-                )
-                masked = np.where(covered, objectives, 0.0)
-                achieved = np.where(covered, stack.row_sums(scaled), 0.0)
-                scale_per_attr = masked.max(axis=1)
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    per_attr = np.where(
-                        scale_per_attr > 0.0,
-                        np.abs(achieved - masked).max(axis=1)
-                        / scale_per_attr,
-                        0.0,
-                    )
-                _gauge_max(
-                    "health.volume_residual_max", float(per_attr.max())
+                _emit_volume_health_gauges(
+                    objectives, denominators > 0.0, stack.row_sums(scaled)
                 )
         self._scaled_values = scaled
         return scaled

@@ -1,0 +1,714 @@
+"""Sharded map-reduce alignment: million-unit universes, one shard at a time.
+
+The batched engine (:mod:`repro.core.batch`) fits a whole universe in one
+address space; Fig. 6 scalability tops out where that single process does.
+This module shards the universe spatially and runs the expensive phases
+as a map over a process pool, reducing back to *exactly* the monolithic
+answer:
+
+**Weights (Eq. 15).**  The normal equations are additive over any row
+partition of the design matrix: ``A^T A = sum_s A_s^T A_s`` and
+``A^T b = sum_s A_s^T b_s``.  Each shard computes its Gram/``A^T b``
+partials over its owned source rows (against *globally* computed
+normalisation — per-reference source maxima and per-attribute objective
+maxima are taken in the driver before sharding), the driver sums them
+and runs the same masked simplex solve
+(:func:`repro.core.batch._solve_masked_weights`) the monolithic engine
+runs.  Only the accumulation order of the sums differs, so weights agree
+to float reassociation noise — far inside the golden suite's 1e-9.
+
+**Disaggregation (Eq. 14/16).**  Source rows are wholly owned by exactly
+one shard (see *boundary-row ownership* below), so the per-row rescale —
+the step that makes volume preservation hold — is shard-local and exact.
+Target columns are the hazard: a column near a shard edge receives mass
+from rows owned by different shards, so each shard returns *partial*
+column aggregates which the reduce phase merges.  This is precisely the
+partial-aggregate trap the related work warns about; merging partials is
+safe for sums, and a post-merge re-aggregation pass recomputes Eq. 17
+monolithically over the assembled entry values and checks the merged
+result against it (``health.shard_merge_residual_max``), with the global
+Eq. 16 check (``health.volume_residual_max``) run over the *merged*
+disaggregation, not per shard.
+
+**Boundary-row ownership.**  ``plan_shards`` assigns every source row to
+exactly one shard (a partition — property-tested).  With the ``"tile"``
+strategy, target columns are split into contiguous tiles and each row
+goes to the tile holding the majority of its reference mass (ties to the
+lowest tile; rows with no entries to shard 0).  With ``"block"``, rows
+are split into contiguous index blocks directly.  Rows whose target
+columns are also written by rows of *other* shards are counted as
+boundary rows (``shard.boundary_rows``): they are the rows whose column
+aggregates only become correct after the merge.
+
+Workers are module-level pure functions on plain NumPy payloads, so they
+pickle cleanly into a :class:`~concurrent.futures.ProcessPoolExecutor`
+and never touch shared state (writes would be silently lost at the
+process boundary — the deep-lint ``thread-shared-state`` rule covers
+process pools too).  ``max_workers=1`` runs the identical code inline,
+which is both the deterministic test path and the zero-overhead default.
+A worker failure is wrapped into :class:`~repro.errors.ShardError`
+carrying the shard id and phase, after draining the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+from repro.core.batch import (
+    BatchAligner,
+    ReferenceStack,
+    _emit_volume_health_gauges,
+    _emit_weight_health_gauges,
+    _normalized_rhs,
+    _solve_masked_weights,
+)
+from repro.core.reference import Reference
+from repro.errors import ShardError, ValidationError
+from repro.obs.trace import (
+    event as _obs_event,
+    set_gauge as _set_gauge,
+    set_gauge_max as _gauge_max,
+    span as _span,
+    tracing_active as _tracing_active,
+)
+
+if TYPE_CHECKING:
+    from repro.cache import PipelineCache
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
+BoolArray = NDArray[np.bool_]
+
+_STRATEGIES = ("tile", "block")
+
+#: Chaos hook for the fault-injection suite: set to ``"<phase>:<shard>"``
+#: (e.g. ``"fit:1"``) to make that shard's worker raise.  An environment
+#: variable rather than a monkeypatch because the child processes of a
+#: pool inherit the parent environment under every start method.
+FAULT_ENV = "REPRO_SHARD_FAULT"
+
+
+def _raise_injected_fault(phase: str, shard_id: int) -> None:
+    spec = os.environ.get(FAULT_ENV)
+    if spec is not None and spec == f"{phase}:{shard_id}":
+        # The chaos hook raises a foreign exception on purpose: the
+        # fault-injection tests prove arbitrary worker crashes get
+        # wrapped into ShardError.
+        raise RuntimeError(  # repro-lint: allow[error-types] deliberate foreign error
+            f"injected shard fault ({spec}); set by {FAULT_ENV}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# shard planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's owned slice of the universe.
+
+    Attributes
+    ----------
+    shard_id:
+        Position in the plan (also the index into ``ShardPlan.shards``).
+    rows:
+        Owned source-row indices, ascending.  Every row belongs to
+        exactly one shard.
+    entries:
+        Indices into the stack's union entry arrays whose source row is
+        owned by this shard.  Because entries follow their row's owner,
+        the per-row rescale is shard-local and exact.
+    """
+
+    shard_id: int
+    rows: IntArray
+    entries: IntArray
+
+    @property
+    def n_rows(self) -> int:
+        return int(len(self.rows))
+
+    @property
+    def n_entries(self) -> int:
+        return int(len(self.entries))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of the universe's source rows into shards.
+
+    Attributes
+    ----------
+    strategy:
+        ``"tile"`` (contiguous target-column tiles, rows follow their
+        majority reference mass) or ``"block"`` (contiguous source-row
+        blocks).
+    owner:
+        ``(n_sources,)`` owning shard id per source row.
+    shards:
+        One :class:`ShardSpec` per shard; shards may be empty when the
+        universe is smaller than the shard count.
+    boundary_rows:
+        Source rows whose target columns also receive entries from rows
+        owned by a different shard — the rows whose column aggregates
+        are only correct after the reduce-phase merge.
+    """
+
+    strategy: str
+    n_shards: int
+    n_sources: int
+    n_entries: int
+    owner: IntArray
+    shards: tuple[ShardSpec, ...]
+    boundary_rows: IntArray
+
+    @property
+    def n_boundary_rows(self) -> int:
+        return int(len(self.boundary_rows))
+
+    def validate(self) -> None:
+        """Check the ownership partition invariants; raise on violation.
+
+        Every source row and every union entry must be owned exactly
+        once across the shard specs — the property the equivalence of
+        the sharded and monolithic engines rests on.
+        """
+        if len(self.owner) != self.n_sources:
+            raise ValidationError(
+                f"owner covers {len(self.owner)} rows, plan declares "
+                f"{self.n_sources}"
+            )
+        if self.owner.size and (
+            self.owner.min() < 0 or self.owner.max() >= self.n_shards
+        ):
+            raise ValidationError(
+                "owner assigns a row to a shard outside the plan"
+            )
+        all_rows = np.concatenate(
+            [spec.rows for spec in self.shards]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        if not np.array_equal(np.sort(all_rows), np.arange(self.n_sources)):
+            raise ValidationError(
+                "shard row sets do not partition the source rows"
+            )
+        all_entries = np.concatenate(
+            [spec.entries for spec in self.shards]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        if not np.array_equal(
+            np.sort(all_entries), np.arange(self.n_entries)
+        ):
+            raise ValidationError(
+                "shard entry sets do not partition the union entries"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan(strategy={self.strategy!r}, "
+            f"n_shards={self.n_shards}, n_sources={self.n_sources}, "
+            f"boundary_rows={self.n_boundary_rows})"
+        )
+
+
+def plan_shards(
+    stack: ReferenceStack, n_shards: int, strategy: str = "tile"
+) -> ShardPlan:
+    """Partition the stack's source rows into ``n_shards`` owned shards.
+
+    ``"tile"`` splits the target columns into contiguous tiles and owns
+    each source row by the tile carrying the majority of the row's
+    reference mass (ties go to the lowest tile; rows without entries to
+    shard 0) — the region-tile strategy, which keeps the reduce-phase
+    column merge local to tile edges.  ``"block"`` owns contiguous
+    source-row index blocks — trivially balanced, at the price of more
+    cross-shard columns.  Both are uneven when the universe does not
+    divide evenly (``np.array_split`` semantics).
+    """
+    if n_shards < 1:
+        raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+    if strategy not in _STRATEGIES:
+        raise ValidationError(
+            f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+        )
+    with _span("shard.plan", n_shards=n_shards, strategy=strategy) as span:
+        owner = np.zeros(stack.n_sources, dtype=np.int64)
+        if strategy == "tile":
+            tile_of_col = np.zeros(stack.n_targets, dtype=np.int64)
+            for tile, block in enumerate(
+                np.array_split(np.arange(stack.n_targets), n_shards)
+            ):
+                tile_of_col[block] = tile
+            # Majority vote over reference mass: how much of each row's
+            # union-entry mass (summed over references) lands in each
+            # tile.  argmax ties break to the lowest tile, and rows with
+            # no entries (all-zero votes) land on shard 0.
+            entry_mass = stack.values.sum(axis=0)
+            entry_tile = tile_of_col[stack.entry_cols]
+            votes = np.zeros((stack.n_sources, n_shards))
+            np.add.at(votes, (stack.entry_rows, entry_tile), entry_mass)
+            owner = np.argmax(votes, axis=1).astype(np.int64)
+        else:
+            for shard_id, block in enumerate(
+                np.array_split(np.arange(stack.n_sources), n_shards)
+            ):
+                owner[block] = shard_id
+
+        entry_owner = owner[stack.entry_rows]
+        shards = tuple(
+            ShardSpec(
+                shard_id=shard_id,
+                rows=np.flatnonzero(owner == shard_id).astype(np.int64),
+                entries=np.flatnonzero(entry_owner == shard_id).astype(
+                    np.int64
+                ),
+            )
+            for shard_id in range(n_shards)
+        )
+
+        # Boundary rows: rows writing into target columns that also
+        # receive entries from rows of other shards.  A column is shared
+        # exactly when the min and max owner over its entries differ.
+        col_lo = np.full(stack.n_targets, n_shards, dtype=np.int64)
+        col_hi = np.full(stack.n_targets, -1, dtype=np.int64)
+        np.minimum.at(col_lo, stack.entry_cols, entry_owner)
+        np.maximum.at(col_hi, stack.entry_cols, entry_owner)
+        shared_cols = col_lo < col_hi
+        boundary_rows = np.unique(
+            stack.entry_rows[shared_cols[stack.entry_cols]]
+        ).astype(np.int64)
+        if span is not None:
+            span.attrs["boundary_rows"] = int(len(boundary_rows))
+        return ShardPlan(
+            strategy=strategy,
+            n_shards=n_shards,
+            n_sources=stack.n_sources,
+            n_entries=stack.nnz,
+            owner=owner,
+            shards=shards,
+            boundary_rows=boundary_rows,
+        )
+
+
+# ---------------------------------------------------------------------------
+# map-phase workers (module level: picklable into a process pool; pure:
+# results travel back as return values, never through shared state)
+# ---------------------------------------------------------------------------
+
+#: (shard_id, design rows, rhs columns) -> (shard_id, Gram, A^T b, b^T b)
+_FitPayload = tuple[int, FloatArray, FloatArray]
+_FitPartial = tuple[int, FloatArray, FloatArray, FloatArray]
+
+#: (shard_id, blend weights, entry values, local entry rows, entry cols,
+#:  objectives slice, source-vector slice or None, denominator, n_rows)
+_DisaggregatePayload = tuple[
+    int,
+    FloatArray,
+    FloatArray,
+    IntArray,
+    IntArray,
+    FloatArray,
+    "FloatArray | None",
+    str,
+    int,
+]
+#: (shard_id, scaled entries, covered rows, touched cols, partial sums)
+_DisaggregatePartial = tuple[int, FloatArray, BoolArray, IntArray, FloatArray]
+
+
+def _fit_shard_worker(payload: _FitPayload) -> _FitPartial:
+    """Normal-equation partials over one shard's owned rows.
+
+    ``design_rows`` is the globally-normalised design sliced to the
+    shard, ``rhs_rows`` the globally-normalised objectives sliced the
+    same way, so summing partials over shards reproduces the monolithic
+    ``A^T A`` / ``A^T b`` / ``b^T b`` up to addition order.
+    """
+    shard_id, design_rows, rhs_rows = payload
+    _raise_injected_fault("fit", shard_id)
+    gram = design_rows.T @ design_rows
+    atb = design_rows.T @ rhs_rows.T
+    btb: FloatArray = np.einsum("ij,ij->i", rhs_rows, rhs_rows)
+    return shard_id, gram, atb, btb
+
+
+def _disaggregate_shard_worker(
+    payload: _DisaggregatePayload,
+) -> _DisaggregatePartial:
+    """Blend + Eq. 16 rescale over one shard, plus partial column sums.
+
+    The shard owns whole source rows, so denominators and rescale
+    factors here are identical to the monolithic computation for those
+    rows.  Column sums are *partial* (other shards may write the same
+    target columns); they come back compressed to the touched columns
+    so transfer volume scales with the shard, not the universe.
+    """
+    (
+        shard_id,
+        blend_weights,
+        values,
+        entry_local_rows,
+        entry_cols,
+        objectives,
+        source_vectors,
+        denominator,
+        n_rows,
+    ) = payload
+    _raise_injected_fault("disaggregate", shard_id)
+    blended = blend_weights @ values
+    if denominator == "source-vectors":
+        assert source_vectors is not None
+        denominators = blend_weights @ source_vectors
+    else:
+        denominators = np.vstack(
+            [
+                np.bincount(
+                    entry_local_rows, weights=row, minlength=n_rows
+                )
+                for row in blended
+            ]
+        )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        factors = np.where(
+            denominators > 0.0, objectives / denominators, 0.0
+        )
+    scaled = blended * factors[:, entry_local_rows]
+    touched = np.unique(entry_cols).astype(np.int64)
+    local_cols = np.searchsorted(touched, entry_cols)
+    partial = np.vstack(
+        [
+            np.bincount(local_cols, weights=row, minlength=len(touched))
+            for row in scaled
+        ]
+    )
+    covered: BoolArray = denominators > 0.0
+    return shard_id, scaled, covered, touched, partial
+
+
+# ---------------------------------------------------------------------------
+# the sharded aligner
+# ---------------------------------------------------------------------------
+
+
+class ShardedAligner(BatchAligner):
+    """Map-reduce :class:`~repro.core.batch.BatchAligner` over shards.
+
+    Same interface and fitted attributes as the monolithic engine — a
+    drop-in — plus the plan and the merge residual.  Matches the
+    monolithic batch engine to 1e-9 on the golden suite at every shard
+    count (the equivalence harness pins this for {1, 2, 4, 7}).
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards to partition the universe into.
+    strategy:
+        ``"tile"`` or ``"block"`` (see :func:`plan_shards`).
+    max_workers:
+        Process-pool width for the map phases.  1 (default) runs the
+        identical shard code inline on the calling process —
+        deterministic and overhead-free for small universes.
+    solver_method, normalize, denominator, cache, n_jobs:
+        As in :class:`~repro.core.batch.BatchAligner` (``n_jobs`` only
+        affects the inherited thread-parallel ``predict_dms``).
+
+    Attributes (after :meth:`fit` / :meth:`predict`)
+    ------------------------------------------------
+    plan_:
+        The :class:`ShardPlan` used by the last fit.
+    merge_residual_:
+        Post-merge re-aggregation residual: merged partial column sums
+        vs a monolithic Eq. 17 pass over the assembled entries, relative
+        to the largest target aggregate.  Also emitted as the
+        ``health.shard_merge_residual_max`` gauge.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        strategy: str = "tile",
+        solver_method: str = "active-set",
+        normalize: bool = True,
+        denominator: str = "row-sums",
+        cache: "PipelineCache | None" = None,
+        max_workers: int = 1,
+        n_jobs: int = 1,
+    ) -> None:
+        super().__init__(
+            solver_method=solver_method,
+            normalize=normalize,
+            denominator=denominator,
+            cache=cache,
+            n_jobs=n_jobs,
+        )
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        if strategy not in _STRATEGIES:
+            raise ValidationError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        if max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.n_shards = n_shards
+        self.strategy = strategy
+        self.max_workers = max_workers
+        self.plan_: ShardPlan | None = None
+        self.merge_residual_: float | None = None
+
+    # ------------------------------------------------------------------
+    def _run_shard_phase(
+        self,
+        phase: str,
+        worker: Callable[[Any], tuple[Any, ...]],
+        payloads: Sequence[tuple[Any, ...]],
+    ) -> list[tuple[Any, ...]]:
+        """Run one map phase; results come back sorted by shard id.
+
+        The sort makes the reduce deterministic: with a process pool,
+        completion order varies run to run, and float accumulation is
+        order-sensitive.  Any worker exception is re-raised as a
+        :class:`ShardError` naming the shard and phase, after cancelling
+        queued work and draining the pool (no orphaned children, no
+        hang).
+        """
+        results: list[tuple[Any, ...]] = []
+        with _span(
+            "shard.map",
+            phase=phase,
+            n_shards=len(payloads),
+            max_workers=self.max_workers,
+        ):
+            if self.max_workers > 1 and len(payloads) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.max_workers, len(payloads))
+                ) as pool:
+                    futures = {
+                        pool.submit(worker, payload): int(payload[0])
+                        for payload in payloads
+                    }
+                    done, _pending = wait(
+                        futures, return_when=FIRST_EXCEPTION
+                    )
+                    failed = next(
+                        (f for f in done if f.exception() is not None),
+                        None,
+                    )
+                    if failed is not None:
+                        shard_id = futures[failed]
+                        # Drain before raising: queued shards are
+                        # cancelled, running ones finish, children exit.
+                        pool.shutdown(wait=True, cancel_futures=True)
+                        exc = failed.exception()
+                        raise ShardError(
+                            f"shard {shard_id} failed during the "
+                            f"{phase!r} map phase: {exc}",
+                            shard_id=shard_id,
+                            phase=phase,
+                        ) from exc
+                    for future, shard_id in futures.items():
+                        results.append(future.result())
+                        _obs_event(
+                            "shard.collect", shard=shard_id, phase=phase
+                        )
+            else:
+                for payload in payloads:
+                    shard_id = int(payload[0])
+                    with _span("shard.worker", shard=shard_id, phase=phase):
+                        try:
+                            results.append(worker(payload))
+                        except Exception as exc:
+                            raise ShardError(
+                                f"shard {shard_id} failed during the "
+                                f"{phase!r} map phase: {exc}",
+                                shard_id=shard_id,
+                                phase=phase,
+                            ) from exc
+        results.sort(key=lambda partial: int(partial[0]))
+        return results
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        references: Iterable[Reference] | ReferenceStack,
+        objectives: ArrayLike,
+        attribute_names: Sequence[str] | None = None,
+        masks: ArrayLike | None = None,
+    ) -> "ShardedAligner":
+        """Map per-shard normal-equation partials, reduce, solve globally.
+
+        Accepts exactly the inputs of
+        :meth:`~repro.core.batch.BatchAligner.fit`; the global
+        normalisation (reference scales, per-attribute objective maxima)
+        is computed in the driver *before* sharding, which is what makes
+        the summed partials reproduce the monolithic solve.
+        """
+        self.timer_.reset()
+        with _span(
+            "shard.fit",
+            solver=self.solver_method,
+            n_shards=self.n_shards,
+            strategy=self.strategy,
+        ) as fit_span:
+            stack, objective_matrix, mask_matrix, names = (
+                self._coerce_fit_inputs(
+                    references, objectives, attribute_names, masks
+                )
+            )
+            n_attrs = objective_matrix.shape[0]
+            with self.timer_.stage("plan"):
+                plan = plan_shards(stack, self.n_shards, self.strategy)
+            _set_gauge("shard.count", float(plan.n_shards))
+            _set_gauge(
+                "shard.boundary_rows", float(plan.n_boundary_rows)
+            )
+            if fit_span is not None:
+                fit_span.attrs["n_attrs"] = n_attrs
+                fit_span.attrs["n_references"] = stack.n_references
+                fit_span.attrs["boundary_rows"] = plan.n_boundary_rows
+
+            with self.timer_.stage("weights"):
+                rhs = _normalized_rhs(objective_matrix, self.normalize)
+                payloads: list[_FitPayload] = [
+                    (
+                        spec.shard_id,
+                        stack.design[spec.rows],
+                        rhs[:, spec.rows],
+                    )
+                    for spec in plan.shards
+                    if spec.n_rows
+                ]
+                k = stack.n_references
+                gram = np.zeros((k, k))
+                atb_all = np.zeros((k, n_attrs))
+                btb_all = np.zeros(n_attrs)
+                for _sid, gram_s, atb_s, btb_s in self._run_shard_phase(
+                    "fit", _fit_shard_worker, payloads
+                ):
+                    gram += gram_s
+                    atb_all += atb_s
+                    btb_all += btb_s
+                weights, results = _solve_masked_weights(
+                    gram, atb_all, btb_all, mask_matrix, self.solver_method
+                )
+            _emit_weight_health_gauges(weights, gram)
+        self.stack_ = stack
+        self.weights_ = weights
+        self.masks_ = mask_matrix
+        self.attribute_names_ = names
+        self.objectives_ = objective_matrix
+        self.solver_results_ = results
+        self.plan_ = plan
+        self.blend_weights_ = None
+        self._scaled_values = None
+        self._predictions = None
+        self.merge_residual_ = None
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self) -> FloatArray:
+        """Map per-shard disaggregations, merge, re-aggregate, verify.
+
+        The reduce phase accumulates each shard's partial target-column
+        sums (shard order, so repeated runs are bitwise-identical), then
+        recomputes Eq. 17 monolithically over the assembled entry values
+        and records the merge residual; the global Eq. 16 gauges are
+        computed over the merged result, not per shard.
+        """
+        stack, weights, objectives = self._require_fitted()
+        if self._predictions is not None:
+            return self._predictions
+        plan = self.plan_
+        assert plan is not None
+        n_attrs = objectives.shape[0]
+        with _span("shard.predict", n_shards=plan.n_shards):
+            with self.timer_.stage("disaggregation"):
+                blend_weights = weights / stack.scales[np.newaxis, :]
+                self.blend_weights_ = blend_weights
+                payloads: list[_DisaggregatePayload] = []
+                for spec in plan.shards:
+                    if not spec.n_rows:
+                        continue
+                    entry_rows = stack.entry_rows[spec.entries]
+                    payloads.append(
+                        (
+                            spec.shard_id,
+                            blend_weights,
+                            stack.values[:, spec.entries],
+                            np.searchsorted(spec.rows, entry_rows).astype(
+                                np.int64
+                            ),
+                            stack.entry_cols[spec.entries],
+                            objectives[:, spec.rows],
+                            stack.source_vectors[:, spec.rows]
+                            if self.denominator == "source-vectors"
+                            else None,
+                            self.denominator,
+                            spec.n_rows,
+                        )
+                    )
+                partials = self._run_shard_phase(
+                    "disaggregate", _disaggregate_shard_worker, payloads
+                )
+            with self.timer_.stage("reaggregation"):
+                scaled = np.zeros((n_attrs, stack.nnz))
+                covered = np.zeros(
+                    (n_attrs, stack.n_sources), dtype=bool
+                )
+                merged = np.zeros((n_attrs, stack.n_targets))
+                for sid, scaled_s, covered_s, touched, partial in partials:
+                    spec = plan.shards[int(sid)]
+                    scaled[:, spec.entries] = scaled_s
+                    covered[:, spec.rows] = covered_s
+                    merged[:, touched] += partial
+                # Post-merge re-aggregation pass: Eq. 17 recomputed in
+                # one piece over the assembled entries.  Merging partial
+                # column sums must agree with it to reassociation noise;
+                # anything larger means a column was dropped or double
+                # counted at a shard boundary.
+                reaggregated = stack.reaggregate(scaled)
+                scale = float(np.abs(reaggregated).max())
+                residual = (
+                    float(np.abs(merged - reaggregated).max() / scale)
+                    if scale > 0.0
+                    else 0.0
+                )
+                self.merge_residual_ = residual
+                _gauge_max("health.shard_merge_residual_max", residual)
+                if _tracing_active():
+                    _emit_volume_health_gauges(
+                        objectives, covered, stack.row_sums(scaled)
+                    )
+            self._scaled_values = scaled
+            self._predictions = merged
+        return merged
+
+    def _compute_scaled_values(self) -> FloatArray:
+        """Assembled ``(n_attrs, nnz)`` scaled entries (sharded map)."""
+        if self._scaled_values is None:
+            self.predict()
+        assert self._scaled_values is not None
+        return self._scaled_values
+
+    def __repr__(self) -> str:
+        status = (
+            f"fitted[{self.weights_.shape[0]} attrs]"
+            if self.weights_ is not None
+            else "unfitted"
+        )
+        return (
+            f"ShardedAligner(n_shards={self.n_shards}, "
+            f"strategy={self.strategy!r}, "
+            f"max_workers={self.max_workers}, "
+            f"solver={self.solver_method!r}, "
+            f"denominator={self.denominator!r}, {status})"
+        )

@@ -43,3 +43,22 @@ class NotFittedError(ReproError, RuntimeError):
 
 class CrosswalkError(ReproError):
     """A crosswalk file or specification is malformed."""
+
+
+class ShardError(ReproError):
+    """A shard worker failed during the map phase of a sharded alignment.
+
+    Carries the shard id and phase so operators can pin a failure to the
+    partition that produced it; the driver drains the process pool before
+    raising, so a worker crash never hangs the fit.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: int | None = None,
+        phase: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.phase = phase

@@ -9,6 +9,9 @@ baseline methods -- through either GeoAlign engine:
   one union-DM stack, N small solves, two matmuls).
 * ``engine="loop"``: one scalar :class:`~repro.core.geoalign.GeoAlign`
   fit per fold, the pre-batching behaviour.
+* ``engine="sharded"``: the batch pass partitioned into boundary-owned
+  shards and map-reduced (:class:`~repro.core.shard.ShardedAligner`);
+  what ``geoalign-repro align --shards N`` runs.
 
 Both report per-dataset NRMSE and total wall time, so the CLI's
 ``--batch`` / ``--no-batch`` toggle doubles as a quick speedup check.
@@ -70,6 +73,9 @@ def run_alignment(
     engine="batch",
     cache=None,
     n_jobs=1,
+    n_shards=2,
+    shard_strategy="tile",
+    shard_workers=1,
 ):
     """Align every dataset of a world against the rest.
 
@@ -83,9 +89,12 @@ def run_alignment(
     world:
         Optional prebuilt :class:`~repro.synth.world.SyntheticWorld`.
     engine:
-        ``"batch"`` (default) or ``"loop"``.
+        ``"batch"`` (default), ``"loop"`` or ``"sharded"``.
     cache, n_jobs:
         Forwarded to the batch engine.
+    n_shards, shard_strategy, shard_workers:
+        Shard layout and process-pool width for ``engine="sharded"``;
+        ignored by the other engines.
     """
     if world is None:
         if universe not in _UNIVERSES:
@@ -99,7 +108,13 @@ def run_alignment(
         "experiment.align", universe=world.name, engine=engine
     ):
         crossval = leave_one_dataset_out(
-            world.references(), engine=engine, cache=cache, n_jobs=n_jobs
+            world.references(),
+            engine=engine,
+            cache=cache,
+            n_jobs=n_jobs,
+            n_shards=n_shards,
+            shard_strategy=shard_strategy,
+            shard_workers=shard_workers,
         )
     rows = [
         (score.dataset, score.rmse, score.nrmse)

@@ -21,12 +21,13 @@ from repro.errors import ValidationError
 from repro.core.baselines import Dasymetric
 from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.geoalign import GeoAlign
+from repro.core.shard import ShardedAligner
 from repro.metrics.errors import nrmse, rmse
 from repro.obs.trace import span as _span
 from repro.obs.trace import timed_span as _timed_span
 
 #: Valid GeoAlign execution engines for the cross-validation harness.
-ENGINES = ("loop", "batch")
+ENGINES = ("loop", "batch", "sharded")
 
 
 @dataclass(frozen=True)
@@ -95,15 +96,21 @@ def _batch_geoalign_scores(
     reference_selector,
     cache,
     n_jobs,
+    engine="batch",
+    n_shards=2,
+    shard_strategy="tile",
+    shard_workers=1,
 ):
-    """All folds' GeoAlign runs as one shared-stack batch.
+    """All folds' GeoAlign runs as one shared-stack batch (or shard set).
 
     Every fold aligns its held-out dataset against a subset of the same
     pool, so the N fold fits share one :class:`ReferenceStack` over *all*
     datasets; each fold is one attribute row whose mask excludes the test
     dataset (and whatever the reference selector drops).  Masked-out
     references get weight exactly 0.0, which matches the scalar path run
-    on the subset (see :mod:`repro.core.batch`).
+    on the subset (see :mod:`repro.core.batch`).  ``engine="sharded"``
+    runs the identical computation through the map-reduce
+    :class:`~repro.core.shard.ShardedAligner` (tolerance-equal again).
 
     Per-fold runtime is the batch wall-time split evenly across folds --
     the shared work has no per-fold attribution.
@@ -111,7 +118,7 @@ def _batch_geoalign_scores(
     probe = geoalign_factory()
     if not isinstance(probe, GeoAlign):
         raise ValidationError(
-            "engine='batch' requires geoalign_factory to build GeoAlign "
+            f"engine={engine!r} requires geoalign_factory to build GeoAlign "
             f"estimators (got {type(probe).__name__}); use engine='loop'"
         )
     names = [d.name for d in datasets]
@@ -138,14 +145,28 @@ def _batch_geoalign_scores(
                 )
             masks[fold, index_of[ref.name]] = True
 
-    with _timed_span("crossval.batch", n_folds=len(datasets)) as clock:
-        aligner = BatchAligner(
-            solver_method=probe.solver_method,
-            normalize=probe.normalize,
-            denominator=probe.denominator,
-            cache=cache,
-            n_jobs=n_jobs,
-        )
+    with _timed_span(
+        f"crossval.{engine}", n_folds=len(datasets)
+    ) as clock:
+        if engine == "sharded":
+            aligner = ShardedAligner(
+                n_shards=n_shards,
+                strategy=shard_strategy,
+                solver_method=probe.solver_method,
+                normalize=probe.normalize,
+                denominator=probe.denominator,
+                cache=cache,
+                max_workers=shard_workers,
+                n_jobs=n_jobs,
+            )
+        else:
+            aligner = BatchAligner(
+                solver_method=probe.solver_method,
+                normalize=probe.normalize,
+                denominator=probe.denominator,
+                cache=cache,
+                n_jobs=n_jobs,
+            )
         stack = ReferenceStack.build(
             datasets, normalize=probe.normalize, cache=cache
         )
@@ -179,6 +200,9 @@ def leave_one_dataset_out(
     engine="loop",
     cache=None,
     n_jobs=1,
+    n_shards=2,
+    shard_strategy="tile",
+    shard_workers=1,
 ):
     """Run the paper's cross-validated comparison over a dataset pool.
 
@@ -215,12 +239,18 @@ def leave_one_dataset_out(
         ``"loop"`` (default) fits one scalar GeoAlign per fold;
         ``"batch"`` runs every fold through one shared
         :class:`~repro.core.batch.BatchAligner` pass (tolerance-equal,
-        much faster on many folds).  Baseline methods always loop.
+        much faster on many folds); ``"sharded"`` runs the same shared
+        pass through the map-reduce
+        :class:`~repro.core.shard.ShardedAligner` (tolerance-equal,
+        scales past one address space).  Baseline methods always loop.
     cache:
         Optional :class:`~repro.cache.PipelineCache` for the batch
         engine's shared reference stack.
     n_jobs:
         Thread fan-out for the batch engine's rescale/re-aggregate stage.
+    n_shards, shard_strategy, shard_workers:
+        Shard count, partition strategy (``"tile"``/``"block"``) and
+        process-pool width for ``engine="sharded"``; ignored otherwise.
 
     Returns
     -------
@@ -257,9 +287,17 @@ def leave_one_dataset_out(
     by_name = {d.name: d for d in datasets}
 
     batch_scores = None
-    if engine == "batch":
+    if engine in ("batch", "sharded"):
         batch_scores = _batch_geoalign_scores(
-            datasets, geoalign_factory, reference_selector, cache, n_jobs
+            datasets,
+            geoalign_factory,
+            reference_selector,
+            cache,
+            n_jobs,
+            engine=engine,
+            n_shards=n_shards,
+            shard_strategy=shard_strategy,
+            shard_workers=shard_workers,
         )
 
     for fold, test in enumerate(datasets):

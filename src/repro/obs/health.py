@@ -367,6 +367,22 @@ register_check(
 )
 register_check(
     HealthCheck(
+        name="shard_merge_preservation",
+        description=(
+            "the sharded engine's merged partial target aggregates must "
+            "re-aggregate to the monolithic Eq. 17 pass; anything beyond "
+            "reassociation noise means a shard boundary dropped or "
+            "double-counted a column"
+        ),
+        formula="max |merged - reaggregated| / max |reaggregated|",
+        direction="high",
+        warn=1e-9,
+        fail=1e-6,
+        extract=_gauge("health.shard_merge_residual_max"),
+    )
+)
+register_check(
+    HealthCheck(
         name="simplex_feasibility",
         description=(
             "learned blend weights must stay on the probability "
@@ -473,8 +489,9 @@ register_check(
 def model_gauges(model: object) -> dict[str, float]:
     """The ``health.*`` gauges recomputed from a fitted estimator.
 
-    Accepts a fitted :class:`~repro.core.geoalign.GeoAlign` or
-    :class:`~repro.core.batch.BatchAligner` (duck-typed on fitted
+    Accepts a fitted :class:`~repro.core.geoalign.GeoAlign`,
+    :class:`~repro.core.batch.BatchAligner` or
+    :class:`~repro.core.shard.ShardedAligner` (duck-typed on fitted
     attributes, so this module never imports the estimators).  Used by
     :func:`evaluate_health`'s ``model=`` overlay when the model object
     is still at hand, and by tests that pin gauge == recomputation.
@@ -494,12 +511,19 @@ def model_gauges(model: object) -> dict[str, float]:
     gauges["health.weight_entropy_min"] = min(
         weight_entropy(row) for row in weight_matrix
     )
-    if stack is not None:  # BatchAligner
+    if stack is not None:  # BatchAligner / ShardedAligner
         gauges["health.gram_condition_max"] = gram_condition_number(
             stack.gram
         )
         objectives = model.objectives_  # type: ignore[attr-defined]
         scaled = model._compute_scaled_values()  # type: ignore[attr-defined]
+        # The sharded engine records its reduce-phase invariant; surface
+        # it so health reports gate the merge, not just the rescale.
+        merge_residual = getattr(model, "merge_residual_", None)
+        if merge_residual is not None:
+            gauges["health.shard_merge_residual_max"] = float(
+                merge_residual
+            )
         achieved = stack.row_sums(scaled)
         # A correct rescale leaves exactly the zero-denominator rows at
         # zero, so uncovered rows are inferred from the output; a

@@ -17,6 +17,7 @@ same *structure*:
 Everything is deterministic given a seed.
 """
 
+from repro.synth.bigalign import build_big_universe
 from repro.synth.landscape import GaussianMixtureField
 from repro.synth.settlements import SettlementSystem
 from repro.synth.vector_geography import VectorWorld, build_vector_world
@@ -35,6 +36,7 @@ from repro.synth.universes import (
 
 __all__ = [
     "GaussianMixtureField",
+    "build_big_universe",
     "SettlementSystem",
     "VectorWorld",
     "build_vector_world",

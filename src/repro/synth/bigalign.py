@@ -1,0 +1,117 @@
+"""Direct-to-sparse universes for the sharded scalability benchmark.
+
+The six-universe ladder (:mod:`repro.synth.universes`) tops out around
+the paper's United States scale (~30k x 3k units).  The Fig. 6 extension
+benchmarked in ``benchmarks/test_shard.py`` pushes the sharded engine to
+a million target units, where building dense ``(m, n)`` matrices -- the
+route the ladder's worlds take -- is off the table (a 50k x 1M dense DM
+would be 400 GB).  This module builds the reference universe directly in
+CSR form, never materialising anything denser than the union entry list.
+
+The geography is deliberately simple but shard-hostile: each source row
+covers a contiguous window of target columns, and consecutive windows
+overlap by ``overlap`` columns.  Every interior row therefore shares
+target columns with its neighbours, so any contiguous tiling of the
+target axis produces boundary rows whose ownership the shard planner
+must resolve -- the merge path is exercised at scale, not just the
+embarrassingly parallel core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ValidationError
+from repro.partitions.dm import DisaggregationMatrix
+from repro.core.reference import Reference
+from repro.utils.rng import as_rng
+
+__all__ = ["build_big_universe"]
+
+
+def build_big_universe(
+    n_sources: int,
+    n_targets: int,
+    n_references: int = 3,
+    n_attributes: int = 4,
+    entries_per_row: int = 20,
+    overlap: int = 4,
+    seed: int = 20180607,
+) -> tuple[list[Reference], np.ndarray]:
+    """A banded sparse universe at arbitrary scale.
+
+    Parameters
+    ----------
+    n_sources, n_targets:
+        Unit counts.  The construction is vectorised and linear in
+        ``n_sources * (entries_per_row + overlap)``; a 50k x 1M universe
+        builds in a couple of seconds.
+    n_references:
+        Number of references.  All share one sparsity pattern (as real
+        crosswalk files over one geography do) with independently drawn
+        positive entry values, so no reference is redundant.
+    n_attributes:
+        Rows of the returned objectives matrix.
+    entries_per_row:
+        Width of each row's "own" target window before overlap.
+    overlap:
+        Extra columns each row's window spills into the next window,
+        guaranteeing cross-tile rows for the shard planner.
+    seed:
+        Everything is deterministic given the seed.
+
+    Returns
+    -------
+    (references, objectives):
+        ``n_references`` same-labelled references and a dense
+        ``(n_attributes, n_sources)`` objectives matrix.
+    """
+    if n_sources < 1 or n_targets < 1:
+        raise ValidationError(
+            f"need at least one source and one target unit, got "
+            f"{n_sources} x {n_targets}"
+        )
+    if n_references < 1:
+        raise ValidationError("need at least one reference")
+    if entries_per_row < 1 or overlap < 0:
+        raise ValidationError(
+            f"entries_per_row must be >= 1 and overlap >= 0, got "
+            f"{entries_per_row} and {overlap}"
+        )
+    rng = as_rng(seed)
+    width = min(entries_per_row + overlap, n_targets)
+    rows = np.arange(n_sources, dtype=np.int64)
+
+    # Row i owns the window starting at floor(i * n / m), clipped so the
+    # last rows stay in range; consecutive starts differ by about the
+    # un-overlapped width, so the extra `overlap` columns land inside the
+    # next row's window.
+    starts = np.minimum(
+        (rows * np.int64(n_targets)) // np.int64(n_sources),
+        np.int64(n_targets - width),
+    )
+    indices = (starts[:, None] + np.arange(width, dtype=np.int64)).ravel()
+    indptr = np.arange(n_sources + 1, dtype=np.int64) * width
+    nnz = n_sources * width
+
+    source_labels = [f"s{i}" for i in range(n_sources)]
+    target_labels = [f"t{j}" for j in range(n_targets)]
+
+    references = []
+    for r in range(n_references):
+        # Strictly positive data keeps the shared pattern intact through
+        # eliminate_zeros(), so every reference has identical structure.
+        data = rng.random(nnz) + 0.05
+        matrix = sparse.csr_matrix(
+            (data, indices.copy(), indptr.copy()),
+            shape=(n_sources, n_targets),
+        )
+        references.append(
+            Reference.from_dm(
+                f"big{r}",
+                DisaggregationMatrix(matrix, source_labels, target_labels),
+            )
+        )
+    objectives = rng.random((n_attributes, n_sources)) * 100.0 + 1.0
+    return references, objectives

@@ -22,6 +22,13 @@ def good_reraising():
         raise
 
 
+def good_wrapping():
+    try:
+        1 / 0
+    except Exception as exc:
+        raise ValueError("wrapped at the boundary") from exc
+
+
 def good_specific():
     try:
         1 / 0

@@ -1,0 +1,31 @@
+"""Deep-lint fixture: one Generator pickled into every process worker.
+
+Unlike the thread variant (no thread safety), the failure mode here is
+stream duplication: the closed-over generator is pickled per task, so
+every worker replays the same draws.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+def sample_all(seed, items):
+    rng = as_rng(seed)
+
+    def _draw(item):
+        return rng.normal() + item
+
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(_draw, items))  # FIRE thread-shared-rng
+
+
+def sample_all_safe(seed, items):
+    rngs = spawn_rngs(seed, len(items))
+
+    def _draw(pair):
+        child, item = pair
+        return child.normal() + item
+
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(_draw, zip(rngs, items)))

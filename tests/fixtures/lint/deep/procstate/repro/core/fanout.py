@@ -1,0 +1,23 @@
+"""Deep-lint fixture: the process fan-out reaching repro.registry.bump."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.registry import bump, bump_guarded, tally
+
+_LOCK = threading.Lock()
+
+
+def run_all(keys):
+    def _work(key):
+        bump(key)
+        bump_guarded(key, _LOCK)
+
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        list(pool.map(_work, keys))
+
+
+def run_safe(keys):
+    # No fire: the worker returns its result; the parent merges.
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return dict(pool.map(tally, keys, [0] * len(keys)))

@@ -1,0 +1,25 @@
+"""Deep-lint fixture: module registry mutated from process-pool workers.
+
+The writes below are not races -- each worker process mutates its own
+pickled copy of ``COUNTS``, so every update is silently lost at the
+process boundary.  The lock in ``bump_guarded`` does not help: the
+guarded write still lands in the worker's copy, which is why both
+writes carry FIRE markers (unlike the thread fixture, where a held
+lock exempts the write).
+"""
+
+COUNTS = {}
+
+
+def bump(key):
+    COUNTS[key] = COUNTS.get(key, 0) + 1  # FIRE thread-shared-state
+
+
+def bump_guarded(key, lock):
+    with lock:
+        COUNTS[key] = COUNTS.get(key, 0) + 1  # FIRE thread-shared-state
+
+
+def tally(key, count):
+    # Safe pattern: compute in the worker, return, merge in the parent.
+    return key, count + 1

@@ -47,9 +47,11 @@ EXPECTED_DEEP_RULE_IDS = {
 #: (fixture case dir, rule expected to fire, file the violation anchors in).
 DEEP_CASES = [
     ("threaded", "thread-shared-state", "repro/registry.py"),
+    ("procstate", "thread-shared-state", "repro/registry.py"),
     ("alias", "alias-mutation", "repro/core/scaling.py"),
     ("uninstrumented", "missing-instrumentation", "repro/core/hotpath.py"),
     ("rng", "thread-shared-rng", "repro/core/sampler.py"),
+    ("procrng", "thread-shared-rng", "repro/core/sampler.py"),
     ("spanmisuse", "thread-span-misuse", "repro/core/tracker.py"),
     ("floateq", "cross-float-eq", "repro/core/metricx.py"),
 ]
@@ -124,7 +126,29 @@ class TestDeepFixtures:
     def test_stats_count_fanout_sites(self):
         report = _deep_case("threaded")
         assert report.stats["thread_fanout_sites"] == 1
+        assert report.stats["process_fanout_sites"] == 0
         assert report.stats["files"] == 2
+
+    def test_stats_count_process_fanout_sites(self):
+        report = _deep_case("procstate")
+        assert report.stats["thread_fanout_sites"] == 0
+        assert report.stats["process_fanout_sites"] == 2
+        assert report.stats["files"] == 2
+
+    def test_process_guarded_write_still_flagged(self):
+        # A lock does not protect a write that happens in another
+        # process's copy of the module -- both writes fire, with the
+        # process-specific message.
+        report = _deep_case("procstate")
+        assert len(report.violations) == 2
+        assert all(
+            "silently lost" in v.message for v in report.violations
+        )
+
+    def test_process_rng_message_names_pickling(self):
+        report = _deep_case("procrng")
+        (violation,) = report.violations
+        assert "pickled" in violation.message
 
     def test_instrumentation_coverage_published(self):
         report = _deep_case("uninstrumented")

@@ -24,6 +24,7 @@ from repro.errors import (
     GeometryError,
     ReproError,
     ShapeMismatchError,
+    ShardError,
     ValidationError,
 )
 from repro.geometry.polygon import Polygon
@@ -210,6 +211,97 @@ class TestTabularAbuse:
     def test_boolean_values_not_treated_numeric(self):
         t = Table({"flags": [True, False]})
         assert isinstance(t.column("flags"), list)
+
+
+class TestShardWorkerFaults:
+    """A worker crashing mid-phase must surface as a clean ShardError.
+
+    The chaos hook (``REPRO_SHARD_FAULT=<phase>:<shard>``) makes one
+    shard's worker raise a foreign RuntimeError; the driver must wrap
+    it with the shard id and phase, drain the pool (no orphaned
+    children, no hang), and leave the aligner reusable.
+    """
+
+    @staticmethod
+    def _universe(seed=13, m=24, n=8, k=2):
+        rng = np.random.default_rng(seed)
+        src = [f"s{i}" for i in range(m)]
+        tgt = [f"t{j}" for j in range(n)]
+        references = []
+        for r in range(k):
+            matrix = rng.random((m, n)) * (rng.random((m, n)) < 0.5)
+            matrix[np.arange(m), rng.integers(0, n, size=m)] += 0.05
+            references.append(
+                Reference.from_dm(
+                    f"ref{r}", DisaggregationMatrix(matrix, src, tgt)
+                )
+            )
+        return references, rng.random((3, m)) + 0.1
+
+    @pytest.mark.parametrize("max_workers", [1, 2], ids=["inline", "pool"])
+    def test_fit_fault_raises_sharderror_with_shard_id(
+        self, monkeypatch, max_workers
+    ):
+        from repro.core.shard import FAULT_ENV, ShardedAligner
+
+        references, objectives = self._universe()
+        monkeypatch.setenv(FAULT_ENV, "fit:1")
+        model = ShardedAligner(n_shards=3, max_workers=max_workers)
+        with pytest.raises(ShardError) as excinfo:
+            model.fit(references, objectives)
+        assert excinfo.value.shard_id == 1
+        assert excinfo.value.phase == "fit"
+        assert "shard 1" in str(excinfo.value)
+        assert "injected shard fault" in str(excinfo.value)
+
+    @pytest.mark.parametrize("max_workers", [1, 2], ids=["inline", "pool"])
+    def test_disaggregate_fault_raises_sharderror(
+        self, monkeypatch, max_workers
+    ):
+        from repro.core.shard import FAULT_ENV, ShardedAligner
+
+        references, objectives = self._universe()
+        model = ShardedAligner(n_shards=3, max_workers=max_workers)
+        model.fit(references, objectives)
+        monkeypatch.setenv(FAULT_ENV, "disaggregate:0")
+        with pytest.raises(ShardError) as excinfo:
+            model.predict()
+        assert excinfo.value.shard_id == 0
+        assert excinfo.value.phase == "disaggregate"
+
+    def test_sharderror_is_a_reproerror(self, monkeypatch):
+        from repro.core.shard import FAULT_ENV, ShardedAligner
+
+        references, objectives = self._universe()
+        monkeypatch.setenv(FAULT_ENV, "fit:0")
+        with pytest.raises(ReproError):
+            ShardedAligner(n_shards=2).fit(references, objectives)
+
+    def test_recovery_after_fault(self, monkeypatch):
+        """Clearing the fault leaves the same aligner fully usable --
+        the failed run did not wedge a pool or poison state."""
+        from repro.core.shard import FAULT_ENV, ShardedAligner
+        from repro.core.batch import BatchAligner
+
+        references, objectives = self._universe()
+        model = ShardedAligner(n_shards=3, max_workers=2)
+        monkeypatch.setenv(FAULT_ENV, "fit:2")
+        with pytest.raises(ShardError):
+            model.fit(references, objectives)
+        monkeypatch.delenv(FAULT_ENV)
+        predictions = model.fit(references, objectives).predict()
+        expected = BatchAligner().fit(references, objectives).predict()
+        np.testing.assert_allclose(
+            predictions, expected, rtol=1e-9, atol=1e-9
+        )
+
+    def test_fault_on_absent_shard_never_fires(self, monkeypatch):
+        from repro.core.shard import FAULT_ENV, ShardedAligner
+
+        references, objectives = self._universe()
+        monkeypatch.setenv(FAULT_ENV, "fit:99")
+        model = ShardedAligner(n_shards=3).fit(references, objectives)
+        assert model.weights_ is not None
 
 
 class TestEndToEndUnderStress:

@@ -1,0 +1,84 @@
+"""Shard-equivalence harness: sharded == monolithic on the golden suite.
+
+Replays every pinned world under ``fixtures/golden/`` through
+:class:`~repro.core.shard.ShardedAligner` at shard counts {1, 2, 4, 7}
+(uneven blocks included: the golden worlds' source counts do not divide
+by 4 or 7) and holds weights and predictions to the stored values at
+1e-9 -- the *same* fixtures and tolerance the scalar and batch engines
+are pinned to, so all three engines are mutually tolerance-equal.  On
+top of the pinned values, the sharded run is compared directly against
+a monolithic :class:`~repro.core.batch.BatchAligner` at a much tighter
+tolerance: the two differ only by float reassociation in the reduce.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchAligner
+from repro.core.shard import ShardedAligner
+from tests.test_golden import (
+    ATOL,
+    DENOMINATORS,
+    GOLDEN_PATHS,
+    RTOL,
+    _load,
+)
+
+SHARD_COUNTS = (1, 2, 4, 7)
+STRATEGIES = ("tile", "block")
+
+GOLDEN_IDS = [os.path.basename(p) for p in GOLDEN_PATHS]
+
+
+@pytest.mark.parametrize("path", GOLDEN_PATHS, ids=GOLDEN_IDS)
+@pytest.mark.parametrize("denominator", DENOMINATORS)
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_matches_golden(path, denominator, n_shards):
+    spec, references, objectives = _load(path)
+    expected = spec["expected"][denominator]
+    aligner = ShardedAligner(
+        n_shards=n_shards, denominator=denominator
+    ).fit(references, objectives)
+    predictions = aligner.predict()
+    np.testing.assert_allclose(
+        aligner.weights_, expected["weights"], rtol=RTOL, atol=ATOL
+    )
+    np.testing.assert_allclose(
+        predictions, expected["predictions"], rtol=RTOL, atol=ATOL
+    )
+
+
+@pytest.mark.parametrize("path", GOLDEN_PATHS, ids=GOLDEN_IDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_matches_monolithic_tightly(path, strategy, n_shards):
+    """Engine-vs-engine, far below the golden tolerance.
+
+    The sharded reduce differs from the monolithic pass only in float
+    accumulation order, so the engines agree to ~1e-13 relative -- four
+    orders tighter than the 1e-9 the fixtures pin.  Both strategies and
+    every shard count must hold it, uneven splits included.
+    """
+    _spec, references, objectives = _load(path)
+    expected = BatchAligner().fit(references, objectives)
+    sharded = ShardedAligner(n_shards=n_shards, strategy=strategy).fit(
+        references, objectives
+    )
+    np.testing.assert_allclose(
+        sharded.weights_, expected.weights_, rtol=1e-12, atol=1e-13
+    )
+    np.testing.assert_allclose(
+        sharded.predict(), expected.predict(), rtol=1e-12, atol=1e-13
+    )
+
+
+@pytest.mark.parametrize("path", GOLDEN_PATHS, ids=GOLDEN_IDS)
+def test_merge_residual_negligible_on_golden(path):
+    """The post-merge Eq. 17 re-aggregation check sits at float noise."""
+    _spec, references, objectives = _load(path)
+    aligner = ShardedAligner(n_shards=4).fit(references, objectives)
+    aligner.predict()
+    assert aligner.merge_residual_ is not None
+    assert aligner.merge_residual_ < 1e-12
