@@ -43,6 +43,15 @@ too (see ``docs/static-analysis.md``)::
     geoalign-repro lint src
     geoalign-repro lint src --format json
     geoalign-repro lint --list-rules
+
+Fitted models persist to, and serve from, the model store (see
+``docs/serving.md``)::
+
+    geoalign-repro store save --universe ny --scale 0.25
+    geoalign-repro store list
+    geoalign-repro store load 3f2a
+    geoalign-repro serve --port 8732            # all stored models
+    geoalign-repro serve --model 3f2a --shutdown-after 60
 """
 
 from __future__ import annotations
@@ -330,6 +339,113 @@ def build_parser():
         help="also write the rendered report to FILE (used by CI to "
         "upload the SARIF artifact)",
     )
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="save, list, and load fitted models in the model store",
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+
+    def _add_store_root(cmd):
+        cmd.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="store directory (default: $REPRO_STORE or "
+            ".geoalign/store)",
+        )
+
+    save = store_sub.add_parser(
+        "save",
+        help="fit the leave-one-dataset-out batch model for a universe "
+        "and persist it",
+    )
+    _add_store_root(save)
+    save.add_argument(
+        "--universe",
+        choices=("ny", "us"),
+        default="ny",
+        help="dataset pool: New York (default) or United States",
+    )
+    save.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="world scale in (0, 1]; 1.0 = paper scale (default)",
+    )
+    save.add_argument(
+        "--seed", type=int, default=None, help="override the world seed"
+    )
+
+    load = store_sub.add_parser(
+        "load",
+        help="verify one stored model loads and predicts",
+    )
+    _add_store_root(load)
+    load.add_argument(
+        "key", metavar="KEY", help="artifact key (prefix works)"
+    )
+
+    store_list = store_sub.add_parser(
+        "list", help="list the stored models"
+    )
+    _add_store_root(store_list)
+    store_list.add_argument(
+        "--porcelain",
+        action="store_true",
+        help="print bare keys, one per line (for scripts)",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve stored models over HTTP/JSON (predict/align/"
+        "disaggregate)",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: "
+        "127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8732,
+        help="bind port; 0 picks an ephemeral port (default: 8732)",
+    )
+    serve_cmd.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="model store to load from (default: $REPRO_STORE or "
+        ".geoalign/store)",
+    )
+    serve_cmd.add_argument(
+        "--model",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="key prefix to load (repeatable; default: every stored "
+        "model)",
+    )
+    serve_cmd.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="largest accepted request body (default: 8 MiB)",
+    )
+    serve_cmd.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="FILE",
+        help="write '<host> <port>' to FILE once listening (lets "
+        "scripts find an ephemeral port)",
+    )
+    serve_cmd.add_argument(
+        "--shutdown-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="drain and exit after SECONDS (for smoke tests/CI)",
+    )
     return parser
 
 
@@ -465,6 +581,159 @@ def _run_lint(args, stream):
     return 1 if violations else 0
 
 
+def _fit_world_model(universe, scale, seed):
+    """The leave-one-dataset-out batch model for one universe.
+
+    Mirrors the ``align`` workload's batch fold: one shared stack over
+    every dataset, one attribute row per dataset, each row's mask
+    excluding the dataset itself.  This is the model ``store save``
+    persists and ``serve`` answers queries from.
+    """
+    import numpy as np
+
+    from repro.core.batch import BatchAligner, ReferenceStack
+    from repro.experiments.align import _UNIVERSES
+
+    builder, default_seed = _UNIVERSES[universe]
+    world = builder(scale, default_seed if seed is None else seed)
+    datasets = world.references()
+    names = [dataset.name for dataset in datasets]
+    objectives = np.vstack([d.source_vector for d in datasets])
+    masks = ~np.eye(len(datasets), dtype=bool)
+    stack = ReferenceStack.build(datasets)
+    return BatchAligner().fit(
+        stack, objectives, attribute_names=names, masks=masks
+    )
+
+
+def _run_store(args, stream):
+    """The ``store`` family; exit 0 ok, 2 on any store/input error."""
+    from repro.store import ModelStore
+
+    store = ModelStore(args.store)
+    try:
+        if args.store_command == "save":
+            with obs.trace(
+                f"store-save.{args.universe}", scale=args.scale
+            ) as session:
+                model = _fit_world_model(
+                    args.universe, args.scale, args.seed
+                )
+                health = obs.evaluate_health(
+                    session, model=model
+                ).verdicts()
+            entry = store.save(
+                model,
+                health=health,
+                meta={
+                    "universe": args.universe,
+                    "scale": args.scale,
+                    "seed": args.seed,
+                },
+            )
+            print(entry.summary_line(), file=stream)
+            print(
+                f"[stored {entry.fingerprint} in {store.root}]",
+                file=stream,
+            )
+            return 0
+        if args.store_command == "load":
+            model, entry = store.load(args.key)
+            predictions = model.predict()
+            print(entry.summary_line(), file=stream)
+            print(
+                f"[loaded {entry.key}: predictions "
+                f"{predictions.shape[0]} x {predictions.shape[1]} ok]",
+                file=stream,
+            )
+            return 0
+        if args.store_command == "list":
+            if args.porcelain:
+                for key in store.keys():
+                    print(key, file=stream)
+            else:
+                print(store.to_text(), file=stream)
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise ValueError(f"unknown store subcommand {args.store_command!r}")
+
+
+async def _serve_async(server, args, stream):
+    """Start, announce readiness, and block until a stop signal."""
+    import asyncio
+    import signal
+
+    host, port = await server.start()
+    print(
+        f"[serving {len(server.models)} model(s) on {host}:{port}]",
+        file=stream,
+    )
+    for key in sorted(server.models):
+        print(f"  model {key}", file=stream)
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{host} {port}\n")
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # pragma: no cover - non-posix loops
+    if args.shutdown_after is not None:
+        loop.call_later(args.shutdown_after, stop.set)
+    await stop.wait()
+    print("[draining in-flight requests ...]", file=stream)
+    await server.shutdown()
+    print(
+        f"[served {server.metrics.counter('requests_total'):.0f} "
+        "request(s); bye]",
+        file=stream,
+    )
+
+
+def _run_serve(args, stream):
+    """The ``serve`` subcommand; exit 0 clean stop, 2 on setup error."""
+    import asyncio
+
+    from repro.serve import AlignmentServer
+    from repro.store import ModelStore
+
+    store = ModelStore(args.store)
+    server = AlignmentServer(
+        store=store,
+        host=args.host,
+        port=args.port,
+        max_body_bytes=args.max_body_bytes,
+    )
+    try:
+        if args.model:
+            for prefix in args.model:
+                server.load_from_store(prefix)
+        else:
+            server.load_all_from_store()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not server.models:
+        print(
+            f"warning: no models in {store.root}; serving /healthz and "
+            "/metrics only (run 'geoalign-repro store save' first)",
+            file=sys.stderr,
+        )
+    try:
+        with obs.trace("serve"):
+            asyncio.run(_serve_async(server, args, stream))
+    except KeyboardInterrupt:  # pragma: no cover - signal race
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _record_for(spec, registry_path):
     """A ``RunRecord`` from a trace-file path or a registry run id.
 
@@ -538,6 +807,10 @@ def main(argv=None, stream=None):
         return _run_lint(args, stream)
     if args.command == "obs":
         return _run_obs(args, stream)
+    if args.command == "store":
+        return _run_store(args, stream)
+    if args.command == "serve":
+        return _run_serve(args, stream)
     figures = (
         ["fig5a", "fig5b", "fig6", "fig7", "fig8"]
         if args.command == "all"

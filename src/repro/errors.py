@@ -45,6 +45,32 @@ class CrosswalkError(ReproError):
     """A crosswalk file or specification is malformed."""
 
 
+class StoreError(ReproError):
+    """A model-store artifact could not be saved, found, or trusted.
+
+    Raised for missing/ambiguous fingerprints, unreadable manifests,
+    format-version skew, and payloads whose checksum does not match the
+    manifest -- every load-time defect surfaces as this one typed error
+    instead of propagating JSON/zip/numpy internals to the caller.
+    """
+
+
+class ServeError(ReproError):
+    """The alignment service could not satisfy a request or protocol step.
+
+    Carries the stable error-envelope code (``bad-request``,
+    ``unknown-model``, ``payload-too-large``, ...) and the HTTP status
+    the server maps it to; see ``docs/serving.md`` for the catalogue.
+    """
+
+    def __init__(
+        self, message: str, code: str = "internal", status: int = 500
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+
 class ShardError(ReproError):
     """A shard worker failed during the map phase of a sharded alignment.
 

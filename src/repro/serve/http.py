@@ -1,0 +1,220 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The serving layer speaks just enough HTTP for JSON request/response
+traffic with keep-alive: request line + headers + ``Content-Length``
+body in, status line + JSON body out.  No chunked transfer, no
+multipart, no TLS -- the server sits behind whatever terminates those
+in production, and the paper-repro goal is a dependency-free stack.
+
+Framing errors are :class:`~repro.errors.ServeError` values carrying
+the stable envelope code and HTTP status, so the connection loop turns
+any malformed input into the documented JSON error envelope::
+
+    {"error": {"code": "payload-too-large", "message": "..."}}
+
+Limits are explicit: header block and body sizes are bounded
+(``REQUEST_HEADER_LIMIT``, server-configured ``max_body_bytes``), and
+a request that advertises a larger body is refused *before* the body
+is read, so an oversized payload cannot balloon server memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+
+__all__ = [
+    "HttpRequest",
+    "REQUEST_HEADER_LIMIT",
+    "STATUS_PHRASES",
+    "encode_response",
+    "read_request",
+]
+
+#: Maximum bytes of request line + headers (a defensive bound; real
+#: clients send a few hundred bytes).
+REQUEST_HEADER_LIMIT = 16 * 1024
+
+#: Reason phrases for the statuses the server emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path, lowered headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 default keep-alive unless ``Connection: close``."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json_body(self) -> dict[str, object]:
+        """The body parsed as a JSON object, or a ``bad-request`` error."""
+        if not self.body:
+            raise ServeError(
+                "request body must be a JSON object; it was empty",
+                code="bad-request",
+                status=400,
+            )
+        try:
+            parsed = json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"request body is not valid JSON: {exc}",
+                code="bad-request",
+                status=400,
+            ) from exc
+        if not isinstance(parsed, dict):
+            raise ServeError(
+                "request body must be a JSON object, got "
+                f"{type(parsed).__name__}",
+                code="bad-request",
+                status=400,
+            )
+        return parsed
+
+
+async def _read_header_block(reader: asyncio.StreamReader) -> bytes | None:
+    """Bytes up to the blank line, ``None`` on clean EOF before any byte."""
+    block = bytearray()
+    while True:
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError) as exc:
+            raise ServeError(
+                f"connection failed mid-headers: {exc}",
+                code="bad-request",
+                status=400,
+            ) from exc
+        if not line:
+            if not block:
+                return None
+            raise ServeError(
+                "connection closed mid-headers",
+                code="bad-request",
+                status=400,
+            )
+        block += line
+        if len(block) > REQUEST_HEADER_LIMIT:
+            raise ServeError(
+                f"request headers exceed {REQUEST_HEADER_LIMIT} bytes",
+                code="payload-too-large",
+                status=413,
+            )
+        if line in (b"\r\n", b"\n"):
+            return bytes(block)
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    The body is only read after its advertised length passes the
+    ``max_body_bytes`` bound, so oversized uploads are refused without
+    buffering them.
+    """
+    block = await _read_header_block(reader)
+    if block is None:
+        return None
+    lines = block.decode("latin-1").splitlines()
+    request_line = lines[0].strip() if lines else ""
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].upper().startswith("HTTP/1."):
+        raise ServeError(
+            f"malformed request line {request_line!r}",
+            code="bad-request",
+            status=400,
+        )
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    for raw in lines[1:]:
+        if not raw.strip():
+            continue
+        name, sep, value = raw.partition(":")
+        if not sep:
+            raise ServeError(
+                f"malformed header line {raw!r}",
+                code="bad-request",
+                status=400,
+            )
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise ServeError(
+                f"invalid Content-Length {length_header!r}",
+                code="bad-request",
+                status=400,
+            ) from exc
+        if length < 0:
+            raise ServeError(
+                f"invalid Content-Length {length}",
+                code="bad-request",
+                status=400,
+            )
+        if length > max_body_bytes:
+            raise ServeError(
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit",
+                code="payload-too-large",
+                status=413,
+            )
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            raise ServeError(
+                f"connection closed mid-body: {exc}",
+                code="bad-request",
+                status=400,
+            ) from exc
+    elif method in ("POST", "PUT"):
+        raise ServeError(
+            f"{method} requests must carry Content-Length",
+            code="bad-request",
+            status=411,
+        )
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def encode_response(
+    status: int, payload: dict[str, object], keep_alive: bool
+) -> bytes:
+    """Serialize one JSON response, ready for ``writer.write``.
+
+    ``json.dumps`` uses shortest-roundtrip float repr, so numerical
+    results survive the wire bit-exactly -- the concurrency suite pins
+    served predictions ``==`` offline ones, not merely close.
+    """
+    body = json.dumps(payload).encode()
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    return head.encode() + body

@@ -1,0 +1,119 @@
+"""Server-side request metrics: counters plus per-endpoint latencies.
+
+The serving loop is single-threaded asyncio, but metrics are read from
+other threads too (the CLI's signal handlers, tests polling a server
+running in a background thread), so every mutation and snapshot runs
+under one lock -- the same discipline ``repro.obs``'s trace registries
+follow, and what the deep-lint thread-shared-state rule expects.
+
+Latencies are kept in a bounded ring per endpoint: the percentiles the
+``/metrics`` endpoint and the load harness report are over the most
+recent ``capacity`` observations, which is what an operator wants from
+a long-running server (current behaviour, not lifetime average), while
+``count``/``total_seconds`` still cover the full history.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import ValidationError
+
+__all__ = ["LatencyWindow", "ServerMetrics", "percentile"]
+
+#: Percentiles reported by :meth:`LatencyWindow.summary`.
+REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample list."""
+    if not samples:
+        raise ValidationError("percentile needs at least one sample")
+    if not 0.0 < q <= 100.0:
+        raise ValidationError(f"percentile q must be in (0, 100], got {q}")
+    rank = max(int(len(samples) * q / 100.0 + 0.5), 1)
+    return samples[min(rank, len(samples)) - 1]
+
+
+class LatencyWindow:
+    """Bounded ring of request latencies with summary percentiles."""
+
+    __slots__ = ("_samples", "count", "total_seconds", "max_seconds")
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValidationError(
+                f"latency window capacity must be >= 1, got {capacity}"
+            )
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def summary(self) -> dict[str, float]:
+        """Count, mean, max, and p50/p95/p99 over the recent window."""
+        out: dict[str, float] = {
+            "count": float(self.count),
+            "mean_seconds": (
+                self.total_seconds / self.count if self.count else 0.0
+            ),
+            "max_seconds": self.max_seconds,
+        }
+        window = sorted(self._samples)
+        for q in REPORTED_PERCENTILES:
+            key = f"p{int(q)}_seconds"
+            out[key] = percentile(window, q) if window else 0.0
+        return out
+
+
+class ServerMetrics:
+    """Lock-guarded counters and per-endpoint latency windows."""
+
+    def __init__(self, window_capacity: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._windows: dict[str, LatencyWindow] = {}
+        self._window_capacity = window_capacity
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            window = self._windows.get(endpoint)
+            if window is None:
+                window = self._windows[endpoint] = LatencyWindow(
+                    self._window_capacity
+                )
+            window.observe(seconds)
+
+    def snapshot(self) -> dict[str, object]:
+        """Point-in-time copy: counters plus latency summaries."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "latency": {
+                    endpoint: window.summary()
+                    for endpoint, window in sorted(self._windows.items())
+                },
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ServerMetrics(counters={len(self._counters)}, "
+                f"endpoints={len(self._windows)})"
+            )

@@ -1,0 +1,226 @@
+"""On-disk artifact format: JSON manifest + checksummed ``.npz`` payload.
+
+One stored model is two sibling files under the store root::
+
+    <key>.manifest.json    # version, fingerprint, shapes, payload SHA-256
+    <key>.npz              # every array of the fitted model (no pickle)
+
+The manifest is the commit point: it is written (atomically, via
+``os.replace``) only after the payload is fully on disk, so a reader
+that sees a manifest can expect its payload -- and verifies it anyway,
+because the manifest records the payload's SHA-256 and byte length and
+:func:`read_artifact` re-hashes before parsing.  Any mismatch, parse
+failure, missing array, or format-version skew raises
+:class:`~repro.errors.StoreError` with the artifact path in the
+message; the numpy layer runs with ``allow_pickle=False`` so a hostile
+or mangled payload cannot execute anything.
+
+``REPRO_STORE_FAULT`` is the chaos hook for the fault-injection suite
+(the store's analogue of ``REPRO_SHARD_FAULT``): set it to
+``truncate-payload``, ``corrupt-payload`` or ``version-skew`` to make
+:func:`write_artifact` produce exactly the damaged artifact each test
+needs, proving the loader refuses it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zipfile
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.errors import StoreError
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "FAULT_ENV",
+    "manifest_path",
+    "payload_path",
+    "read_artifact",
+    "read_manifest",
+    "write_artifact",
+]
+
+#: Format marker every manifest must carry.
+ARTIFACT_FORMAT = "geoalign-fitted-model"
+
+#: Current artifact format version; bump on any incompatible layout
+#: change.  Loads reject other versions with a typed error instead of
+#: guessing.
+ARTIFACT_VERSION = 1
+
+#: Chaos hook: ``truncate-payload`` | ``corrupt-payload`` |
+#: ``version-skew`` makes the next save produce a damaged artifact.
+FAULT_ENV = "REPRO_STORE_FAULT"
+
+#: Arrays every payload must contain (missing keys fail the load).
+REQUIRED_ARRAYS = (
+    "design",
+    "gram",
+    "scales",
+    "source_vectors",
+    "values",
+    "entry_rows",
+    "entry_cols",
+    "weights",
+    "masks",
+    "objectives",
+    "source_labels",
+    "target_labels",
+    "reference_names",
+    "attribute_names",
+)
+
+
+def manifest_path(root: str, key: str) -> str:
+    """Manifest file path of artifact ``key`` under ``root``."""
+    return os.path.join(root, f"{key}.manifest.json")
+
+
+def payload_path(root: str, key: str) -> str:
+    """Payload (npz) file path of artifact ``key`` under ``root``."""
+    return os.path.join(root, f"{key}.npz")
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _atomic_write(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via a same-directory temp + rename."""
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def _injected_fault() -> str | None:
+    return os.environ.get(FAULT_ENV) or None
+
+
+def write_artifact(
+    root: str,
+    key: str,
+    arrays: dict[str, NDArray[Any]],
+    manifest_extra: dict[str, object],
+) -> dict[str, object]:
+    """Persist one artifact; returns the manifest that was written.
+
+    ``arrays`` must cover :data:`REQUIRED_ARRAYS`; ``manifest_extra``
+    carries the caller's descriptive fields (fingerprint, shapes,
+    config, health snapshot).  The payload is serialized in memory
+    first so its checksum and length land in the manifest, then both
+    files are committed atomically, manifest last.
+    """
+    missing = [name for name in REQUIRED_ARRAYS if name not in arrays]
+    if missing:
+        raise StoreError(
+            f"artifact {key!r}: payload is missing arrays {missing}"
+        )
+    os.makedirs(root, exist_ok=True)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    checksum = _sha256(payload)
+    version = ARTIFACT_VERSION
+
+    fault = _injected_fault()
+    if fault == "truncate-payload":
+        payload = payload[: len(payload) // 2]
+    elif fault == "corrupt-payload":
+        mangled = bytearray(payload)
+        mangled[len(mangled) // 2] ^= 0xFF
+        payload = bytes(mangled)
+    elif fault == "version-skew":
+        version = ARTIFACT_VERSION + 1
+
+    manifest: dict[str, object] = {
+        "format": ARTIFACT_FORMAT,
+        "version": version,
+        "key": key,
+        "payload": os.path.basename(payload_path(root, key)),
+        "payload_sha256": checksum,
+        "payload_bytes": len(buffer.getvalue()),
+        **manifest_extra,
+    }
+    _atomic_write(payload_path(root, key), payload)
+    _atomic_write(
+        manifest_path(root, key),
+        (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+    )
+    return manifest
+
+
+def read_manifest(root: str, key: str) -> dict[str, object]:
+    """Parse and structurally validate one manifest (payload untouched)."""
+    path = manifest_path(root, key)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            parsed = json.load(handle)
+    except FileNotFoundError as exc:
+        raise StoreError(f"no artifact manifest at {path}") from exc
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StoreError(f"{path}: unreadable manifest ({exc})") from exc
+    if not isinstance(parsed, dict):
+        raise StoreError(f"{path}: manifest must be a JSON object")
+    if parsed.get("format") != ARTIFACT_FORMAT:
+        raise StoreError(
+            f"{path}: not a {ARTIFACT_FORMAT} manifest "
+            f"(format={parsed.get('format')!r})"
+        )
+    if parsed.get("version") != ARTIFACT_VERSION:
+        raise StoreError(
+            f"{path}: artifact format version {parsed.get('version')!r} "
+            f"is not the supported version {ARTIFACT_VERSION}; "
+            "re-save the model with this build"
+        )
+    for field in ("key", "payload_sha256", "fingerprint"):
+        if not isinstance(parsed.get(field), str) or not parsed[field]:
+            raise StoreError(f"{path}: manifest field {field!r} missing")
+    return parsed
+
+
+def read_artifact(
+    root: str, key: str
+) -> tuple[dict[str, object], dict[str, NDArray[Any]]]:
+    """Load and verify one artifact: ``(manifest, arrays)``.
+
+    Verification order: manifest structure and version first, then the
+    payload's byte length and SHA-256 against the manifest, and only
+    then the numpy parse (``allow_pickle=False``) and required-array
+    inventory.  Every failure mode raises :class:`StoreError`.
+    """
+    manifest = read_manifest(root, key)
+    path = payload_path(root, key)
+    try:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+    except OSError as exc:
+        raise StoreError(f"{path}: unreadable payload ({exc})") from exc
+    expected_bytes = manifest.get("payload_bytes")
+    if isinstance(expected_bytes, int) and len(payload) != expected_bytes:
+        raise StoreError(
+            f"{path}: payload is {len(payload)} bytes but the manifest "
+            f"recorded {expected_bytes}; the artifact is truncated or "
+            "was modified after save"
+        )
+    if _sha256(payload) != manifest["payload_sha256"]:
+        raise StoreError(
+            f"{path}: payload checksum does not match the manifest; "
+            "the artifact is corrupted"
+        )
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as bundle:
+            arrays = {name: bundle[name] for name in bundle.files}
+    except (OSError, ValueError, zipfile.BadZipFile, KeyError) as exc:
+        raise StoreError(f"{path}: payload failed to parse ({exc})") from exc
+    missing = [name for name in REQUIRED_ARRAYS if name not in arrays]
+    if missing:
+        raise StoreError(f"{path}: payload is missing arrays {missing}")
+    return manifest, arrays

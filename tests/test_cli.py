@@ -448,3 +448,152 @@ class TestMemFlag:
     def test_without_mem_no_peak_output(self):
         _, out = _run(["fig5a", "--scale", str(TEST_SCALE)])
         assert "[mem peak" not in out
+
+
+class TestStoreCommand:
+    def test_store_flags(self):
+        args = build_parser().parse_args(
+            ["store", "save", "--universe", "us", "--scale", "0.1"]
+        )
+        assert args.store_command == "save"
+        assert args.universe == "us"
+        args = build_parser().parse_args(["store", "list", "--porcelain"])
+        assert args.porcelain is True
+        args = build_parser().parse_args(["store", "load", "abcd"])
+        assert args.key == "abcd"
+
+    def test_save_list_load_round_trip(self, tmp_path):
+        root = str(tmp_path / "store")
+        code, out = _run(
+            [
+                "store", "save", "--store", root,
+                "--universe", "ny", "--scale", str(TEST_SCALE),
+            ]
+        )
+        assert code == 0
+        assert f"in {root}]" in out
+
+        code, out = _run(["store", "list", "--store", root, "--porcelain"])
+        assert code == 0
+        keys = out.split()
+        assert len(keys) == 1
+
+        code, out = _run(["store", "list", "--store", root])
+        assert code == 0
+        assert "1 model(s)" in out
+        assert keys[0] in out
+
+        code, out = _run(["store", "load", "--store", root, keys[0][:6]])
+        assert code == 0
+        assert "predictions" in out and "ok]" in out
+
+    def test_save_is_idempotent(self, tmp_path):
+        root = str(tmp_path / "store")
+        argv = [
+            "store", "save", "--store", root,
+            "--universe", "ny", "--scale", str(TEST_SCALE),
+        ]
+        assert _run(argv)[0] == 0
+        assert _run(argv)[0] == 0
+        code, out = _run(["store", "list", "--store", root, "--porcelain"])
+        assert code == 0
+        assert len(out.split()) == 1  # same content, same key
+
+    def test_load_unknown_key_exits_two(self, tmp_path, capsys):
+        code, _ = _run(
+            ["store", "load", "--store", str(tmp_path / "empty"), "zz"]
+        )
+        assert code == 2
+        assert "no stored model" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--model", "aa", "--model", "bb",
+                "--ready-file", "r.txt", "--shutdown-after", "2",
+            ]
+        )
+        assert args.port == 0
+        assert args.model == ["aa", "bb"]
+        assert args.ready_file == "r.txt"
+        assert args.shutdown_after == 2.0
+
+    def test_serve_answers_requests_until_timed_shutdown(self, tmp_path):
+        """End to end through the CLI: save, serve, query, drain.
+
+        The server runs in a daemon thread (``main`` blocks in
+        ``asyncio.run``); the test thread plays the client against the
+        port announced in the ready file.
+        """
+        import threading
+        import time as _time
+
+        root = str(tmp_path / "store")
+        assert _run(
+            [
+                "store", "save", "--store", root,
+                "--universe", "ny", "--scale", str(TEST_SCALE),
+            ]
+        )[0] == 0
+
+        ready = tmp_path / "ready.txt"
+        result = {}
+
+        def serve():
+            result["code"], result["out"] = _run(
+                [
+                    "serve", "--store", root, "--port", "0",
+                    "--ready-file", str(ready),
+                    "--shutdown-after", "3",
+                ]
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = _time.monotonic() + 5.0
+        while not ready.exists() and _time.monotonic() < deadline:
+            _time.sleep(0.02)
+        assert ready.exists(), "server never announced readiness"
+        host, port = ready.read_text().split()
+
+        import asyncio
+
+        from repro.serve import ServeClient
+
+        async def query():
+            async with ServeClient(host, int(port)) as client:
+                health = await client.request("GET", "/healthz")
+                predict = await client.request("POST", "/predict", {})
+                return health, predict
+
+        (h_status, health), (p_status, predict) = asyncio.run(query())
+        assert h_status == 200 and health["status"] == "ok"
+        assert p_status == 200 and predict["predictions"]
+
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+        assert "[draining" in result["out"]
+        assert "bye]" in result["out"]
+
+    def test_serve_without_models_warns_but_runs(self, tmp_path, capsys):
+        code, out = _run(
+            [
+                "serve", "--store", str(tmp_path / "empty"),
+                "--port", "0", "--shutdown-after", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "no models" in capsys.readouterr().err
+
+    def test_serve_unknown_model_exits_two(self, tmp_path, capsys):
+        code, _ = _run(
+            [
+                "serve", "--store", str(tmp_path / "empty"),
+                "--model", "zz", "--port", "0",
+            ]
+        )
+        assert code == 2
+        assert "no stored model" in capsys.readouterr().err

@@ -304,6 +304,79 @@ class TestShardWorkerFaults:
         assert model.weights_ is not None
 
 
+class TestStoreFaults:
+    """Damaged saves must be refused at load with a typed StoreError.
+
+    The store's chaos hook (``REPRO_STORE_FAULT``) makes one save
+    produce exactly the damage under test -- a truncated payload, a
+    flipped byte, a format-version bump -- so the loader's integrity
+    checks are exercised against real artifacts, not synthetic mocks
+    (the store analogue of ``REPRO_SHARD_FAULT`` above).
+    """
+
+    @staticmethod
+    def _fitted(paired_references):
+        from repro.core.batch import BatchAligner
+
+        objectives = np.asarray(
+            [ref.source_vector * 1.25 for ref in paired_references]
+        )
+        return BatchAligner().fit(
+            paired_references, objectives, attribute_names=["a", "b"]
+        )
+
+    @pytest.mark.parametrize(
+        "fault, match",
+        [
+            ("truncate-payload", "truncated"),
+            ("corrupt-payload", "checksum"),
+            ("version-skew", "format version"),
+        ],
+    )
+    def test_injected_damage_is_refused_at_load(
+        self, monkeypatch, tmp_path, paired_references, fault, match
+    ):
+        from repro.errors import StoreError
+        from repro.store import ModelStore
+        from repro.store.artifact import FAULT_ENV
+
+        store = ModelStore(str(tmp_path / "store"))
+        model = self._fitted(paired_references)
+        monkeypatch.setenv(FAULT_ENV, fault)
+        entry = store.save(model)
+        monkeypatch.delenv(FAULT_ENV)
+        with pytest.raises(StoreError, match=match):
+            store.load(entry.key)
+
+    def test_resave_after_fault_recovers(
+        self, monkeypatch, tmp_path, paired_references
+    ):
+        """A clean save over a damaged artifact makes it loadable again."""
+        from repro.store import ModelStore
+        from repro.store.artifact import FAULT_ENV
+
+        store = ModelStore(str(tmp_path / "store"))
+        model = self._fitted(paired_references)
+        monkeypatch.setenv(FAULT_ENV, "corrupt-payload")
+        entry = store.save(model)
+        monkeypatch.delenv(FAULT_ENV)
+        store.save(model)  # same content fingerprint -> same key
+        loaded, _ = store.load(entry.key)
+        np.testing.assert_array_equal(loaded.predict(), model.predict())
+
+    def test_unknown_fault_value_is_ignored(
+        self, monkeypatch, tmp_path, paired_references
+    ):
+        from repro.store import ModelStore
+        from repro.store.artifact import FAULT_ENV
+
+        store = ModelStore(str(tmp_path / "store"))
+        monkeypatch.setenv(FAULT_ENV, "no-such-fault")
+        entry = store.save(self._fitted(paired_references))
+        loaded, _ = store.load(entry.key)
+        assert loaded.weights_ is not None
+
+
 class TestEndToEndUnderStress:
     def test_crosswalk_of_permuted_labels_consistent(self):
         """Label order must not matter: permuting source rows of every

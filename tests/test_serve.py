@@ -1,0 +1,638 @@
+"""Serving suite: endpoints, concurrency, failure modes, drains.
+
+Three layers of contract:
+
+* **Protocol** -- the stdlib HTTP framing parses real requests, bounds
+  header/body sizes, and every malformed input maps to the documented
+  JSON error envelope with a stable ``code``.
+* **Concurrency** -- >= 32 overlapping ``/predict`` requests (own
+  connection each, one loop, ``asyncio.gather``) all return responses
+  bit-identical to the offline :class:`BatchAligner`, and their obs
+  spans stay siblings under the server root: no request's span ever
+  nests inside another request's.
+* **Lifecycle** -- shutdown drains: a request in flight when shutdown
+  begins completes with 200, later requests get the
+  ``server-draining`` envelope, and the health gauges stay consistent
+  throughout.
+
+No pytest-asyncio here: each test is a sync def that hands one
+coroutine to ``asyncio.run`` -- the repo's dependency floor is
+numpy/scipy only.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchAligner
+from repro.errors import ServeError, ValidationError
+from repro.serve import (
+    AlignmentServer,
+    HttpRequest,
+    LatencyWindow,
+    ServeClient,
+    encode_response,
+    percentile,
+    read_request,
+)
+from repro.store import ModelStore
+
+
+@pytest.fixture
+def fitted(paired_references):
+    objectives = np.asarray(
+        [ref.source_vector * 1.25 for ref in paired_references]
+    )
+    return BatchAligner().fit(
+        paired_references, objectives, attribute_names=["a", "b"]
+    )
+
+
+def run_with_server(fitted, body, **server_kwargs):
+    """Start a server with one model, run ``body(server, key)``, drain.
+
+    ``body`` is an async callable; its return value is passed through.
+    Shutdown is unconditional, so a failing assertion cannot leak a
+    listening socket into the next test.
+    """
+
+    async def main():
+        server = AlignmentServer(**server_kwargs)
+        key = server.add_model(fitted)
+        await server.start()
+        try:
+            return await body(server, key)
+        finally:
+            if not server.draining:
+                await server.shutdown()
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# protocol units (no sockets)
+
+
+async def _parse(payload: bytes, limit: int = 1024):
+    # The reader must be built inside a running loop (3.11 semantics).
+    reader = asyncio.StreamReader()
+    if payload:
+        reader.feed_data(payload)
+    reader.feed_eof()
+    return await read_request(reader, limit)
+
+
+class TestHttpFraming:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_parses_post_with_body(self):
+        raw = (
+            b"POST /predict HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Length: 2\r\n\r\n{}"
+        )
+        request = self.run(_parse(raw))
+        assert request.method == "POST"
+        assert request.path == "/predict"
+        assert request.body == b"{}"
+        assert request.keep_alive
+
+    def test_connection_close_disables_keep_alive(self):
+        raw = (
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        request = self.run(_parse(raw))
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert self.run(_parse(b"")) is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ServeError) as err:
+            self.run(_parse(b"NONSENSE\r\n\r\n"))
+        assert err.value.code == "bad-request"
+        assert err.value.status == 400
+
+    def test_post_without_length_is_411(self):
+        raw = b"POST /predict HTTP/1.1\r\n\r\n"
+        with pytest.raises(ServeError) as err:
+            self.run(_parse(raw))
+        assert err.value.status == 411
+
+    def test_oversized_body_refused_before_read(self):
+        raw = (
+            b"POST /predict HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"
+        )
+        with pytest.raises(ServeError) as err:
+            self.run(_parse(raw))
+        assert err.value.code == "payload-too-large"
+        assert err.value.status == 413
+
+    def test_truncated_body_is_bad_request(self):
+        raw = (
+            b"POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+        )
+        with pytest.raises(ServeError) as err:
+            self.run(_parse(raw))
+        assert err.value.code == "bad-request"
+
+    def test_json_body_type_errors(self):
+        request = HttpRequest("POST", "/p", {}, b"[1, 2]")
+        with pytest.raises(ServeError, match="JSON object"):
+            request.json_body()
+        with pytest.raises(ServeError, match="not valid JSON"):
+            HttpRequest("POST", "/p", {}, b"{nope").json_body()
+        with pytest.raises(ServeError, match="empty"):
+            HttpRequest("POST", "/p", {}, b"").json_body()
+
+    def test_encode_response_round_trips_floats(self):
+        value = 0.1 + 0.2  # not exactly representable in decimal
+        raw = encode_response(200, {"x": value}, keep_alive=True)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert json.loads(body)["x"] == value
+
+
+class TestMetricsPrimitives:
+    def test_percentile_nearest_rank(self):
+        samples = sorted(float(i) for i in range(1, 101))
+        assert percentile(samples, 50.0) == 50.0
+        assert percentile(samples, 95.0) == 95.0
+        assert percentile(samples, 99.0) == 99.0
+        assert percentile(samples, 100.0) == 100.0
+
+    def test_percentile_refuses_bad_input(self):
+        with pytest.raises(ValidationError):
+            percentile([], 50.0)
+        with pytest.raises(ValidationError):
+            percentile([1.0], 0.0)
+
+    def test_window_keeps_recent_but_counts_all(self):
+        window = LatencyWindow(capacity=4)
+        for value in (9.0, 9.0, 1.0, 1.0, 1.0, 1.0):
+            window.observe(value)
+        summary = window.summary()
+        assert summary["count"] == 6.0
+        assert summary["max_seconds"] == 9.0
+        assert summary["p99_seconds"] == 1.0  # the 9s rolled out
+
+
+# ---------------------------------------------------------------------------
+# endpoints
+
+
+class TestEndpoints:
+    def test_healthz(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                return key, await client.request("GET", "/healthz")
+
+        key, (status, payload) = run_with_server(fitted, body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["models"][key]["n_attrs"] == 2
+        assert payload["in_flight"] == 1  # this very request
+
+    def test_predict_matches_offline_bit_exactly(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                return await client.request(
+                    "POST", "/predict", {"model": key}
+                )
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        assert payload["attributes"] == ["a", "b"]
+        assert (np.asarray(payload["predictions"]) == fitted.predict()).all()
+
+    def test_predict_single_attribute(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                return await client.request(
+                    "POST", "/predict", {"model": key, "attribute": "b"}
+                )
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        assert payload["attributes"] == ["b"]
+        assert (
+            np.asarray(payload["predictions"][0]) == fitted.predict()[1]
+        ).all()
+
+    def test_predict_resolves_model_prefix_and_default(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                by_prefix = await client.request(
+                    "POST", "/predict", {"model": key[:5]}
+                )
+                implicit = await client.request(
+                    "POST", "/predict", {}
+                )  # only one model loaded
+                return by_prefix, implicit
+
+        (s1, p1), (s2, p2) = run_with_server(fitted, body)
+        assert s1 == s2 == 200
+        assert p1["predictions"] == p2["predictions"]
+
+    def test_align_on_warm_stack(self, fitted):
+        new_objectives = (fitted.objectives_ * 1.5).tolist()
+
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                status, payload = await client.request(
+                    "POST",
+                    "/align",
+                    {
+                        "model": key,
+                        "objectives": new_objectives,
+                        "attribute_names": ["a2", "b2"],
+                    },
+                )
+                assert payload["model"] in server.models
+                return status, payload
+
+        status, payload = run_with_server(fitted, body)
+        offline = (
+            BatchAligner()
+            .fit(fitted.stack_, new_objectives, ["a2", "b2"])
+            .predict()
+        )
+        assert status == 200
+        assert payload["attributes"] == ["a2", "b2"]
+        assert (np.asarray(payload["predictions"]) == offline).all()
+
+    def test_align_can_persist_to_store(self, fitted, tmp_path):
+        store = ModelStore(str(tmp_path / "store"))
+
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                return await client.request(
+                    "POST",
+                    "/align",
+                    {
+                        "model": key,
+                        "objectives": fitted.objectives_.tolist(),
+                        "attribute_names": ["a", "b"],
+                        "store": True,
+                    },
+                )
+
+        status, payload = run_with_server(fitted, body, store=store)
+        assert status == 200
+        assert payload["stored"] is True
+        loaded, _ = store.load(payload["model"])
+        assert (
+            np.asarray(payload["predictions"]) == loaded.predict()
+        ).all()
+
+    def test_disaggregate_returns_coo_triplets(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                return await client.request(
+                    "POST",
+                    "/disaggregate",
+                    {"model": key, "attribute": "a"},
+                )
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        dense = np.zeros(payload["shape"])
+        dense[payload["rows"], payload["cols"]] = payload["values"]
+        offline = fitted.predict_dms()[0].matrix.toarray()
+        assert (dense == offline).all()
+
+    def test_metrics_counters_and_percentiles(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                for _ in range(5):
+                    await client.request(
+                        "POST", "/predict", {"model": key}
+                    )
+                await client.request("POST", "/predict", {"model": "zz"})
+                return await client.request("GET", "/metrics")
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        counters = payload["counters"]
+        assert counters["requests_total"] == 6.0
+        assert counters["errors_total"] == 1.0
+        assert counters["responses_200"] == 5.0
+        assert counters["responses_404"] == 1.0
+        latency = payload["latency"]["/predict"]
+        assert latency["count"] == 6.0
+        assert (
+            0.0
+            < latency["p50_seconds"]
+            <= latency["p95_seconds"]
+            <= latency["p99_seconds"]
+            <= latency["max_seconds"]
+        )
+        assert payload["gauges"]["models"] == 1.0
+
+    def test_store_roundtrip_through_server(self, fitted, tmp_path):
+        """load_from_store serves the same bits the live model does."""
+        store = ModelStore(str(tmp_path / "store"))
+        entry = store.save(fitted)
+
+        async def main():
+            server = AlignmentServer(store=store)
+            key = server.load_from_store(entry.key[:6])
+            assert key == entry.key
+            await server.start()
+            try:
+                async with ServeClient(server.host, server.port) as client:
+                    return await client.request(
+                        "POST", "/predict", {"model": key}
+                    )
+            finally:
+                await server.shutdown()
+
+        status, payload = asyncio.run(main())
+        assert status == 200
+        assert (np.asarray(payload["predictions"]) == fitted.predict()).all()
+
+
+# ---------------------------------------------------------------------------
+# failure modes
+
+
+class TestFailureModes:
+    def _envelope(self, fitted, method, path, payload=None, raw=None):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                if raw is not None:
+                    assert client._writer is not None
+                    client._writer.write(raw)
+                    await client._writer.drain()
+                    return await client._read_response()
+                return await client.request(method, path, payload)
+
+        return run_with_server(fitted, body)
+
+    def test_malformed_json_is_bad_request(self, fitted):
+        raw = (
+            b"POST /predict HTTP/1.1\r\nContent-Length: 5\r\n\r\n{nope"
+        )
+        status, payload = self._envelope(fitted, "POST", "/predict", raw=raw)
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+        assert "JSON" in payload["error"]["message"]
+
+    def test_unknown_model_fingerprint(self, fitted):
+        status, payload = self._envelope(
+            fitted, "POST", "/predict", {"model": "feedfacecafe"}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-model"
+
+    def test_unknown_attribute(self, fitted):
+        status, payload = self._envelope(
+            fitted, "POST", "/predict", {"attribute": "nope"}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-attribute"
+        assert "'a', 'b'" in payload["error"]["message"].replace(
+            '"', "'"
+        )
+
+    def test_oversized_payload(self, fitted):
+        big = {"model": "x" * 4096}
+
+        async def body(server, key):
+            server.max_body_bytes = 1024
+            async with ServeClient(server.host, server.port) as client:
+                return await client.request("POST", "/predict", big)
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 413
+        assert payload["error"]["code"] == "payload-too-large"
+
+    def test_unknown_path(self, fitted):
+        status, payload = self._envelope(fitted, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not-found"
+
+    def test_method_not_allowed(self, fitted):
+        status, payload = self._envelope(fitted, "POST", "/healthz", {})
+        assert status == 405
+        assert payload["error"]["code"] == "method-not-allowed"
+        status, payload = self._envelope(fitted, "GET", "/predict")
+        assert status == 405
+
+    def test_core_validation_error_becomes_invalid_input(self, fitted):
+        status, payload = self._envelope(
+            fitted,
+            "POST",
+            "/align",
+            {"objectives": [[1.0, 2.0]]},  # wrong width for the stack
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "invalid-input"
+
+    def test_align_without_objectives(self, fitted):
+        status, payload = self._envelope(fitted, "POST", "/align", {})
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+    def test_disaggregate_needs_exactly_one_attribute(self, fitted):
+        status, payload = self._envelope(
+            fitted, "POST", "/disaggregate", {}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+    def test_errors_count_in_health_gauges(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                await client.request("POST", "/predict", {"model": "zz"})
+                await client.request("GET", "/nope")
+                return await client.request("GET", "/healthz")
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        assert payload["errors"] == 2
+        assert payload["requests"] == 2  # healthz counts after respond
+
+
+# ---------------------------------------------------------------------------
+# concurrency
+
+
+class TestConcurrency:
+    N_CLIENTS = 32
+
+    def test_concurrent_predicts_are_bit_identical(self, fitted):
+        offline = fitted.predict()
+
+        async def one(server, key, i):
+            async with ServeClient(server.host, server.port) as client:
+                # Vary the query shape across tasks to interleave
+                # different handlers, not just identical ones.
+                payload = (
+                    {"model": key}
+                    if i % 2 == 0
+                    else {"model": key, "attributes": ["b", "a"]}
+                )
+                status, body = await client.request(
+                    "POST", "/predict", payload
+                )
+                assert status == 200
+                got = np.asarray(body["predictions"])
+                want = (
+                    offline if i % 2 == 0 else offline[[1, 0]]
+                )
+                return bool((got == want).all())
+
+        async def body(server, key):
+            return await asyncio.gather(
+                *(one(server, key, i) for i in range(self.N_CLIENTS))
+            )
+
+        results = run_with_server(fitted, body)
+        assert len(results) == self.N_CLIENTS
+        assert all(results)
+
+    def test_no_cross_request_span_leakage(self, fitted, capture_trace):
+        """Every request span is a sibling under the server root."""
+
+        async def body(server, key):
+            async def one():
+                async with ServeClient(server.host, server.port) as client:
+                    await client.request("POST", "/predict", {"model": key})
+
+            await asyncio.gather(*(one() for _ in range(self.N_CLIENTS)))
+
+        with capture_trace("serve-isolation") as session:
+            run_with_server(fitted, body)
+
+        requests = session.find_spans("serve.request")
+        assert len(requests) == self.N_CLIENTS
+        request_ids = {record.span_id for record in requests}
+        for record in requests:
+            # Parent is NOT another request span...
+            assert record.parent_id not in request_ids
+            # ...and no other request span sits anywhere above it.
+            ancestors = {
+                ancestor.span_id
+                for ancestor in session.ancestors_of(record)
+            }
+            assert not (ancestors & request_ids)
+        # All requests share one parent: the server's root context.
+        assert len({record.parent_id for record in requests}) == 1
+
+    def test_request_spans_carry_endpoint_and_status(
+        self, fitted, capture_trace
+    ):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                await client.request("POST", "/predict", {"model": key})
+                await client.request("POST", "/predict", {"model": "zz"})
+
+        with capture_trace("serve-attrs") as session:
+            run_with_server(fitted, body)
+
+        by_status = sorted(
+            (record.attrs["status"], record.attrs["endpoint"])
+            for record in session.find_spans("serve.request")
+        )
+        assert by_status == [(200, "/predict"), (404, "/predict")]
+        assert session.counters.get("serve.requests") == 2.0
+        assert session.counters.get("serve.errors") == 1.0
+
+    def test_keep_alive_reuses_one_connection(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                writer = client._writer
+                for _ in range(10):
+                    status, _ = await client.request(
+                        "POST", "/predict", {"model": key}
+                    )
+                    assert status == 200
+                return writer is client._writer
+
+        assert run_with_server(fitted, body)
+
+
+# ---------------------------------------------------------------------------
+# lifecycle / drain
+
+
+class TestLifecycle:
+    def test_shutdown_drains_in_flight_request(self, fitted):
+        async def body(server, key):
+            server.request_delay = 0.2
+            slow = ServeClient(server.host, server.port)
+            await slow.connect()
+            in_flight = asyncio.create_task(
+                slow.request("POST", "/predict", {"model": key})
+            )
+            await asyncio.sleep(0.05)
+            assert server.in_flight == 1
+            shutdown = asyncio.create_task(server.shutdown())
+            status, payload = await in_flight
+            await shutdown
+            await slow.close()
+            return status, payload, server.in_flight
+
+        status, payload, remaining = run_with_server(fitted, body)
+        assert status == 200  # accepted before shutdown -> completed
+        assert payload["attributes"] == ["a", "b"]
+        assert remaining == 0
+
+    def test_requests_after_drain_get_envelope(self, fitted):
+        async def body(server, key):
+            # An idle kept-alive connection opened before shutdown...
+            lingering = ServeClient(server.host, server.port)
+            await lingering.connect()
+            status, _ = await lingering.request("GET", "/healthz")
+            assert status == 200
+            server.request_delay = 0.2
+            holder = ServeClient(server.host, server.port)
+            await holder.connect()
+            held = asyncio.create_task(
+                holder.request("POST", "/predict", {"model": key})
+            )
+            await asyncio.sleep(0.05)
+            shutdown = asyncio.create_task(server.shutdown())
+            await asyncio.sleep(0.05)
+            # ...sends a request while draining: documented envelope.
+            late_status, late_payload = await lingering.request(
+                "GET", "/healthz"
+            )
+            held_status, _ = await held
+            await shutdown
+            await lingering.close()
+            await holder.close()
+            return held_status, late_status, late_payload
+
+        held_status, late_status, late_payload = run_with_server(
+            fitted, body
+        )
+        assert held_status == 200
+        assert late_status == 503
+        assert late_payload["error"]["code"] == "server-draining"
+
+    def test_new_connections_refused_after_shutdown(self, fitted):
+        async def body(server, key):
+            host, port = server.host, server.port
+            await server.shutdown()
+            client = ServeClient(host, port)
+            with pytest.raises(OSError):
+                await client.connect()
+            return True
+
+        assert run_with_server(fitted, body)
+
+    def test_double_start_is_typed(self, fitted):
+        async def body(server, key):
+            with pytest.raises(ServeError, match="already started"):
+                await server.start()
+            return True
+
+        assert run_with_server(fitted, body)
+
+    def test_shutdown_without_start_is_typed(self):
+        with pytest.raises(ServeError, match="not started"):
+            asyncio.run(AlignmentServer().shutdown())

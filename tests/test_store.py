@@ -1,0 +1,317 @@
+"""Model-store suite: round trips, integrity refusals, fingerprints.
+
+The contract under test (see ``docs/serving.md``):
+
+* save -> load -> predict matches the original fitted model to 1e-12
+  on every golden-fixture world (in fact bit-exactly: the loader
+  adopts the stored arrays rather than recomputing anything);
+* every way an artifact can be damaged -- truncated payload, flipped
+  bytes, format-version skew, missing or garbage manifest -- raises a
+  typed :class:`~repro.errors.StoreError`, never pickle garbage or a
+  numpy traceback;
+* the artifact key is a content address: refitting identical inputs
+  lands on the identical key, different inputs land elsewhere.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchAligner
+from repro.errors import NotFittedError, StoreError
+from repro.store import (
+    ARTIFACT_VERSION,
+    ModelStore,
+    default_store_path,
+    model_fingerprint,
+    read_artifact,
+)
+from repro.store.artifact import manifest_path, payload_path
+from repro.store.store import KEY_LENGTH
+from tests.test_golden import GOLDEN_PATHS, _load
+
+RTOL = 1e-12
+ATOL = 1e-12
+
+
+def _fit_golden(path):
+    _, references, objectives = _load(path)
+    names = [f"attr-{i}" for i in range(objectives.shape[0])]
+    return BatchAligner().fit(references, objectives, attribute_names=names)
+
+
+@pytest.fixture
+def fitted(paired_references):
+    objectives = np.asarray(
+        [ref.source_vector * 1.25 for ref in paired_references]
+    )
+    return BatchAligner().fit(
+        paired_references, objectives, attribute_names=["a", "b"]
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ModelStore(str(tmp_path / "store"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "path", GOLDEN_PATHS, ids=[os.path.basename(p) for p in GOLDEN_PATHS]
+    )
+    def test_golden_world_predictions_survive(self, store, path):
+        model = _fit_golden(path)
+        entry = store.save(model)
+        loaded, loaded_entry = store.load(entry.key)
+        np.testing.assert_allclose(
+            loaded.predict(), model.predict(), rtol=RTOL, atol=ATOL
+        )
+        assert loaded_entry.fingerprint == entry.fingerprint
+
+    def test_round_trip_is_bit_exact(self, store, fitted):
+        entry = store.save(fitted)
+        loaded, _ = store.load(entry.key)
+        assert (loaded.predict() == fitted.predict()).all()
+        assert (loaded.weights_ == fitted.weights_).all()
+        assert (loaded.stack_.design == fitted.stack_.design).all()
+        assert (loaded.stack_.gram == fitted.stack_.gram).all()
+
+    def test_loaded_model_answers_every_query(self, store, fitted):
+        entry = store.save(fitted)
+        loaded, _ = store.load(entry.key)
+        assert loaded.attribute_names_ == fitted.attribute_names_
+        assert loaded.weight_report() == fitted.weight_report()
+        for ours, theirs in zip(
+            loaded.predict_dms(), fitted.predict_dms()
+        ):
+            np.testing.assert_allclose(
+                ours.matrix.toarray(),
+                theirs.matrix.toarray(),
+                rtol=RTOL,
+                atol=ATOL,
+            )
+
+    def test_loaded_stack_rebuilds_reference_patterns(self, store, fitted):
+        entry = store.save(fitted)
+        loaded, _ = store.load(entry.key)
+        for ours, theirs in zip(
+            loaded.stack_.references, fitted.stack_.references
+        ):
+            assert ours.name == theirs.name
+            assert ours.dm.matrix.nnz == theirs.dm.matrix.nnz
+            np.testing.assert_allclose(
+                ours.dm.matrix.toarray(), theirs.dm.matrix.toarray()
+            )
+
+    def test_entry_describes_the_model(self, store, fitted):
+        entry = store.save(fitted, meta={"origin": "unit-test"})
+        assert entry.n_attrs == 2
+        assert entry.n_references == 2
+        assert entry.attribute_names == ["a", "b"]
+        assert entry.reference_names == ["alpha", "beta"]
+        assert entry.meta == {"origin": "unit-test"}
+        assert entry.payload_bytes > 0
+        assert entry.key in entry.summary_line()
+
+    def test_health_snapshot_persists(self, store, fitted):
+        entry = store.save(fitted, health={"gram-conditioning": "ok"})
+        assert store.entry(entry.key).health == {
+            "gram-conditioning": "ok"
+        }
+
+
+class TestFingerprint:
+    def test_same_inputs_same_key(self, store, paired_references, fitted):
+        objectives = np.asarray(
+            [ref.source_vector * 1.25 for ref in paired_references]
+        )
+        refit = BatchAligner().fit(
+            paired_references, objectives, attribute_names=["a", "b"]
+        )
+        assert model_fingerprint(refit) == model_fingerprint(fitted)
+        first = store.save(fitted)
+        second = store.save(refit)
+        assert first.key == second.key
+        assert store.keys() == [first.key]
+
+    def test_different_objectives_different_key(
+        self, store, paired_references, fitted
+    ):
+        other = BatchAligner().fit(
+            paired_references,
+            np.asarray(
+                [ref.source_vector * 2.0 for ref in paired_references]
+            ),
+            attribute_names=["a", "b"],
+        )
+        assert model_fingerprint(other) != model_fingerprint(fitted)
+
+    def test_config_is_part_of_the_identity(
+        self, paired_references, fitted
+    ):
+        other = BatchAligner(denominator="source-vectors").fit(
+            paired_references,
+            np.asarray(
+                [ref.source_vector * 1.25 for ref in paired_references]
+            ),
+            attribute_names=["a", "b"],
+        )
+        assert model_fingerprint(other) != model_fingerprint(fitted)
+
+    def test_key_is_fingerprint_prefix(self, store, fitted):
+        entry = store.save(fitted)
+        assert entry.key == entry.fingerprint[:KEY_LENGTH]
+
+    def test_unfitted_model_is_refused(self):
+        with pytest.raises(NotFittedError):
+            model_fingerprint(BatchAligner())
+
+
+class TestListingAndResolve:
+    def test_empty_store_lists_nothing(self, store):
+        assert store.keys() == []
+        assert store.list() == []
+        assert "no models stored" in store.to_text()
+
+    def test_prefix_resolves_uniquely(self, store, fitted):
+        entry = store.save(fitted)
+        assert store.resolve(entry.key[:4]) == entry.key
+        loaded, _ = store.load(entry.key[:4])
+        assert (loaded.predict() == fitted.predict()).all()
+
+    def test_unknown_prefix_is_typed(self, store):
+        with pytest.raises(StoreError, match="no stored model"):
+            store.resolve("doesnotexist")
+        with pytest.raises(StoreError, match="non-empty"):
+            store.resolve("")
+
+    def test_delete_removes_both_files(self, store, fitted):
+        entry = store.save(fitted)
+        store.delete(entry.key)
+        assert store.keys() == []
+        assert not os.path.exists(manifest_path(store.root, entry.key))
+        assert not os.path.exists(payload_path(store.root, entry.key))
+
+    def test_to_text_lists_every_model(self, store, fitted, paired_references):
+        store.save(fitted)
+        other = BatchAligner().fit(
+            paired_references,
+            np.asarray(
+                [ref.source_vector * 3.0 for ref in paired_references]
+            ),
+            attribute_names=["a", "b"],
+        )
+        store.save(other)
+        text = store.to_text()
+        assert "2 model(s)" in text
+        for key in store.keys():
+            assert key in text
+
+    def test_default_root_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "elsewhere"))
+        assert default_store_path() == str(tmp_path / "elsewhere")
+        assert ModelStore().root == str(tmp_path / "elsewhere")
+
+
+class TestIntegrityRefusals:
+    """Damaged artifacts raise StoreError, never numpy/pickle garbage."""
+
+    def test_truncated_payload(self, store, fitted):
+        entry = store.save(fitted)
+        path = payload_path(store.root, entry.key)
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 3])
+        with pytest.raises(StoreError, match="truncated"):
+            store.load(entry.key)
+
+    def test_corrupted_payload(self, store, fitted):
+        entry = store.save(fitted)
+        path = payload_path(store.root, entry.key)
+        with open(path, "rb") as handle:
+            payload = bytearray(handle.read())
+        payload[len(payload) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(payload))
+        with pytest.raises(StoreError, match="checksum"):
+            store.load(entry.key)
+
+    def test_missing_payload(self, store, fitted):
+        entry = store.save(fitted)
+        os.remove(payload_path(store.root, entry.key))
+        with pytest.raises(StoreError, match="unreadable payload"):
+            store.load(entry.key)
+
+    def test_version_skew(self, store, fitted):
+        entry = store.save(fitted)
+        path = manifest_path(store.root, entry.key)
+        with open(path) as handle:
+            manifest = json.load(handle)
+        manifest["version"] = ARTIFACT_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(StoreError, match="format version"):
+            store.load(entry.key)
+
+    def test_wrong_format_marker(self, store, fitted):
+        entry = store.save(fitted)
+        path = manifest_path(store.root, entry.key)
+        with open(path) as handle:
+            manifest = json.load(handle)
+        manifest["format"] = "something-else"
+        with open(path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(StoreError, match="not a geoalign"):
+            store.load(entry.key)
+
+    def test_garbage_manifest(self, store, fitted):
+        entry = store.save(fitted)
+        path = manifest_path(store.root, entry.key)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(StoreError, match="unreadable manifest"):
+            store.load(entry.key)
+
+    def test_non_object_manifest(self, store, fitted):
+        entry = store.save(fitted)
+        path = manifest_path(store.root, entry.key)
+        with open(path, "w") as handle:
+            handle.write("[1, 2, 3]")
+        with pytest.raises(StoreError, match="JSON object"):
+            store.load(entry.key)
+
+    def test_missing_manifest(self, store):
+        with pytest.raises(StoreError, match="no artifact manifest"):
+            read_artifact(store.root, "feedfacecafe")
+
+    def test_payload_swap_between_artifacts(
+        self, store, fitted, paired_references
+    ):
+        """A checksum-valid payload under the wrong key still fails."""
+        first = store.save(fitted)
+        other = BatchAligner().fit(
+            paired_references,
+            np.asarray(
+                [ref.source_vector * 9.0 for ref in paired_references]
+            ),
+            attribute_names=["a", "b"],
+        )
+        second = store.save(other)
+        os.replace(
+            payload_path(store.root, second.key),
+            payload_path(store.root, first.key),
+        )
+        with pytest.raises(StoreError, match="checksum"):
+            store.load(first.key)
+
+
+class TestObservability:
+    def test_save_and_load_emit_spans(self, store, fitted, capture_trace):
+        with capture_trace() as session:
+            entry = store.save(fitted)
+            store.load(entry.key)
+        assert session.find_spans("store.save")
+        assert session.find_spans("store.load")
