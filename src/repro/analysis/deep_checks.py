@@ -448,3 +448,108 @@ class CrossFloatEqRule(ProjectRule):
                         "repro.utils.arrays helpers",
                     )
                     break
+
+
+# ----------------------------------------------------------------------
+# sparse-densify
+# ----------------------------------------------------------------------
+#: Methods whose batch/sharded entry points anchor the sparse hot path.
+_DENSIFY_ROOTS = (
+    "repro.core.batch.BatchAligner.fit",
+    "repro.core.batch.BatchAligner.fit_predict",
+    "repro.core.batch.BatchAligner.predict",
+    "repro.core.batch.BatchAligner.predict_dms",
+    "repro.core.shard.ShardedAligner.fit",
+    "repro.core.shard.ShardedAligner.predict",
+)
+
+#: The CSR kernel module is scanned wholesale on top of the call-graph
+#: reachable set: its dense-oracle ``values`` property is reached via
+#: attribute access, which the static call graph cannot see.
+_DENSIFY_MODULES = ("repro.core.sparse_stack",)
+
+#: Call names that materialise a dense copy of a SciPy sparse matrix.
+_DENSIFY_METHODS = frozenset({"toarray", "todense"})
+
+#: ``np.*`` converters that densify when handed a CSR value stack.
+_DENSIFY_CONVERTERS = frozenset({"asarray", "ascontiguousarray"})
+
+#: Variable / attribute names positively identified as CSR value
+#: storage (the stack's reference matrix).  The converter check fires
+#: only on these, keeping the rule quiet on legitimate dense inputs.
+_CSR_NAMES = frozenset({"ref_matrix"})
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """``a.b.ref_matrix`` / ``ref_matrix`` -> ``"ref_matrix"``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register_project_rule
+class SparseDensifyRule(ProjectRule):
+    """No dense materialisation of CSR stacks on the batch hot path."""
+
+    id = "sparse-densify"
+    summary = (
+        "functions reachable from BatchAligner.fit/predict must not "
+        "densify the CSR value stack (.toarray()/.todense(), or "
+        "np.asarray on the reference matrix)"
+    )
+    rationale = (
+        "The sparse kernel path exists so batch memory scales with "
+        "stored entries, not k * nnz; one .toarray() on the hot path "
+        "silently reintroduces the dense (k, nnz) matrix the refactor "
+        "removed.  Intentional dense escapes (the oracle property, the "
+        "dense storage mode) carry an allow comment or live in the "
+        "committed baseline."
+    )
+    severity = "warning"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        graph, _dataflow = _analysis_state(project)
+        scan = graph.reachable_from(_DENSIFY_ROOTS)
+        scan.update(
+            qualname
+            for qualname, fn in project.functions.items()
+            if _in_modules(fn.module_name, _DENSIFY_MODULES)
+        )
+        for qualname in sorted(scan):
+            fn = project.functions[qualname]
+            for node in iter_own_nodes(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _DENSIFY_METHODS
+                ):
+                    yield _violation(
+                        self,
+                        fn,
+                        int(node.lineno),
+                        int(node.col_offset),
+                        f"{qualname!r} is on the batch hot path but "
+                        f"calls .{node.func.attr}(), materialising a "
+                        "dense copy of a sparse matrix; use the "
+                        "SparseDMStack kernels instead",
+                    )
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _DENSIFY_CONVERTERS
+                    and node.args
+                    and _terminal_name(node.args[0]) in _CSR_NAMES
+                ):
+                    yield _violation(
+                        self,
+                        fn,
+                        int(node.lineno),
+                        int(node.col_offset),
+                        f"{qualname!r} converts the CSR reference "
+                        f"matrix through np.{node.func.attr}, which "
+                        "densifies it; operate on the sparse kernels "
+                        "or gate behind the dense storage mode",
+                    )

@@ -203,6 +203,15 @@ def build_parser():
         metavar="W",
         help="process-pool width for the shard map phases (1 = inline)",
     )
+    align.add_argument(
+        "--dense-fallback",
+        action="store_true",
+        help=(
+            "force every reference stack onto the dense value path for "
+            "this run (sets REPRO_FORCE_DENSE) -- the bisect switch for "
+            "sparse-kernel regressions"
+        ),
+    )
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -493,6 +502,7 @@ def _run_figure(name, args):
             n_shards=args.shards or 2,
             shard_strategy=args.shard_strategy,
             shard_workers=args.shard_workers,
+            dense_fallback=args.dense_fallback,
             **_seed_kwargs(args),
         ).to_text()
     raise ValueError(f"unknown figure {name!r}")

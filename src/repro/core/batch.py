@@ -14,12 +14,15 @@ same reference set:
 When the paper's workloads align a whole table of attributes (Fig. 5 runs
 every ACS attribute through the same zip->county crosswalk), all of that
 is attribute-independent.  :class:`ReferenceStack` materialises it once --
-the design/Gram pair, a dense ``(k, nnz)`` value matrix over the *union*
-sparsity pattern of the K reference DMs, and one-hot incidence matrices
-mapping union entries to source rows and target columns.
-:class:`BatchAligner` then fits N attributes with N small simplex solves
-over the shared Gram matrix (:func:`~repro.core.solver.simplex_lstsq_from_gram`)
-and produces all N estimated DMs from two dense matmuls.
+the design/Gram pair and a :class:`~repro.core.sparse_stack.SparseDMStack`
+holding the reference DM values in CSR layout over the *union* sparsity
+pattern of the K reference DMs (data/indices/indptr, shared across every
+attribute).  :class:`BatchAligner` then fits N attributes with N small
+simplex solves over the shared Gram matrix -- each reusing one Cholesky
+factorization of it (:func:`~repro.core.solver.simplex_lstsq_from_gram`
+with a :class:`~repro.core.solver.GramFactor`) -- and produces all N
+estimated DMs through the stack's sparse-dense blend / rescale /
+re-aggregation kernels.
 
 Per-attribute reference masks make leave-one-out cross-validation and the
 reference-selection series batchable against a single stack: the solve
@@ -50,11 +53,17 @@ from repro.core.diagnostics import (
     weight_entropy,
 )
 from repro.core.reference import Reference
-from repro.core.solver import SimplexLstsqResult, simplex_lstsq_from_gram
+from repro.core.solver import (
+    GramFactor,
+    SimplexLstsqResult,
+    simplex_lstsq_from_gram,
+)
+from repro.core.sparse_stack import SparseDMStack
 from repro.obs.trace import event as _obs_event
 from repro.obs.trace import (
     current_trace_context as _trace_context,
     incr as _obs_incr,
+    set_gauge as _set_gauge,
     set_gauge_max as _gauge_max,
     set_gauge_min as _gauge_min,
     span as _span,
@@ -196,10 +205,21 @@ def _solve_masked_weights(
     the per-attribute solver results.  The monolithic and sharded engines
     both reduce to this solve, which is what makes them equivalent: only
     the way ``gram``/``atb_all``/``btb_all`` are accumulated differs.
+
+    The shared Gram matrix is Cholesky-factorized **once** and the
+    factor threaded through every active-set solve (per attribute and
+    per active-set iteration only triangular solves / rank updates
+    remain); masked attributes get per-mask sub-factors, memoised so a
+    leave-one-out series factorizes each sub-Gram once rather than per
+    attribute.  A factorization failure (collinear references) simply
+    falls back to the dense KKT least-squares path inside the solver.
     """
     n_attrs, n_refs = mask_matrix.shape
     results: list[SimplexLstsqResult] = []
     weights = np.zeros((n_attrs, n_refs))
+    factored = method == "active-set" and n_refs > 1
+    factor = GramFactor.try_build(gram) if factored else None
+    sub_factors: dict[bytes, GramFactor | None] = {}
     for j in range(n_attrs):
         mask = mask_matrix[j]
         if mask.all():
@@ -208,15 +228,24 @@ def _solve_masked_weights(
                 atb_all[:, j],
                 btb=float(btb_all[j]),
                 method=method,
+                factor=factor,
             )
             weights[j] = result.weights
         else:
             idx = np.flatnonzero(mask)
+            subgram = gram[np.ix_(idx, idx)]
+            sub_factor: GramFactor | None = None
+            if factored and len(idx) > 1:
+                key = mask.tobytes()
+                if key not in sub_factors:
+                    sub_factors[key] = GramFactor.try_build(subgram)
+                sub_factor = sub_factors[key]
             result = simplex_lstsq_from_gram(
-                gram[np.ix_(idx, idx)],
+                subgram,
                 atb_all[idx, j],
                 btb=float(btb_all[j]),
                 method=method,
+                factor=sub_factor,
             )
             weights[j, idx] = result.weights
         results.append(result)
@@ -295,6 +324,12 @@ class ReferenceStack:
     normalize:
         Whether the design matrix holds max-normalised source vectors
         (must match the aligner's ``normalize`` setting).
+    dense:
+        Storage-mode override for the value stack: ``None`` (default)
+        auto-selects (CSR below ~0.5 stored density, dense above, the
+        zero-copy aligned layout when every reference shares the union
+        pattern, dense everywhere under ``REPRO_FORCE_DENSE``);
+        ``True``/``False`` force / forbid the dense path.
 
     Attributes
     ----------
@@ -306,17 +341,20 @@ class ReferenceStack:
     scales:
         Per-reference source maxima (1.0 each when ``normalize=False``);
         divides the learned weights back to raw-DM scale before blending.
-    values:
-        Dense ``(k, nnz)`` matrix: reference DM entries laid out over the
-        union sparsity pattern, zero where a reference lacks the entry.
-        Blending N weight vectors is then one matmul ``W @ values``.
+    dm_stack:
+        The :class:`~repro.core.sparse_stack.SparseDMStack` holding the
+        reference DM entries in CSR layout over the union sparsity
+        pattern, shared by the blend / rescale / re-aggregation kernels.
     entry_rows, entry_cols:
         ``(nnz,)`` source-row / target-column index of each union entry,
         sorted by ``(row, col)`` (CSR order).
     """
 
     def __init__(
-        self, references: Iterable[Reference], normalize: bool = True
+        self,
+        references: Iterable[Reference],
+        normalize: bool = True,
+        dense: bool | None = None,
     ) -> None:
         refs = _validated_references(references)
         self.references = refs
@@ -341,45 +379,15 @@ class ReferenceStack:
         self.gram = self.design.T @ self.design
         self.source_vectors = np.vstack([ref.source_vector for ref in refs])
 
-        # Union sparsity pattern of the K reference DMs, via int64 keys
-        # row * n_targets + col.  np.unique returns the keys sorted, which
-        # is exactly CSR (row-major) entry order, so the values matrix can
-        # be turned back into a CSR matrix without re-sorting.
-        per_ref_keys: list[IntArray] = []
-        per_ref_data: list[FloatArray] = []
-        for ref in refs:
-            coo = ref.dm.matrix.tocoo()
-            keys = (
-                coo.row.astype(np.int64) * np.int64(self.n_targets)
-                + coo.col.astype(np.int64)
-            )
-            per_ref_keys.append(keys)
-            per_ref_data.append(np.asarray(coo.data, dtype=float))
-        union_keys = np.unique(
-            np.concatenate(per_ref_keys)
-            if per_ref_keys
-            else np.empty(0, dtype=np.int64)
+        self.dm_stack = SparseDMStack.from_matrices(
+            [ref.dm.matrix for ref in refs],
+            self.n_sources,
+            self.n_targets,
+            dense=dense,
         )
-        nnz = len(union_keys)
-        values = np.zeros((len(refs), nnz))
-        for i, (keys, data) in enumerate(zip(per_ref_keys, per_ref_data)):
-            values[i, np.searchsorted(union_keys, keys)] = data
-        self.values = values
-        self.entry_rows = (union_keys // self.n_targets).astype(np.int64)
-        self.entry_cols = (union_keys % self.n_targets).astype(np.int64)
-
-        # One-hot incidence matrices: row sums over union entries and the
-        # Eq. 17 re-aggregation become sparse-dense products.
-        ones = np.ones(nnz)
-        positions = np.arange(nnz)
-        self._row_incidence = sparse.csr_matrix(
-            (ones, (self.entry_rows, positions)),
-            shape=(self.n_sources, nnz),
-        )
-        self._target_incidence = sparse.csr_matrix(
-            (ones, (self.entry_cols, positions)),
-            shape=(self.n_targets, nnz),
-        )
+        self.entry_rows = self.dm_stack.entry_rows
+        self.entry_cols = self.dm_stack.entry_cols
+        _set_gauge("health.stack_density", self.dm_stack.density)
         self._fingerprint: str | None = None
 
     @property
@@ -389,7 +397,12 @@ class ReferenceStack:
     @property
     def nnz(self) -> int:
         """Entries in the union sparsity pattern."""
-        return int(self.values.shape[1])
+        return self.dm_stack.nnz
+
+    @property
+    def values(self) -> FloatArray:
+        """Dense ``(k, nnz)`` oracle view of the value stack (cached)."""
+        return self.dm_stack.values
 
     def fingerprint(self) -> str:
         """Content fingerprint: the references plus the normalise flag."""
@@ -449,11 +462,13 @@ class ReferenceStack:
 
         The noise experiment (Fig. 7) perturbs reference source vectors
         while the crosswalk DMs stay intact, so the expensive union
-        sparsity pattern, value matrix and incidence structures can be
-        shared wholesale; only the design/Gram/scale pieces (cheap,
-        ``O(m k^2)``) are recomputed.  Each new reference must carry the
-        identical DM object (or an equal-fingerprint one) as its
-        positional counterpart.
+        sparsity pattern and value stack are shared wholesale, and the
+        Gram matrix is updated rather than rebuilt: only the columns of
+        references whose source vector actually changed are recomputed
+        (a symmetric column replacement, ``O(m k c)`` for ``c`` changed
+        references instead of the dense ``O(m k^2)`` re-product).  Each
+        new reference must carry the identical DM object (or an
+        equal-fingerprint one) as its positional counterpart.
         """
         refs = _validated_references(references)
         if len(refs) != self.n_references:
@@ -469,6 +484,12 @@ class ReferenceStack:
                     f"reference {theirs.name!r} carries a different DM "
                     "than the stack; build a fresh stack instead"
                 )
+        changed = [
+            i
+            for i, (mine, theirs) in enumerate(zip(self.references, refs))
+            if theirs.source_vector is not mine.source_vector
+            and not np.array_equal(theirs.source_vector, mine.source_vector)
+        ]
         clone = object.__new__(ReferenceStack)
         clone.references = refs
         clone.normalize = self.normalize
@@ -476,48 +497,56 @@ class ReferenceStack:
         clone.target_labels = self.target_labels
         clone.n_sources = self.n_sources
         clone.n_targets = self.n_targets
-        if self.normalize:
-            clone.design = np.column_stack(
-                [ref.normalized_source() for ref in refs]
-            )
-            clone.scales = np.array(
-                [float(ref.source_vector.max()) for ref in refs]
-            )
+        if not changed:
+            # Identical source vectors throughout: the design/Gram pair
+            # is read-only downstream, so the parent's arrays are shared.
+            clone.design = self.design
+            clone.scales = self.scales
+            clone.gram = self.gram
+            clone.source_vectors = self.source_vectors
         else:
-            clone.design = np.column_stack(
-                [ref.source_vector for ref in refs]
-            )
-            clone.scales = np.ones(len(refs))
-        clone.gram = clone.design.T @ clone.design
-        clone.source_vectors = np.vstack(
-            [ref.source_vector for ref in refs]
-        )
-        clone.values = self.values
+            clone.design = self.design.copy()
+            clone.scales = self.scales.copy()
+            clone.source_vectors = self.source_vectors.copy()
+            for i in changed:
+                ref = refs[i]
+                clone.source_vectors[i] = ref.source_vector
+                if self.normalize:
+                    clone.design[:, i] = ref.normalized_source()
+                    clone.scales[i] = float(ref.source_vector.max())
+                else:
+                    clone.design[:, i] = ref.source_vector
+            # Symmetric column replacement: only rows/columns of the
+            # changed references are re-projected against the (updated)
+            # design; the unchanged (k-c)^2 block is reused bit-for-bit.
+            idx = np.array(changed, dtype=np.intp)
+            gram = self.gram.copy()
+            cross = clone.design.T @ clone.design[:, idx]
+            gram[:, idx] = cross
+            gram[idx, :] = cross.T
+            clone.gram = gram
+        clone.dm_stack = self.dm_stack
         clone.entry_rows = self.entry_rows
         clone.entry_cols = self.entry_cols
-        clone._row_incidence = self._row_incidence
-        clone._target_incidence = self._target_incidence
         clone._fingerprint = None
         return clone
 
     def row_sums(self, blended: FloatArray) -> FloatArray:
         """Per-source-row sums of ``(n, nnz)`` blended value matrices."""
-        result: FloatArray = np.asarray(
-            (self._row_incidence @ blended.T).T, dtype=float
-        )
-        return result
+        return self.dm_stack.row_sums(blended)
 
     def reaggregate(self, scaled: FloatArray) -> FloatArray:
         """Eq. 17 column sums of ``(n, nnz)`` scaled value matrices."""
-        result: FloatArray = np.asarray(
-            (self._target_incidence @ scaled.T).T, dtype=float
-        )
-        return result
+        return self.dm_stack.reaggregate(scaled)
 
     def dm_from_values(self, entry_values: FloatArray) -> DisaggregationMatrix:
         """Materialise one ``(nnz,)`` value vector as a labelled DM."""
         mat = sparse.csr_matrix(
-            (entry_values, (self.entry_rows, self.entry_cols)),
+            (
+                np.ascontiguousarray(entry_values, dtype=float),
+                self.dm_stack.entry_cols.astype(np.int64, copy=False),
+                self.dm_stack.indptr,
+            ),
             shape=(self.n_sources, self.n_targets),
         )
         return DisaggregationMatrix(
@@ -726,7 +755,14 @@ class BatchAligner:
 
     # ------------------------------------------------------------------
     def _compute_scaled_values(self) -> FloatArray:
-        """Eq. 14/16 for all attributes: blend, then per-row rescale."""
+        """Eq. 14/16 for all attributes: blend, then per-row rescale.
+
+        Copy-free: the blend kernel allocates the single ``(n_attrs,
+        nnz)`` output buffer and the Eq. 16 rescale mutates it in place
+        (the thread-pool path hands each worker a contiguous row-slice
+        *view*, not a fancy-indexed copy), so the stage allocates exactly
+        one value-sized array regardless of ``n_jobs``.
+        """
         stack, weights, objectives = self._require_fitted()
         if self._scaled_values is not None:
             return self._scaled_values
@@ -736,11 +772,12 @@ class BatchAligner:
             # Back to raw DM scale (the scalar path's scales division).
             blend_weights = weights / stack.scales[np.newaxis, :]
             self.blend_weights_ = blend_weights
-            blended = blend_weights @ stack.values
+            blended = stack.dm_stack.blend(blend_weights)
             _obs_event(
                 "batch.blend_matmul",
                 n_attrs=int(blended.shape[0]),
                 nnz=stack.nnz,
+                mode=stack.dm_stack.mode,
             )
             if self.denominator == "source-vectors":
                 denominators = blend_weights @ stack.source_vectors
@@ -750,12 +787,15 @@ class BatchAligner:
                 factors = np.where(
                     denominators > 0.0, objectives / denominators, 0.0
                 )
-            if self.n_jobs > 1 and blended.shape[0] > 1:
-                scaled = np.empty_like(blended)
-                chunks = np.array_split(
-                    np.arange(blended.shape[0]),
-                    min(self.n_jobs, blended.shape[0]),
-                )
+            n_attrs = int(blended.shape[0])
+            if self.n_jobs > 1 and n_attrs > 1:
+                workers = min(self.n_jobs, n_attrs)
+                bounds = np.linspace(0, n_attrs, workers + 1).astype(int)
+                chunks = [
+                    (int(bounds[i]), int(bounds[i + 1]))
+                    for i in range(workers)
+                    if bounds[i + 1] > bounds[i]
+                ]
 
                 # ContextVar-based trace sessions do not propagate into
                 # pool workers on their own; each worker re-activates a
@@ -763,25 +803,26 @@ class BatchAligner:
                 # its counters land in the same (lock-guarded) sessions.
                 obs_ctx = _trace_context()
 
-                def _scale_chunk(rows: IntArray) -> None:
+                def _scale_chunk(chunk: tuple[int, int]) -> None:
+                    lo, hi = chunk
                     with obs_ctx.activate():
-                        scaled[rows] = (  # repro-lint: allow[thread-shared-state] disjoint row chunks: each worker writes only its own rows
-                            blended[rows]
-                            * factors[rows][:, stack.entry_rows]
+                        stack.dm_stack.scale_rows_inplace(
+                            blended[lo:hi], factors[lo:hi]
                         )
-                        _obs_incr("batch.rows_scaled", float(len(rows)))
+                        _obs_incr("batch.rows_scaled", float(hi - lo))
 
                 _obs_event(
                     "batch.fanout",
                     n_jobs=self.n_jobs,
                     chunks=len(chunks),
                 )
-                with ThreadPoolExecutor(
-                    max_workers=min(self.n_jobs, len(chunks))
-                ) as pool:
+                with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
                     list(pool.map(_scale_chunk, chunks))
+                scaled = blended
             else:
-                scaled = blended * factors[:, stack.entry_rows]
+                scaled = stack.dm_stack.scale_rows_inplace(
+                    blended, factors
+                )
             if _tracing_active():
                 _emit_volume_health_gauges(
                     objectives, denominators > 0.0, stack.row_sums(scaled)

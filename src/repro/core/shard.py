@@ -70,6 +70,7 @@ from repro.core.batch import (
     _solve_masked_weights,
 )
 from repro.core.reference import Reference
+from repro.core.sparse_stack import EntrySlice
 from repro.errors import ShardError, ValidationError
 from repro.obs.trace import (
     event as _obs_event,
@@ -242,7 +243,10 @@ def plan_shards(
     with _span("shard.plan", n_shards=n_shards, strategy=strategy) as span:
         owner = np.zeros(stack.n_sources, dtype=np.int64)
         if strategy == "tile":
-            tile_of_col = np.zeros(stack.n_targets, dtype=np.int64)
+            # int32 codes + prompt frees: these entry-length temporaries
+            # are the planner's peak at million-target scale, and the
+            # sharded engine's whole point is a low memory ceiling.
+            tile_of_col = np.zeros(stack.n_targets, dtype=np.int32)
             for tile, block in enumerate(
                 np.array_split(np.arange(stack.n_targets), n_shards)
             ):
@@ -251,18 +255,21 @@ def plan_shards(
             # union-entry mass (summed over references) lands in each
             # tile.  argmax ties break to the lowest tile, and rows with
             # no entries (all-zero votes) land on shard 0.
-            entry_mass = stack.values.sum(axis=0)
+            entry_mass = stack.dm_stack.entry_mass()
             entry_tile = tile_of_col[stack.entry_cols]
+            del tile_of_col
             votes = np.zeros((stack.n_sources, n_shards))
             np.add.at(votes, (stack.entry_rows, entry_tile), entry_mass)
+            del entry_mass, entry_tile
             owner = np.argmax(votes, axis=1).astype(np.int64)
+            del votes
         else:
             for shard_id, block in enumerate(
                 np.array_split(np.arange(stack.n_sources), n_shards)
             ):
                 owner[block] = shard_id
 
-        entry_owner = owner[stack.entry_rows]
+        entry_owner = owner[stack.entry_rows].astype(np.int32)
         shards = tuple(
             ShardSpec(
                 shard_id=shard_id,
@@ -277,11 +284,13 @@ def plan_shards(
         # Boundary rows: rows writing into target columns that also
         # receive entries from rows of other shards.  A column is shared
         # exactly when the min and max owner over its entries differ.
-        col_lo = np.full(stack.n_targets, n_shards, dtype=np.int64)
-        col_hi = np.full(stack.n_targets, -1, dtype=np.int64)
+        col_lo = np.full(stack.n_targets, n_shards, dtype=np.int32)
+        col_hi = np.full(stack.n_targets, -1, dtype=np.int32)
         np.minimum.at(col_lo, stack.entry_cols, entry_owner)
         np.maximum.at(col_hi, stack.entry_cols, entry_owner)
+        del entry_owner
         shared_cols = col_lo < col_hi
+        del col_lo, col_hi
         boundary_rows = np.unique(
             stack.entry_rows[shared_cols[stack.entry_cols]]
         ).astype(np.int64)
@@ -307,12 +316,16 @@ def plan_shards(
 _FitPayload = tuple[int, FloatArray, FloatArray]
 _FitPartial = tuple[int, FloatArray, FloatArray, FloatArray]
 
-#: (shard_id, blend weights, entry values, local entry rows, entry cols,
-#:  objectives slice, source-vector slice or None, denominator, n_rows)
+#: (shard_id, blend weights, entry-value slice, local entry rows,
+#:  entry cols, objectives slice, source-vector slice or None,
+#:  denominator, n_rows).  The entry values travel as an
+#: :class:`~repro.core.sparse_stack.EntrySlice` -- CSR triplets for
+#: sparse-mode stacks -- so worker transfer volume scales with the
+#: shard's *stored* entries, not ``k * n_entries``.
 _DisaggregatePayload = tuple[
     int,
     FloatArray,
-    FloatArray,
+    EntrySlice,
     IntArray,
     IntArray,
     FloatArray,
@@ -320,8 +333,12 @@ _DisaggregatePayload = tuple[
     str,
     int,
 ]
-#: (shard_id, scaled entries, covered rows, touched cols, partial sums)
-_DisaggregatePartial = tuple[int, FloatArray, BoolArray, IntArray, FloatArray]
+#: (shard_id, covered rows, touched cols, partial sums).  The scaled
+#: entry values themselves stay inside the worker: the reduce only
+#: needs the partial column sums, and the merge check recomputes the
+#: disaggregation independently (see ``ShardedAligner.predict``), so
+#: the per-shard result transfer is column-sized, not entry-sized.
+_DisaggregatePartial = tuple[int, BoolArray, IntArray, FloatArray]
 
 
 def _fit_shard_worker(payload: _FitPayload) -> _FitPartial:
@@ -363,7 +380,7 @@ def _disaggregate_shard_worker(
         n_rows,
     ) = payload
     _raise_injected_fault("disaggregate", shard_id)
-    blended = blend_weights @ values
+    blended = values.blend(blend_weights)
     if denominator == "source-vectors":
         assert source_vectors is not None
         denominators = blend_weights @ source_vectors
@@ -390,7 +407,7 @@ def _disaggregate_shard_worker(
         ]
     )
     covered: BoolArray = denominators > 0.0
-    return shard_id, scaled, covered, touched, partial
+    return shard_id, covered, touched, partial
 
 
 # ---------------------------------------------------------------------------
@@ -536,6 +553,50 @@ class ShardedAligner(BatchAligner):
         results.sort(key=lambda partial: int(partial[0]))
         return results
 
+    def _iter_shard_phase(
+        self,
+        phase: str,
+        worker: Callable[[Any], tuple[Any, ...]],
+        payloads: "Iterable[tuple[Any, ...]]",
+    ) -> "Iterable[tuple[Any, ...]]":
+        """Streaming variant of :meth:`_run_shard_phase`.
+
+        With ``max_workers == 1`` this is the memory-bounded path: each
+        payload is *built, mapped and consumed* before the next one is
+        materialised, so at no point do all shards' payloads or partials
+        coexist -- the reducer folds results as they stream past.  With
+        a process pool the payloads must be materialised for pickling
+        anyway, so this delegates to :meth:`_run_shard_phase` (collect,
+        sort) and yields from its result.  Either way results arrive in
+        shard-id order, keeping the fold deterministic.
+        """
+        if self.max_workers > 1:
+            yield from self._run_shard_phase(phase, worker, list(payloads))
+            return
+        count = 0
+        with _span(
+            "shard.map",
+            phase=phase,
+            max_workers=1,
+            streaming=True,
+        ) as map_span:
+            for payload in payloads:
+                shard_id = int(payload[0])
+                count += 1
+                with _span("shard.worker", shard=shard_id, phase=phase):
+                    try:
+                        result = worker(payload)
+                    except Exception as exc:
+                        raise ShardError(
+                            f"shard {shard_id} failed during the "
+                            f"{phase!r} map phase: {exc}",
+                            shard_id=shard_id,
+                            phase=phase,
+                        ) from exc
+                yield result
+            if map_span is not None:
+                map_span.attrs["n_shards"] = count
+
     # ------------------------------------------------------------------
     def fit(
         self,
@@ -619,10 +680,19 @@ class ShardedAligner(BatchAligner):
         """Map per-shard disaggregations, merge, re-aggregate, verify.
 
         The reduce phase accumulates each shard's partial target-column
-        sums (shard order, so repeated runs are bitwise-identical), then
-        recomputes Eq. 17 monolithically over the assembled entry values
-        and records the merge residual; the global Eq. 16 gauges are
-        computed over the merged result, not per shard.
+        sums (shard order, so repeated runs are bitwise-identical).  The
+        merge check then recomputes every attribute's disaggregation
+        *monolithically* -- blend, Eq. 16 rescale, Eq. 17 re-aggregation
+        -- one attribute at a time and compares the columns against the
+        merged result (``merge_residual_``); anything beyond
+        reassociation noise means a shard boundary dropped or
+        double-counted a column.  Neither phase materialises the
+        assembled ``(n_attrs, nnz)`` scaled value matrix: the map folds
+        shard partials as they stream in, the check holds one
+        attribute's entry values at a time, and ``predict_dms`` /
+        serving recompute the full matrix lazily through the monolithic
+        kernels only when asked.  The global Eq. 16 gauges are computed
+        over the merged result, not per shard.
         """
         stack, weights, objectives = self._require_fitted()
         if self._predictions is not None:
@@ -630,74 +700,130 @@ class ShardedAligner(BatchAligner):
         plan = self.plan_
         assert plan is not None
         n_attrs = objectives.shape[0]
+
+        def payload_for(spec: ShardSpec) -> _DisaggregatePayload:
+            entry_rows = stack.entry_rows[spec.entries]
+            return (
+                spec.shard_id,
+                blend_weights,
+                stack.dm_stack.entry_slice(spec.entries),
+                np.searchsorted(spec.rows, entry_rows).astype(
+                    np.int64
+                ),
+                stack.entry_cols[spec.entries],
+                objectives[:, spec.rows],
+                stack.source_vectors[:, spec.rows]
+                if self.denominator == "source-vectors"
+                else None,
+                self.denominator,
+                spec.n_rows,
+            )
+
         with _span("shard.predict", n_shards=plan.n_shards):
             with self.timer_.stage("disaggregation"):
                 blend_weights = weights / stack.scales[np.newaxis, :]
                 self.blend_weights_ = blend_weights
-                payloads: list[_DisaggregatePayload] = []
-                for spec in plan.shards:
-                    if not spec.n_rows:
-                        continue
-                    entry_rows = stack.entry_rows[spec.entries]
-                    payloads.append(
-                        (
-                            spec.shard_id,
-                            blend_weights,
-                            stack.values[:, spec.entries],
-                            np.searchsorted(spec.rows, entry_rows).astype(
-                                np.int64
-                            ),
-                            stack.entry_cols[spec.entries],
-                            objectives[:, spec.rows],
-                            stack.source_vectors[:, spec.rows]
-                            if self.denominator == "source-vectors"
-                            else None,
-                            self.denominator,
-                            spec.n_rows,
-                        )
-                    )
-                partials = self._run_shard_phase(
-                    "disaggregate", _disaggregate_shard_worker, payloads
-                )
-            with self.timer_.stage("reaggregation"):
-                scaled = np.zeros((n_attrs, stack.nnz))
                 covered = np.zeros(
                     (n_attrs, stack.n_sources), dtype=bool
                 )
                 merged = np.zeros((n_attrs, stack.n_targets))
-                for sid, scaled_s, covered_s, touched, partial in partials:
+                # Lazy payloads + streaming fold: each shard's value
+                # slice and partials exist only while that shard is in
+                # flight (on the inline path), so peak memory carries
+                # the merged output plus one shard's transient state --
+                # never all shards, and never an assembled entry-value
+                # matrix.
+                partials = self._iter_shard_phase(
+                    "disaggregate",
+                    _disaggregate_shard_worker,
+                    (
+                        payload_for(spec)
+                        for spec in plan.shards
+                        if spec.n_rows
+                    ),
+                )
+                for sid, covered_s, touched, partial in partials:
                     spec = plan.shards[int(sid)]
-                    scaled[:, spec.entries] = scaled_s
                     covered[:, spec.rows] = covered_s
                     merged[:, touched] += partial
-                # Post-merge re-aggregation pass: Eq. 17 recomputed in
-                # one piece over the assembled entries.  Merging partial
-                # column sums must agree with it to reassociation noise;
-                # anything larger means a column was dropped or double
-                # counted at a shard boundary.
-                reaggregated = stack.reaggregate(scaled)
-                scale = float(np.abs(reaggregated).max())
-                residual = (
-                    float(np.abs(merged - reaggregated).max() / scale)
-                    if scale > 0.0
-                    else 0.0
+            with self.timer_.stage("reaggregation"):
+                residual = self._verify_merge(
+                    merged, blend_weights, covered
                 )
                 self.merge_residual_ = residual
                 _gauge_max("health.shard_merge_residual_max", residual)
-                if _tracing_active():
-                    _emit_volume_health_gauges(
-                        objectives, covered, stack.row_sums(scaled)
-                    )
-            self._scaled_values = scaled
             self._predictions = merged
         return merged
 
-    def _compute_scaled_values(self) -> FloatArray:
-        """Assembled ``(n_attrs, nnz)`` scaled entries (sharded map)."""
-        if self._scaled_values is None:
-            self.predict()
-        assert self._scaled_values is not None
-        return self._scaled_values
+    def _verify_merge(
+        self,
+        merged: FloatArray,
+        blend_weights: FloatArray,
+        covered: BoolArray,
+    ) -> float:
+        """Independent monolithic recompute of the merged Eq. 17 pass.
+
+        One attribute at a time: blend that attribute's entry values
+        through the shared CSR kernels, rescale (Eq. 16), re-aggregate
+        (Eq. 17), and compare against the shard-merged columns.  The
+        recompute shares no arithmetic with the map-phase workers or
+        the partial-sum reduce, so a dropped or double-counted boundary
+        column surfaces here no matter which side lost it -- while peak
+        memory carries a single ``(1, nnz)`` value row instead of the
+        full ``(n_attrs, nnz)`` matrix.  Also emits the merged-volume
+        Eq. 16 gauges (computed over the merged result, never per
+        shard) when tracing is active.
+
+        ``_scaled_values`` is deliberately *not* populated here;
+        :meth:`predict_dms` and serving inherit the monolithic
+        lazy-recompute path from :class:`BatchAligner`.
+        """
+        stack, _, objectives = self._require_fitted()
+        n_attrs = objectives.shape[0]
+        scale = float(np.abs(merged).max())
+        residual = 0.0
+        achieved = (
+            np.zeros_like(objectives) if _tracing_active() else None
+        )
+        for j in range(n_attrs):
+            blended_j = stack.dm_stack.blend(blend_weights[j : j + 1])
+            if self.denominator == "source-vectors":
+                denominators = (
+                    blend_weights[j : j + 1] @ stack.source_vectors
+                )
+            else:
+                denominators = stack.row_sums(blended_j)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factors = np.where(
+                    denominators > 0.0,
+                    objectives[j : j + 1] / denominators,
+                    0.0,
+                )
+            scaled_j = stack.dm_stack.scale_rows_inplace(
+                blended_j, factors
+            )
+            reaggregated_j = np.bincount(
+                stack.entry_cols,
+                weights=scaled_j[0],
+                minlength=stack.n_targets,
+            )
+            if achieved is not None:
+                achieved[j] = stack.row_sums(scaled_j)[0]
+            # Free the entry row and diff in place: this loop is the
+            # sharded engine's memory high-water mark at million-target
+            # scale, so the comparison must not stack fresh
+            # column-length temporaries on top of the merged output.
+            del blended_j, scaled_j
+            np.subtract(reaggregated_j, merged[j], out=reaggregated_j)
+            np.abs(reaggregated_j, out=reaggregated_j)
+            if scale > 0.0:
+                residual = max(
+                    residual, float(reaggregated_j.max()) / scale
+                )
+            del reaggregated_j
+        if achieved is not None:
+            _emit_volume_health_gauges(objectives, covered, achieved)
+        return residual
 
     def __repr__(self) -> str:
         status = (

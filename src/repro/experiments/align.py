@@ -19,8 +19,11 @@ Both report per-dataset NRMSE and total wall time, so the CLI's
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.core.sparse_stack import FORCE_DENSE_ENV
 from repro.errors import ValidationError
 from repro.metrics.crossval import leave_one_dataset_out
 from repro.obs.trace import span as _span
@@ -34,6 +37,23 @@ _UNIVERSES = {
     "ny": (build_new_york_world, 2018),
     "us": (build_united_states_world, 1776),
 }
+
+
+@contextmanager
+def _forced_dense(enabled):
+    """Set ``REPRO_FORCE_DENSE`` for the run's duration when asked."""
+    if not enabled:
+        yield
+        return
+    previous = os.environ.get(FORCE_DENSE_ENV)
+    os.environ[FORCE_DENSE_ENV] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[FORCE_DENSE_ENV]
+        else:
+            os.environ[FORCE_DENSE_ENV] = previous
 
 
 @dataclass
@@ -76,6 +96,7 @@ def run_alignment(
     n_shards=2,
     shard_strategy="tile",
     shard_workers=1,
+    dense_fallback=False,
 ):
     """Align every dataset of a world against the rest.
 
@@ -95,6 +116,12 @@ def run_alignment(
     n_shards, shard_strategy, shard_workers:
         Shard layout and process-pool width for ``engine="sharded"``;
         ignored by the other engines.
+    dense_fallback:
+        Force every reference stack built during the run onto the
+        dense value path (sets ``REPRO_FORCE_DENSE`` for the run's
+        duration) -- the operator bisect switch for sparse-kernel
+        regressions, exposed as ``geoalign-repro align
+        --dense-fallback``.
     """
     if world is None:
         if universe not in _UNIVERSES:
@@ -105,8 +132,11 @@ def run_alignment(
         builder, default_seed = _UNIVERSES[universe]
         world = builder(scale, default_seed if seed is None else seed)
     with _span(
-        "experiment.align", universe=world.name, engine=engine
-    ):
+        "experiment.align",
+        universe=world.name,
+        engine=engine,
+        dense_fallback=bool(dense_fallback),
+    ), _forced_dense(dense_fallback):
         crossval = leave_one_dataset_out(
             world.references(),
             engine=engine,

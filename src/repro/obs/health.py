@@ -479,6 +479,22 @@ register_check(
         extract=_trace_coverage,
     )
 )
+register_check(
+    HealthCheck(
+        name="stack_density",
+        description=(
+            "stored fraction of the dense (k, t) design-matrix grid the "
+            "reference stack actually materialises; informational only — "
+            "high density means the dense BLAS kernels win, not that "
+            "anything is wrong"
+        ),
+        formula="nnz / (n_references * n_targets)",
+        direction="high",
+        warn=None,
+        fail=None,
+        extract=_gauge("health.stack_density"),
+    )
+)
 
 
 # ---------------------------------------------------------------------------
@@ -514,6 +530,11 @@ def model_gauges(model: object) -> dict[str, float]:
     if stack is not None:  # BatchAligner / ShardedAligner
         gauges["health.gram_condition_max"] = gram_condition_number(
             stack.gram
+        )
+        gauges["health.stack_density"] = stack.dm_stack.density
+        gauges["health.stack_nnz"] = float(stack.dm_stack.nnz)
+        gauges["health.stack_resident_bytes"] = float(
+            stack.dm_stack.resident_bytes
         )
         objectives = model.objectives_  # type: ignore[attr-defined]
         scaled = model._compute_scaled_values()  # type: ignore[attr-defined]

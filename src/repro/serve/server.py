@@ -464,10 +464,26 @@ class AlignmentServer:
 
     def _metrics_payload(self) -> dict[str, object]:
         snapshot = self.metrics.snapshot()
+        # Warm-stack residency: union-pattern size and bytes actually
+        # held by the CSR/aligned/dense value stacks, summed over every
+        # loaded model, so operators can see what the sparse layout buys
+        # (and catch a dense-fallback bisect inflating the fleet).
+        stacks = [
+            serving.model.stack_.dm_stack
+            for serving in self._models.values()
+            if serving.model.stack_ is not None
+        ]
         snapshot["gauges"] = {
             "models": float(len(self._models)),
             "in_flight": float(self._in_flight),
             "uptime_seconds": self.uptime_seconds,
+            "stack_nnz": float(sum(stack.nnz for stack in stacks)),
+            "stack_resident_bytes": float(
+                sum(stack.resident_bytes for stack in stacks)
+            ),
+            "stack_density": (
+                min(stack.density for stack in stacks) if stacks else 1.0
+            ),
         }
         return snapshot
 

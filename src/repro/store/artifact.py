@@ -39,6 +39,7 @@ from repro.errors import StoreError
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
+    "SUPPORTED_VERSIONS",
     "FAULT_ENV",
     "manifest_path",
     "payload_path",
@@ -51,9 +52,18 @@ __all__ = [
 ARTIFACT_FORMAT = "geoalign-fitted-model"
 
 #: Current artifact format version; bump on any incompatible layout
-#: change.  Loads reject other versions with a typed error instead of
-#: guessing.
-ARTIFACT_VERSION = 1
+#: change.  Version 2 adds sparse value stacks: the payload carries CSR
+#: triplets (``values_data``/``values_indices``/``values_indptr``) when
+#: the manifest's ``stack_mode`` is ``"sparse"``, the dense ``values``
+#: matrix otherwise.
+ARTIFACT_VERSION = 2
+
+#: Versions :func:`read_manifest` accepts.  Version-1 artifacts (always
+#: dense ``values``, no ``stack_mode``) load as dense-mode stacks, whose
+#: BLAS blend is the arithmetic the old engine used -- so old artifacts
+#: stay bit-exact.  Other versions are rejected with a typed error
+#: instead of guessing.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Chaos hook: ``truncate-payload`` | ``corrupt-payload`` |
 #: ``version-skew`` makes the next save produce a damaged artifact.
@@ -65,7 +75,6 @@ REQUIRED_ARRAYS = (
     "gram",
     "scales",
     "source_vectors",
-    "values",
     "entry_rows",
     "entry_cols",
     "weights",
@@ -76,6 +85,26 @@ REQUIRED_ARRAYS = (
     "reference_names",
     "attribute_names",
 )
+
+#: Alternative value-stack representations; every payload must carry
+#: exactly one of these array groups on top of :data:`REQUIRED_ARRAYS`.
+VALUE_ARRAY_GROUPS = (
+    ("values",),
+    ("values_data", "values_indices", "values_indptr"),
+)
+
+
+def _missing_arrays(arrays: "dict[str, NDArray[Any]] | set[str]") -> list[str]:
+    """Required-array inventory; empty when the payload is complete."""
+    missing = [name for name in REQUIRED_ARRAYS if name not in arrays]
+    if not any(
+        all(name in arrays for name in group)
+        for group in VALUE_ARRAY_GROUPS
+    ):
+        missing.append(
+            "values (or values_data/values_indices/values_indptr)"
+        )
+    return missing
 
 
 def manifest_path(root: str, key: str) -> str:
@@ -118,7 +147,7 @@ def write_artifact(
     first so its checksum and length land in the manifest, then both
     files are committed atomically, manifest last.
     """
-    missing = [name for name in REQUIRED_ARRAYS if name not in arrays]
+    missing = _missing_arrays(arrays)
     if missing:
         raise StoreError(
             f"artifact {key!r}: payload is missing arrays {missing}"
@@ -174,10 +203,10 @@ def read_manifest(root: str, key: str) -> dict[str, object]:
             f"{path}: not a {ARTIFACT_FORMAT} manifest "
             f"(format={parsed.get('format')!r})"
         )
-    if parsed.get("version") != ARTIFACT_VERSION:
+    if parsed.get("version") not in SUPPORTED_VERSIONS:
         raise StoreError(
             f"{path}: artifact format version {parsed.get('version')!r} "
-            f"is not the supported version {ARTIFACT_VERSION}; "
+            f"is not among the supported versions {SUPPORTED_VERSIONS}; "
             "re-save the model with this build"
         )
     for field in ("key", "payload_sha256", "fingerprint"):
@@ -220,7 +249,7 @@ def read_artifact(
             arrays = {name: bundle[name] for name in bundle.files}
     except (OSError, ValueError, zipfile.BadZipFile, KeyError) as exc:
         raise StoreError(f"{path}: payload failed to parse ({exc})") from exc
-    missing = [name for name in REQUIRED_ARRAYS if name not in arrays]
+    missing = _missing_arrays(arrays)
     if missing:
         raise StoreError(f"{path}: payload is missing arrays {missing}")
     return manifest, arrays

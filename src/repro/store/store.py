@@ -38,6 +38,7 @@ from scipy import sparse
 
 from repro.core.batch import BatchAligner, ReferenceStack
 from repro.core.reference import Reference
+from repro.core.sparse_stack import SparseDMStack
 from repro.errors import NotFittedError, StoreError
 from repro.obs.trace import span as _span
 from repro.partitions.dm import DisaggregationMatrix
@@ -182,18 +183,25 @@ def _utc_now() -> str:
 
 
 def _model_arrays(model: BatchAligner) -> dict[str, NDArray[Any]]:
-    """Every array of a fitted model, ready for ``np.savez``."""
+    """Every array of a fitted model, ready for ``np.savez``.
+
+    The value stack is persisted in its resident representation: CSR
+    triplets (``values_data``/``values_indices``/``values_indptr``) for
+    sparse-mode stacks -- payload size scales with *stored* entries --
+    and the dense ``values`` matrix for aligned/dense stacks.  The
+    manifest's ``stack_mode`` records which, so the loader restores the
+    exact blend arithmetic that was saved.
+    """
     stack = model.stack_
     assert stack is not None
     assert model.weights_ is not None
     assert model.masks_ is not None
     assert model.objectives_ is not None
-    return {
+    arrays: dict[str, NDArray[Any]] = {
         "design": np.ascontiguousarray(stack.design),
         "gram": np.ascontiguousarray(stack.gram),
         "scales": np.ascontiguousarray(stack.scales),
         "source_vectors": np.ascontiguousarray(stack.source_vectors),
-        "values": np.ascontiguousarray(stack.values),
         "entry_rows": np.ascontiguousarray(stack.entry_rows),
         "entry_cols": np.ascontiguousarray(stack.entry_cols),
         "weights": np.ascontiguousarray(model.weights_),
@@ -208,18 +216,41 @@ def _model_arrays(model: BatchAligner) -> dict[str, NDArray[Any]]:
             model.attribute_names_ or [], dtype=str
         ),
     }
+    if stack.dm_stack.mode == "sparse":
+        data, indices, indptr = stack.dm_stack.csr_arrays()
+        arrays["values_data"] = np.ascontiguousarray(data)
+        arrays["values_indices"] = np.ascontiguousarray(indices)
+        arrays["values_indptr"] = np.ascontiguousarray(indptr)
+    else:
+        arrays["values"] = np.ascontiguousarray(stack.values)
+    return arrays
 
 
 def _check_shapes(arrays: dict[str, NDArray[Any]], where: str) -> None:
     """Cross-array consistency beyond the checksum (defence in depth)."""
     k, m = arrays["source_vectors"].shape
-    nnz = arrays["values"].shape[1]
+    nnz = arrays["entry_rows"].shape[0]
     n_attrs = arrays["weights"].shape[0]
+    if "values" in arrays:
+        values_ok = arrays["values"].shape == (k, nnz)
+        values_msg = "values is not (k, nnz)"
+    else:
+        data = arrays["values_data"]
+        indices = arrays["values_indices"]
+        indptr = arrays["values_indptr"]
+        values_ok = (
+            indptr.shape == (k + 1,)
+            and data.shape == indices.shape
+            and data.ndim == 1
+            and (len(indptr) == 0 or int(indptr[-1]) == len(data))
+            and (len(indices) == 0 or int(indices.max()) < nnz)
+        )
+        values_msg = "sparse value triplets are not a (k, nnz) CSR matrix"
     checks = (
         (arrays["design"].shape == (m, k), "design is not (m, k)"),
         (arrays["gram"].shape == (k, k), "gram is not (k, k)"),
         (arrays["scales"].shape == (k,), "scales is not (k,)"),
-        (arrays["values"].shape == (k, nnz), "values is not (k, nnz)"),
+        (values_ok, values_msg),
         (
             arrays["entry_rows"].shape == (nnz,)
             and arrays["entry_cols"].shape == (nnz,),
@@ -262,15 +293,19 @@ def _check_shapes(arrays: dict[str, NDArray[Any]], where: str) -> None:
 
 
 def _rebuild_stack(
-    arrays: dict[str, NDArray[Any]], normalize: bool
+    arrays: dict[str, NDArray[Any]], normalize: bool, stack_mode: str
 ) -> ReferenceStack:
     """Reassemble a :class:`ReferenceStack` from stored arrays.
 
     Mirrors :meth:`ReferenceStack.with_references`: the heavyweight
-    union-pattern members are adopted as-is, incidence operators are
-    rebuilt in ``O(nnz)``, and per-reference DMs are materialised from
-    the stored value rows (explicit zeros dropped by the DM
-    constructor, restoring each reference's original pattern).
+    union-pattern members are adopted as-is into a
+    :class:`~repro.core.sparse_stack.SparseDMStack` restored in its
+    *saved* storage mode (so the loaded blend arithmetic is bitwise the
+    arithmetic that was saved; version-1 artifacts carry no mode and
+    load as dense, matching the old engine's BLAS blend), and
+    per-reference DMs are materialised from the stored value rows
+    (explicit zeros dropped by the DM constructor, restoring each
+    reference's original pattern).
     """
     source_labels = [str(s) for s in arrays["source_labels"]]
     target_labels = [str(t) for t in arrays["target_labels"]]
@@ -278,14 +313,36 @@ def _rebuild_stack(
     n_targets = len(target_labels)
     entry_rows = arrays["entry_rows"].astype(np.int64)
     entry_cols = arrays["entry_cols"].astype(np.int64)
-    values = np.asarray(arrays["values"], dtype=float)
-    nnz = values.shape[1]
+    if stack_mode == "sparse":
+        dm_stack = SparseDMStack.from_stored(
+            n_sources,
+            n_targets,
+            entry_rows,
+            entry_cols,
+            "sparse",
+            data=np.asarray(arrays["values_data"], dtype=float),
+            indices=arrays["values_indices"].astype(np.int64),
+            ref_indptr=arrays["values_indptr"].astype(np.int64),
+        )
+    else:
+        dm_stack = SparseDMStack.from_stored(
+            n_sources,
+            n_targets,
+            entry_rows,
+            entry_cols,
+            stack_mode,
+            values=np.asarray(arrays["values"], dtype=float),
+        )
 
     references = []
     for i, name in enumerate(arrays["reference_names"]):
+        ref_values, positions = dm_stack.ref_entry_values(i)
         dm = DisaggregationMatrix(
             sparse.csr_matrix(
-                (values[i], (entry_rows, entry_cols)),
+                (
+                    ref_values,
+                    (entry_rows[positions], entry_cols[positions]),
+                ),
                 shape=(n_sources, n_targets),
             ),
             source_labels,
@@ -308,17 +365,9 @@ def _rebuild_stack(
     stack.source_vectors = np.asarray(
         arrays["source_vectors"], dtype=float
     )
-    stack.values = values
-    stack.entry_rows = entry_rows
-    stack.entry_cols = entry_cols
-    ones = np.ones(nnz)
-    positions = np.arange(nnz)
-    stack._row_incidence = sparse.csr_matrix(
-        (ones, (entry_rows, positions)), shape=(n_sources, nnz)
-    )
-    stack._target_incidence = sparse.csr_matrix(
-        (ones, (entry_cols, positions)), shape=(n_targets, nnz)
-    )
+    stack.dm_stack = dm_stack
+    stack.entry_rows = dm_stack.entry_rows
+    stack.entry_cols = dm_stack.entry_cols
     stack._fingerprint = None
     return stack
 
@@ -361,6 +410,7 @@ class ModelStore:
                 {
                     "fingerprint": fingerprint,
                     "created_at": _utc_now(),
+                    "stack_mode": stack.dm_stack.mode,
                     "config": {
                         "solver_method": model.solver_method,
                         "normalize": bool(model.normalize),
@@ -440,7 +490,11 @@ class ModelStore:
                 normalize=bool(config.get("normalize", True)),
                 denominator=str(config.get("denominator", "row-sums")),
             )
-            model.stack_ = _rebuild_stack(arrays, model.normalize)
+            model.stack_ = _rebuild_stack(
+                arrays,
+                model.normalize,
+                str(manifest.get("stack_mode", "dense")),
+            )
             model.weights_ = np.asarray(arrays["weights"], dtype=float)
             model.masks_ = np.asarray(arrays["masks"], dtype=bool)
             model.objectives_ = np.asarray(

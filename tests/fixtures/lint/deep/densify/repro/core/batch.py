@@ -1,0 +1,32 @@
+"""Deep-lint fixture: dense materialisation on and off the batch hot path."""
+
+import numpy as np
+
+
+class BatchAligner:
+    def fit(self, stack, objectives):
+        blended = _blend(stack)
+        return _rescale(blended, stack)
+
+    def predict(self, stack):
+        return _export(stack)
+
+
+def _blend(stack):
+    dense = stack.ref_matrix.toarray()  # FIRE sparse-densify
+    return dense.sum(axis=0)
+
+
+def _rescale(blended, stack):
+    values = np.asarray(stack.ref_matrix)  # FIRE sparse-densify
+    return blended * values.sum()
+
+
+def _export(stack):
+    return stack.ref_matrix.todense()  # FIRE sparse-densify
+
+
+def offline_report(stack):
+    # Unreachable from the aligner entry points: a dense copy in an
+    # offline report is outside the rule's hot path.
+    return stack.ref_matrix.toarray()

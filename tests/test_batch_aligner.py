@@ -197,6 +197,34 @@ def test_stack_with_references_shares_union_structure():
     np.testing.assert_array_equal(left, right)
 
 
+def test_stack_with_references_gram_update_matches_recompute():
+    # Perturbing a single reference takes the symmetric column-
+    # replacement path; the updated Gram must match a from-scratch
+    # rebuild to 1e-12 and reuse the untouched block bit-for-bit.
+    references, _ = _world(19)
+    stack = ReferenceStack(references)
+    noisy = list(references)
+    noisy[1] = references[1].with_source_vector(
+        references[1].source_vector * 1.07
+    )
+    clone = stack.with_references(noisy)
+    fresh = ReferenceStack(noisy)
+    np.testing.assert_allclose(
+        clone.gram, fresh.gram, rtol=1e-12, atol=1e-12
+    )
+    untouched = [i for i in range(len(references)) if i != 1]
+    np.testing.assert_array_equal(
+        clone.gram[np.ix_(untouched, untouched)],
+        stack.gram[np.ix_(untouched, untouched)],
+    )
+    assert np.allclose(clone.gram, clone.gram.T)
+    # Untouched sources keep sharing the parent's arrays wholesale.
+    same = stack.with_references(list(references))
+    assert same.gram is stack.gram
+    assert same.design is stack.design
+    assert same.dm_stack is stack.dm_stack
+
+
 def test_stack_with_references_rejects_different_dms():
     references, _ = _world(13)
     stack = ReferenceStack(references)

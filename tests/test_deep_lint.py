@@ -42,6 +42,7 @@ EXPECTED_DEEP_RULE_IDS = {
     "alias-mutation",
     "missing-instrumentation",
     "cross-float-eq",
+    "sparse-densify",
 }
 
 #: (fixture case dir, rule expected to fire, file the violation anchors in).
@@ -54,6 +55,7 @@ DEEP_CASES = [
     ("procrng", "thread-shared-rng", "repro/core/sampler.py"),
     ("spanmisuse", "thread-span-misuse", "repro/core/tracker.py"),
     ("floateq", "cross-float-eq", "repro/core/metricx.py"),
+    ("densify", "sparse-densify", "repro/core/batch.py"),
 ]
 
 

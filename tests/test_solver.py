@@ -5,9 +5,11 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.solver import (
+    GramFactor,
     project_to_simplex,
     scipy_reference_solution,
     simplex_lstsq,
+    simplex_lstsq_from_gram,
 )
 from repro.errors import ValidationError
 
@@ -248,3 +250,107 @@ class TestSolverProperties:
         )
         assert 1 <= result.iterations <= cap
         assert _feasible(result.weights)
+
+
+class TestGramFactor:
+    """The shared-Cholesky active-set path (batch hot loop)."""
+
+    def test_try_build_on_spd_gram(self):
+        A, _ = _random_problem(0, m=30, k=5)
+        gram = A.T @ A
+        factor = GramFactor.try_build(gram)
+        assert factor is not None
+        assert factor.n == 5
+        np.testing.assert_allclose(
+            factor.upper.T @ factor.upper, gram, rtol=1e-12, atol=1e-12
+        )
+
+    def test_try_build_none_on_singular_gram(self):
+        A = np.ones((10, 3))  # perfectly collinear columns
+        assert GramFactor.try_build(A.T @ A) is None
+
+    def test_factored_matches_lstsq_path(self):
+        # Identical KKT gates on both paths: the factored solve must
+        # land on the same weights to factorization noise.
+        tested = 0
+        for seed in range(60):
+            A, b = _random_problem(seed)
+            gram, atb = A.T @ A, A.T @ b
+            factor = GramFactor.try_build(gram)
+            if factor is None:  # rank-deficient draw (m < k)
+                continue
+            tested += 1
+            plain = simplex_lstsq_from_gram(gram, atb)
+            fast = simplex_lstsq_from_gram(gram, atb, factor=factor)
+            assert _feasible(fast.weights)
+            np.testing.assert_allclose(
+                fast.weights, plain.weights, rtol=1e-9, atol=1e-12
+            )
+            assert fast.objective == pytest.approx(
+                plain.objective, rel=1e-9, abs=1e-12
+            )
+        assert tested >= 30  # most draws are full column rank
+
+    def test_factor_reused_across_attributes(self):
+        # One factor, many right-hand sides -- the batch engine's shape.
+        rng = np.random.default_rng(11)
+        A = rng.random((40, 6)) * (rng.random(6) + 0.05)
+        gram = A.T @ A
+        factor = GramFactor.try_build(gram)
+        assert factor is not None
+        for _ in range(25):
+            b = rng.random(40) * rng.choice([0.1, 1.0, 10.0])
+            atb = A.T @ b
+            fast = simplex_lstsq_from_gram(gram, atb, factor=factor)
+            plain = simplex_lstsq_from_gram(gram, atb)
+            np.testing.assert_allclose(
+                fast.weights, plain.weights, rtol=1e-9, atol=1e-12
+            )
+
+    def test_vertex_solutions_exercise_drop_path(self):
+        # A rhs aligned with one column pins the rest at zero, forcing
+        # the active-set loop through add *and* drop rank updates.
+        rng = np.random.default_rng(5)
+        A = rng.random((30, 4)) + 0.05
+        b = A[:, 2] * 3.0
+        gram, atb = A.T @ A, A.T @ b
+        factor = GramFactor.try_build(gram)
+        fast = simplex_lstsq_from_gram(gram, atb, factor=factor)
+        plain = simplex_lstsq_from_gram(gram, atb)
+        np.testing.assert_allclose(
+            fast.weights, plain.weights, rtol=1e-9, atol=1e-12
+        )
+
+    def test_dimension_mismatch_rejected(self):
+        A, b = _random_problem(1, m=20, k=4)
+        other, _ = _random_problem(2, m=20, k=3)
+        factor = GramFactor.try_build(other.T @ other)
+        assert factor is not None
+        with pytest.raises(ValidationError):
+            simplex_lstsq_from_gram(A.T @ A, A.T @ b, factor=factor)
+
+    def test_other_methods_ignore_factor(self):
+        A, b = _random_problem(3, m=25, k=4)
+        gram, atb = A.T @ A, A.T @ b
+        factor = GramFactor.try_build(gram)
+        result = simplex_lstsq_from_gram(
+            gram, atb, method="projected-gradient", factor=factor
+        )
+        assert _feasible(result.weights)
+
+    def test_near_singular_gram_still_correct(self):
+        # Two nearly collinear columns: if the factor breaks down mid-
+        # solve the loop must fall back to the lstsq KKT path and still
+        # return a feasible, KKT-gated point.
+        rng = np.random.default_rng(9)
+        base = rng.random(50)
+        A = np.column_stack(
+            [base, base * (1.0 + 1e-13), rng.random(50)]
+        )
+        b = rng.random(50)
+        gram, atb = A.T @ A, A.T @ b
+        factor = GramFactor.try_build(gram)
+        result = simplex_lstsq_from_gram(gram, atb, factor=factor)
+        assert _feasible(result.weights)
+        plain = simplex_lstsq_from_gram(gram, atb)
+        assert result.objective <= plain.objective + 1e-9

@@ -1,0 +1,290 @@
+"""Property-based tests (hypothesis) pinning the sparse kernels.
+
+Every :class:`~repro.core.sparse_stack.SparseDMStack` kernel --
+``blend`` (Eq. 14), ``row_sums`` / ``scale_rows_inplace`` (Eq. 16) and
+``reaggregate`` (Eq. 17) -- must match the dense oracle computed from
+the raw reference matrices to 1e-12, in every storage mode, across
+random union patterns that include empty rows, single-entry rows and
+fully dense matrices.  The oracle is recomputed here from scratch (no
+stack code on the oracle side), so a kernel bug cannot cancel out.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.core.sparse_stack import (
+    DENSE_DENSITY_THRESHOLD,
+    EntrySlice,
+    SparseDMStack,
+    dense_forced,
+)
+from repro.errors import ShapeMismatchError, ValidationError
+
+TOL = dict(rtol=1e-12, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def stack_cases(draw):
+    """(matrices, m, t, force_dense) covering the pattern spectrum.
+
+    ``style`` steers the union pattern: ``random`` mixes empty and
+    single-entry rows, ``aligned`` shares one support across all
+    references (the zero-copy fast path), ``full`` is fully dense so
+    the density heuristic kicks in.  ``force`` exercises all three
+    storage modes on the same data.
+    """
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    m = draw(st.integers(1, 10))
+    t = draw(st.integers(1, 6))
+    k = draw(st.integers(1, 4))
+    style = draw(st.sampled_from(["random", "aligned", "full"]))
+    force = draw(st.sampled_from([None, True, False]))
+    mats = []
+    if style == "aligned":
+        pattern = rng.random((m, t)) < rng.uniform(0.15, 0.9)
+        pattern[rng.integers(m), rng.integers(t)] = True
+        for _ in range(k):
+            values = np.where(pattern, rng.random((m, t)) + 0.1, 0.0)
+            mats.append(sparse.csr_matrix(values))
+    elif style == "full":
+        for _ in range(k):
+            mats.append(sparse.csr_matrix(rng.random((m, t)) + 0.1))
+    else:
+        for _ in range(k):
+            keep = rng.random((m, t)) < rng.uniform(0.1, 0.6)
+            mats.append(sparse.csr_matrix(rng.random((m, t)) * keep))
+        if not any(mat.nnz for mat in mats):
+            mats[0] = sparse.csr_matrix(
+                ([1.0], ([rng.integers(m)], [rng.integers(t)])),
+                shape=(m, t),
+            )
+    return mats, m, t, force
+
+
+def oracle_values(stack, mats):
+    """Dense (k, nnz) union values straight from the raw matrices."""
+    out = np.zeros((len(mats), stack.nnz))
+    for i, mat in enumerate(mats):
+        dense = np.asarray(mat.todense())
+        out[i] = dense[stack.entry_rows, stack.entry_cols]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# kernels == dense oracle
+# ---------------------------------------------------------------------------
+
+
+class TestKernelsMatchDenseOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(stack_cases(), st.integers(0, 10**6))
+    def test_union_pattern_and_values(self, case, seed):
+        mats, m, t, force = case
+        stack = SparseDMStack.from_matrices(mats, m, t, dense=force)
+        expected = {
+            (int(r), int(c))
+            for mat in mats
+            for r, c in zip(*mat.nonzero())
+        }
+        got = set(
+            zip(stack.entry_rows.tolist(), stack.entry_cols.tolist())
+        )
+        assert got == expected
+        # CSR (row-major) ordering of the union entries.
+        keys = stack.entry_rows * t + stack.entry_cols
+        assert np.all(np.diff(keys) > 0) or stack.nnz <= 1
+        np.testing.assert_array_equal(
+            stack.values, oracle_values(stack, mats)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(stack_cases(), st.integers(0, 10**6))
+    def test_blend(self, case, seed):
+        mats, m, t, force = case
+        stack = SparseDMStack.from_matrices(mats, m, t, dense=force)
+        rng = np.random.default_rng(seed)
+        weights = rng.random((3, len(mats)))
+        oracle = weights @ oracle_values(stack, mats)
+        np.testing.assert_allclose(stack.blend(weights), oracle, **TOL)
+
+    @settings(max_examples=60, deadline=None)
+    @given(stack_cases(), st.integers(0, 10**6))
+    def test_row_sums(self, case, seed):
+        mats, m, t, force = case
+        stack = SparseDMStack.from_matrices(mats, m, t, dense=force)
+        rng = np.random.default_rng(seed)
+        entry_values = rng.random((3, stack.nnz))
+        oracle = np.zeros((3, m))
+        np.add.at(oracle, (slice(None), stack.entry_rows), entry_values)
+        np.testing.assert_allclose(
+            stack.row_sums(entry_values), oracle, **TOL
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(stack_cases(), st.integers(0, 10**6))
+    def test_scale_rows_inplace(self, case, seed):
+        mats, m, t, force = case
+        stack = SparseDMStack.from_matrices(mats, m, t, dense=force)
+        rng = np.random.default_rng(seed)
+        entry_values = rng.random((3, stack.nnz))
+        factors = rng.random((3, m)) + 0.5
+        oracle = entry_values * factors[:, stack.entry_rows]
+        result = stack.scale_rows_inplace(entry_values, factors)
+        assert result is entry_values  # in place is the contract
+        np.testing.assert_allclose(result, oracle, **TOL)
+
+    @settings(max_examples=60, deadline=None)
+    @given(stack_cases(), st.integers(0, 10**6))
+    def test_reaggregate(self, case, seed):
+        mats, m, t, force = case
+        stack = SparseDMStack.from_matrices(mats, m, t, dense=force)
+        rng = np.random.default_rng(seed)
+        entry_values = rng.random((3, stack.nnz))
+        oracle = np.zeros((3, t))
+        np.add.at(oracle, (slice(None), stack.entry_cols), entry_values)
+        np.testing.assert_allclose(
+            stack.reaggregate(entry_values), oracle, **TOL
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(stack_cases(), st.integers(0, 10**6))
+    def test_entry_mass_and_ref_entry_values(self, case, seed):
+        mats, m, t, force = case
+        stack = SparseDMStack.from_matrices(mats, m, t, dense=force)
+        oracle = oracle_values(stack, mats)
+        np.testing.assert_allclose(
+            stack.entry_mass(), oracle.sum(axis=0), **TOL
+        )
+        for i in range(len(mats)):
+            values, positions = stack.ref_entry_values(i)
+            rebuilt = np.zeros(stack.nnz)
+            rebuilt[positions] = values
+            np.testing.assert_array_equal(rebuilt, oracle[i])
+
+
+class TestEntrySliceMatchesStack:
+    @settings(max_examples=60, deadline=None)
+    @given(stack_cases(), st.integers(0, 10**6))
+    def test_sliced_blend_equals_blend_slice(self, case, seed):
+        mats, m, t, force = case
+        stack = SparseDMStack.from_matrices(mats, m, t, dense=force)
+        rng = np.random.default_rng(seed)
+        keep = rng.random(stack.nnz) < 0.5
+        entries = np.flatnonzero(keep).astype(np.int64)
+        piece = stack.entry_slice(entries)
+        assert isinstance(piece, EntrySlice)
+        assert piece.n_entries == len(entries)
+        weights = rng.random((2, len(mats)))
+        np.testing.assert_allclose(
+            piece.blend(weights),
+            stack.blend(weights)[:, entries],
+            **TOL,
+        )
+
+
+# ---------------------------------------------------------------------------
+# mode selection
+# ---------------------------------------------------------------------------
+
+
+def _ring_matrices(k=2, m=6, t=5, seed=7):
+    """Unaligned low-density matrices (one rotated entry per row)."""
+    rng = np.random.default_rng(seed)
+    mats = []
+    for r in range(k):
+        dense = np.zeros((m, t))
+        dense[np.arange(m), (np.arange(m) + r) % t] = rng.random(m) + 0.1
+        mats.append(sparse.csr_matrix(dense))
+    return mats
+
+
+class TestModeSelection:
+    def test_aligned_pattern_picks_aligned_mode(self):
+        rng = np.random.default_rng(0)
+        pattern = rng.random((5, 4)) < 0.5
+        pattern[0, 0] = True
+        mats = [
+            sparse.csr_matrix(np.where(pattern, rng.random((5, 4)) + 0.1, 0))
+            for _ in range(3)
+        ]
+        stack = SparseDMStack.from_matrices(mats, 5, 4)
+        assert stack.mode == "aligned"
+        assert stack.density == 1.0
+
+    def test_low_density_unaligned_picks_sparse(self):
+        stack = SparseDMStack.from_matrices(_ring_matrices(), 6, 5)
+        assert stack.mode == "sparse"
+        assert stack.density <= DENSE_DENSITY_THRESHOLD
+
+    def test_high_density_unaligned_picks_dense(self):
+        rng = np.random.default_rng(3)
+        mats = [
+            sparse.csr_matrix(rng.random((4, 4)) + 0.1),
+            sparse.csr_matrix(
+                (rng.random((4, 4)) + 0.1)
+                * (rng.random((4, 4)) < 0.9)
+            ),
+        ]
+        stack = SparseDMStack.from_matrices(mats, 4, 4)
+        assert stack.mode == "dense"
+
+    def test_dense_flag_forces_and_forbids(self):
+        mats = _ring_matrices()
+        assert SparseDMStack.from_matrices(mats, 6, 5, dense=True).mode == (
+            "dense"
+        )
+        assert SparseDMStack.from_matrices(mats, 6, 5, dense=False).mode == (
+            "sparse"
+        )
+
+    def test_force_dense_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_DENSE", "1")
+        assert dense_forced()
+        stack = SparseDMStack.from_matrices(_ring_matrices(), 6, 5)
+        assert stack.mode == "dense"
+        monkeypatch.setenv("REPRO_FORCE_DENSE", "false")
+        assert not dense_forced()
+
+    def test_single_entry_and_empty_rows(self):
+        # Row 0 has one entry, rows 1-2 are empty everywhere.
+        mat = sparse.csr_matrix(([2.0], ([0], [1])), shape=(3, 3))
+        stack = SparseDMStack.from_matrices([mat], 3, 3, dense=False)
+        weights = np.array([[1.5]])
+        np.testing.assert_array_equal(
+            stack.blend(weights), np.array([[3.0]])
+        )
+        sums = stack.row_sums(np.array([[4.0]]))
+        np.testing.assert_array_equal(sums, np.array([[4.0, 0.0, 0.0]]))
+        np.testing.assert_array_equal(
+            stack.reaggregate(np.array([[4.0]])),
+            np.array([[0.0, 4.0, 0.0]]),
+        )
+
+
+class TestValidation:
+    def test_empty_matrix_list_rejected(self):
+        with pytest.raises(ValidationError):
+            SparseDMStack.from_matrices([], 2, 2)
+
+    def test_shape_mismatch_rejected(self):
+        mats = [sparse.csr_matrix(np.ones((2, 3)))]
+        with pytest.raises(ShapeMismatchError):
+            SparseDMStack.from_matrices(mats, 2, 2)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            SparseDMStack(
+                1,
+                1,
+                np.array([0, 1], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                "zarr",
+            )

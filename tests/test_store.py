@@ -315,3 +315,108 @@ class TestObservability:
             store.load(entry.key)
         assert session.find_spans("store.save")
         assert session.find_spans("store.load")
+
+
+# ----------------------------------------------------------------------
+# Format v2: sparse value stacks + v1 backward compatibility
+# ----------------------------------------------------------------------
+
+
+def _sparse_world(seed=21, m=12, t=9, k=3, n_attrs=3):
+    """Unaligned shifted-band references whose union stays sparse."""
+    from repro.core.reference import Reference
+    from repro.partitions.dm import DisaggregationMatrix
+
+    rng = np.random.default_rng(seed)
+    source_labels = [f"s{i}" for i in range(m)]
+    target_labels = [f"t{j}" for j in range(t)]
+    references = []
+    for r in range(k):
+        dense = np.zeros((m, t))
+        rows = np.arange(m)
+        dense[rows, (rows + r) % t] = rng.uniform(0.5, 2.0, size=m)
+        dense[rows, (rows + r + 1) % t] = rng.uniform(0.5, 2.0, size=m)
+        dm = DisaggregationMatrix(dense, source_labels, target_labels)
+        references.append(Reference(f"band-{r}", dm.row_sums(), dm))
+    objectives = rng.uniform(1.0, 9.0, size=(n_attrs, m))
+    return references, objectives
+
+
+class TestSparseArtifacts:
+    @pytest.fixture
+    def sparse_fitted(self):
+        references, objectives = _sparse_world()
+        model = BatchAligner().fit(references, objectives)
+        assert model.stack_.dm_stack.mode == "sparse"
+        return model
+
+    def test_sparse_round_trip_is_bit_exact(self, store, sparse_fitted):
+        entry = store.save(sparse_fitted)
+        with open(manifest_path(store.root, entry.key)) as handle:
+            manifest = json.load(handle)
+        assert manifest["version"] == ARTIFACT_VERSION
+        assert manifest["stack_mode"] == "sparse"
+        _, arrays = read_artifact(store.root, entry.key)
+        assert "values" not in arrays
+        assert {
+            "values_data", "values_indices", "values_indptr"
+        } <= set(arrays)
+        loaded, _ = store.load(entry.key)
+        assert loaded.stack_.dm_stack.mode == "sparse"
+        assert (loaded.predict() == sparse_fitted.predict()).all()
+        assert (loaded.weights_ == sparse_fitted.weights_).all()
+
+    def test_v1_artifact_loads_as_dense(self, store, paired_references):
+        # A version-1 artifact: dense ``values`` payload, no
+        # ``stack_mode`` manifest key.  It must load (as a dense-mode
+        # stack, the old engine's arithmetic) bit-exactly.
+        from repro.core.batch import ReferenceStack
+
+        objectives = np.asarray(
+            [ref.source_vector * 1.25 for ref in paired_references]
+        )
+        stack = ReferenceStack(paired_references, dense=True)
+        model = BatchAligner().fit(stack, objectives)
+        entry = store.save(model)
+        path = manifest_path(store.root, entry.key)
+        with open(path) as handle:
+            manifest = json.load(handle)
+        assert manifest["stack_mode"] == "dense"
+        manifest["version"] = 1
+        del manifest["stack_mode"]
+        with open(path, "w") as handle:
+            json.dump(manifest, handle)
+        loaded, _ = store.load(entry.key)
+        assert loaded.stack_.dm_stack.mode == "dense"
+        assert (loaded.predict() == model.predict()).all()
+
+    def test_bad_sparse_triplets_rejected(self, store, sparse_fitted):
+        from repro.store.artifact import write_artifact
+
+        entry = store.save(sparse_fitted)
+        manifest, arrays = read_artifact(store.root, entry.key)
+        arrays = dict(arrays)
+        # Chop the per-reference indptr: no longer (k + 1,) entries.
+        arrays["values_indptr"] = arrays["values_indptr"][:-1]
+        extra = {
+            name: value
+            for name, value in manifest.items()
+            if name
+            not in ("format", "version", "key", "payload",
+                    "payload_sha256", "payload_bytes")
+        }
+        write_artifact(store.root, entry.key, arrays, extra)
+        with pytest.raises(StoreError, match="triplets"):
+            store.load(entry.key)
+
+    def test_missing_value_group_rejected_at_write(
+        self, store, sparse_fitted
+    ):
+        from repro.store.artifact import write_artifact
+
+        entry = store.save(sparse_fitted)
+        manifest, arrays = read_artifact(store.root, entry.key)
+        arrays = dict(arrays)
+        del arrays["values_data"]
+        with pytest.raises(StoreError, match="missing arrays"):
+            write_artifact(store.root, "deadbeef", arrays, {})
