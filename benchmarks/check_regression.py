@@ -20,6 +20,12 @@ Metric kinds are inferred from the key name:
 * ``mem_*`` / ``*bytes*`` -- allocation peaks; regressed when candidate
   exceeds baseline * ``--mem-tolerance`` (defaults to the time
   tolerance; tracemalloc peaks are far less noisy than wall times).
+* ``*overhead_ratio*`` -- instrumentation overhead (BENCH_obs.json);
+  regressed when candidate exceeds ``--overhead-tolerance`` as an
+  *absolute* ceiling (default 1.01, i.e. instrumentation must stay
+  within 1% of the untraced hot path).  Unlike every other kind the
+  baseline value only appears in the report: "tracing is effectively
+  free" is a contract against unity, not against last release.
 * anything else -- an error metric (rmse, nrmse, max_abs_diff, ...);
   regressed when candidate exceeds baseline * ``--error-tolerance``
   plus a tiny absolute floor.
@@ -162,12 +168,15 @@ def load_dir_health(path):
 
 
 def metric_kind(key):
-    """Classify a metric key: 'time', 'speedup', 'memory' or 'error'.
+    """Classify a metric key: 'time', 'speedup', 'memory', 'overhead'
+    or 'error'.
 
     'speedup' doubles as the higher-is-better kind generally: cache
     hit rates are classified with it so a hit-rate drop regresses.
     """
     lowered = key.lower()
+    if "overhead_ratio" in lowered:
+        return "overhead"
     if "speedup" in lowered or "hit_rate" in lowered:
         return "speedup"
     if lowered.startswith("mem_") or "bytes" in lowered:
@@ -177,10 +186,27 @@ def metric_kind(key):
     return "error"
 
 
-def compare_metric(key, baseline, candidate, time_tol, error_tol, mem_tol=None):
+def compare_metric(
+    key,
+    baseline,
+    candidate,
+    time_tol,
+    error_tol,
+    mem_tol=None,
+    overhead_tol=1.01,
+):
     """(regressed, detail line) for one metric pair."""
     kind = metric_kind(key)
-    if kind == "time":
+    if kind == "overhead":
+        # Absolute ceiling: instrumentation overhead is gated against
+        # unity, not against the baseline run.
+        limit = overhead_tol
+        regressed = candidate > limit
+        relation = (
+            f"<= {limit:.6g} absolute (baseline {baseline:.6g} shown "
+            "for reference)"
+        )
+    elif kind == "time":
         limit = baseline * time_tol
         regressed = candidate > limit
         relation = f"<= {limit:.6g}s (baseline {baseline:.6g}s x {time_tol})"
@@ -204,7 +230,14 @@ def compare_metric(key, baseline, candidate, time_tol, error_tol, mem_tol=None):
     return regressed, detail
 
 
-def compare(baselines, candidates, time_tol, error_tol, mem_tol=None):
+def compare(
+    baselines,
+    candidates,
+    time_tol,
+    error_tol,
+    mem_tol=None,
+    overhead_tol=1.01,
+):
     """(regressions, report lines) over two bench-dir mappings."""
     lines = []
     regressions = []
@@ -236,6 +269,7 @@ def compare(baselines, candidates, time_tol, error_tol, mem_tol=None):
                 time_tol,
                 error_tol,
                 mem_tol,
+                overhead_tol,
             )
             lines.append(detail)
             if regressed:
@@ -269,6 +303,14 @@ def main(argv=None):
         "(default: the time tolerance)",
     )
     parser.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=1.01,
+        help="absolute ceiling for *overhead_ratio* metrics "
+        "(default 1.01: instrumentation within 1%% of the untraced "
+        "hot path)",
+    )
+    parser.add_argument(
         "--health",
         action="append",
         default=[],
@@ -281,6 +323,9 @@ def main(argv=None):
         print("error: tolerances must be >= 1.0", file=sys.stderr)
         return 2
     if args.mem_tolerance is not None and args.mem_tolerance < 1.0:
+        print("error: tolerances must be >= 1.0", file=sys.stderr)
+        return 2
+    if args.overhead_tolerance < 1.0:
         print("error: tolerances must be >= 1.0", file=sys.stderr)
         return 2
     try:
@@ -301,6 +346,7 @@ def main(argv=None):
         args.time_tolerance,
         args.error_tolerance,
         args.mem_tolerance,
+        args.overhead_tolerance,
     )
     print("\n".join(lines))
     for source, check in verdicts:

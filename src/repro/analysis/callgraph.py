@@ -29,7 +29,7 @@ from __future__ import annotations
 import ast
 from collections import deque
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.analysis.project import FunctionInfo, ProjectContext
 
@@ -130,8 +130,13 @@ class CallGraph:
         self.edges: dict[str, set[str]] = {}
         self.external_calls: dict[str, set[str]] = {}
         self.fanouts: list[ThreadFanout] = []
+        #: ``(index into fanouts, parameter name)`` for sites whose
+        #: submitted callable is a *parameter* of the submitting
+        #: function -- resolved in a second pass over its call sites.
+        self._param_fanouts: list[tuple[int, str]] = []
         for fn in project.functions.values():
             self._index_function(fn)
+        self._resolve_parameter_fanouts()
 
     # -- construction ---------------------------------------------------
     def _index_function(self, fn: FunctionInfo) -> None:
@@ -228,6 +233,18 @@ class CallGraph:
         if callee_expr is None or api is None or kind is None:
             return
         callee = self._resolve_thread_callee(fn, callee_expr)
+        if (
+            callee is None
+            and isinstance(callee_expr, ast.Name)
+            and callee_expr.id in fn.params
+        ):
+            # ``pool.submit(worker, ...)`` where ``worker`` is a
+            # parameter of the submitting function: the actual target
+            # lives at this function's *call sites*.  Defer to the
+            # second pass, which walks those sites.
+            self._param_fanouts.append(
+                (len(self.fanouts), callee_expr.id)
+            )
         self.fanouts.append(
             ThreadFanout(
                 caller=fn.qualname,
@@ -275,6 +292,91 @@ class CallGraph:
             if len(owners) == 1:
                 return owners[0].methods[expr.attr]
         return None
+
+    # -- parameter fan-out resolution -----------------------------------
+    @staticmethod
+    def _argument_for(
+        call: ast.Call, position: int, param: str
+    ) -> ast.expr | None:
+        """The expression bound to ``param`` at one call site, if it can
+        be read off positionally or by keyword (no ``*args`` in the
+        way)."""
+        for keyword in call.keywords:
+            if keyword.arg == param:
+                return keyword.value
+        if any(isinstance(arg, ast.Starred) for arg in call.args):
+            return None
+        if position < len(call.args):
+            return call.args[position]
+        return None
+
+    def _parameter_targets(
+        self, qualname: str, param: str, seen: set[tuple[str, str]]
+    ) -> set[str]:
+        """Callables that flow into parameter ``param`` of ``qualname``.
+
+        Walks every project call site of ``qualname`` and resolves the
+        argument at that position; when the argument is itself a
+        parameter of the calling function (a pass-through driver like a
+        streaming wrapper delegating to the pooled runner), the search
+        recurses one level up, with a ``seen`` guard against cycles.
+        """
+        key = (qualname, param)
+        if key in seen:
+            return set()
+        seen.add(key)
+        fn = self.project.functions.get(qualname)
+        if fn is None or param not in fn.params:
+            return set()
+        position = fn.params.index(param)
+        targets: set[str] = set()
+        for other in self.project.functions.values():
+            for node in iter_own_nodes(other.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if self.project.resolve_call(other, node) != qualname:
+                    continue
+                arg = self._argument_for(node, position, param)
+                if arg is None:
+                    continue
+                resolved = self._resolve_thread_callee(other, arg)
+                if resolved is not None:
+                    targets.add(resolved)
+                elif (
+                    isinstance(arg, ast.Name) and arg.id in other.params
+                ):
+                    targets |= self._parameter_targets(
+                        other.qualname, arg.id, seen
+                    )
+        return targets
+
+    def _resolve_parameter_fanouts(self) -> None:
+        """Second pass: bind parameter-valued fan-out sites to the
+        workers their callers actually pass in.
+
+        Without this, ``pool.submit(worker, payload)`` inside a generic
+        phase runner leaves ``callee=None`` and silently exempts every
+        real worker function from the concurrency rules.  One site may
+        resolve to several workers (the runner is called once per
+        phase); the first replaces the unresolved entry in place and the
+        rest are appended, all sharing the site's caller/line/col.
+        """
+        for index, param in self._param_fanouts:
+            fanout = self.fanouts[index]
+            targets = sorted(
+                self._parameter_targets(fanout.caller, param, set())
+            )
+            if not targets:
+                continue
+            self.fanouts[index] = replace(fanout, callee=targets[0])
+            for extra in targets[1:]:
+                self.fanouts.append(replace(fanout, callee=extra))
+            edges = self.edges.setdefault(fanout.caller, set())
+            edges.update(
+                target
+                for target in targets
+                if target in self.project.functions
+            )
 
     # -- queries --------------------------------------------------------
     def reachable_from(self, roots: Iterable[str]) -> set[str]:

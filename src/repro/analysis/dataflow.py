@@ -63,6 +63,10 @@ MUTATOR_METHODS = frozenset(
 _SPAN_OPENERS = frozenset({"span", "timed_span", "trace"})
 #: Obs entry points that emit point records / counters.
 _EMITTERS = frozenset({"event", "incr"})
+#: Telemetry entry points that open a cross-process SpanCapture: a
+#: worker wrapped in one ships its records back with its partials
+#: instead of losing them in the pickled session copy.
+_CAPTURE_OPENERS = frozenset({"worker_capture"})
 #: Obs gauge setters; count as instrumentation when the gauge name
 #: literal starts with "health.".
 _GAUGE_SETTERS = frozenset({"set_gauge", "set_gauge_max", "set_gauge_min"})
@@ -193,6 +197,12 @@ class FunctionFacts:
     #: Which obs calls made it instrumented (for reports).
     instrumentation: list[str] = field(default_factory=list)
     opens_trace_session: bool = False
+    #: Whether the function opens a cross-process SpanCapture
+    #: (``worker_capture``); relevant only for process-pool workers.
+    uses_worker_capture: bool = False
+    #: ``(line, col, api)`` of every span/event/counter/gauge call --
+    #: the record-producing sites the process-capture rule anchors to.
+    obs_records: list[tuple[int, int, str]] = field(default_factory=list)
     #: ``(line, col, var)`` of direct ContextVar ``.set()``/``.reset()``.
     contextvar_mutations: list[tuple[int, int, str]] = field(
         default_factory=list
@@ -471,15 +481,27 @@ class DataflowIndex:
             # helper names.
             or (resolved == name and "." not in name)
         )
+        position = (int(node.lineno), int(node.col_offset))
         if tail in _SPAN_OPENERS and is_obs:
             facts.instrumented = True
             facts.instrumentation.append(tail)
             if tail == "trace":
                 facts.opens_trace_session = True
+            else:
+                # ``trace`` opens a *fresh* session owned by this
+                # function; only span records into inherited sessions
+                # are at risk across a process boundary.
+                facts.obs_records.append((*position, tail))
+        elif tail in _CAPTURE_OPENERS and is_obs:
+            facts.instrumented = True
+            facts.instrumentation.append(tail)
+            facts.uses_worker_capture = True
         elif tail in _EMITTERS and is_obs:
             facts.instrumented = True
             facts.instrumentation.append(tail)
+            facts.obs_records.append((*position, tail))
         elif tail in _GAUGE_SETTERS and is_obs and node.args:
+            facts.obs_records.append((*position, tail))
             first = node.args[0]
             if (
                 isinstance(first, ast.Constant)
@@ -495,6 +517,7 @@ class DataflowIndex:
             # StageTimer.stage() is a span-emitting façade.
             facts.instrumented = True
             facts.instrumentation.append("stage")
+            facts.obs_records.append((*position, "stage"))
         if (
             isinstance(node.func, ast.Attribute)
             and node.func.attr in ("set", "reset")

@@ -263,6 +263,68 @@ class ThreadSpanMisuseRule(ProjectRule):
 
 
 # ----------------------------------------------------------------------
+# process-span-capture
+# ----------------------------------------------------------------------
+@register_project_rule
+class ProcessSpanCaptureRule(ProjectRule):
+    """Obs records in process-pool workers must ride a SpanCapture."""
+
+    id = "process-span-capture"
+    summary = (
+        "spans/events/counters/gauges recorded in process-pool workers "
+        "must be wrapped in a SpanCapture (repro.obs.telemetry."
+        "worker_capture)"
+    )
+    rationale = (
+        "A pool worker inherits pickled *copies* of the driver's trace "
+        "sessions: every span, counter and gauge it records lands in "
+        "the copy and vanishes when the worker returns.  The telemetry "
+        "pipeline exists precisely for this -- the worker records into "
+        "a picklable SpanCapture shipped back with its partials, and "
+        "the driver stitches it under the parent span.  An unwrapped "
+        "recording site is observability silently thrown away, which "
+        "no single-process test can notice."
+    )
+    severity = "error"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        graph, dataflow = _analysis_state(project)
+        reported: set[tuple[str, int, int]] = set()
+        for entry in sorted(graph.process_entries()):
+            entry_facts = dataflow.facts.get(entry)
+            if entry_facts is not None and entry_facts.uses_worker_capture:
+                continue
+            for qualname in sorted(graph.reachable_from([entry])):
+                fn = project.functions[qualname]
+                # The obs machinery itself (span/capture internals) is
+                # exempt; it is what the wrapped pattern calls into.
+                if _in_modules(fn.module_name, ("repro.obs",)):
+                    continue
+                facts = dataflow.facts[qualname]
+                for line, col, api in facts.obs_records:
+                    if (qualname, line, col) in reported:
+                        continue
+                    reported.add((qualname, line, col))
+                    where = (
+                        "is a process-pool worker"
+                        if qualname == entry
+                        else f"runs in process-pool worker {entry!r}"
+                    )
+                    yield _violation(
+                        self,
+                        fn,
+                        line,
+                        col,
+                        f"{qualname!r} {where} and records obs "
+                        f"{api!r} outside a SpanCapture; the record "
+                        "lands in the worker's pickled session copy "
+                        "and is silently lost -- wrap the worker body "
+                        "in repro.obs.telemetry.worker_capture and "
+                        "stitch the returned capture in the driver",
+                    )
+
+
+# ----------------------------------------------------------------------
 # alias-mutation
 # ----------------------------------------------------------------------
 @register_project_rule

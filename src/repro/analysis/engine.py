@@ -284,8 +284,15 @@ def deep_lint_paths(
     }
     graph_state = project.stats.get("_analysis_state")
     fanouts = graph_state[0].fanouts if graph_state else []
-    thread_sites = sum(1 for f in fanouts if f.kind == "thread")
-    process_sites = sum(1 for f in fanouts if f.kind == "process")
+    # Count *sites*, not fan-out entries: a parameter-valued site can
+    # resolve to several workers, one entry each, all sharing its
+    # caller/line/col.
+    thread_sites = len(
+        {(f.caller, f.line, f.col) for f in fanouts if f.kind == "thread"}
+    )
+    process_sites = len(
+        {(f.caller, f.line, f.col) for f in fanouts if f.kind == "process"}
+    )
     report.stats = {
         "files": len(parsed),
         "skipped_files": skipped_files,

@@ -30,12 +30,17 @@ Every figure/align subcommand also accepts observability flags (see
     geoalign-repro fig5a --mem                # tracemalloc peak (opt-in)
     geoalign-repro align --trace run.jsonl --registry runs.jsonl
 
-and the ``obs`` family analyses what they produced::
+``serve`` and the ``store`` family accept ``--trace``/``--profile``
+too (the server opens a recording session only when asked, so a
+long-running serve does not accumulate spans unbounded), and the
+``obs`` family analyses what any of them produced::
 
     geoalign-repro obs report run.jsonl       # health verdicts (exit 1 on fail)
     geoalign-repro obs diff base.jsonl cand.jsonl
     geoalign-repro obs list --registry runs.jsonl
     geoalign-repro obs show RUN_ID --registry runs.jsonl
+    geoalign-repro obs tail 127.0.0.1:8732    # live error/slow-tail exemplars
+    geoalign-repro obs prom run.jsonl         # counters/gauges as Prometheus text
 
 The project's numerical-correctness linter is exposed as a subcommand
 too (see ``docs/static-analysis.md``)::
@@ -57,13 +62,14 @@ Fitted models persist to, and serve from, the model store (see
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
 import time
 
 from repro import obs
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
 
 from repro.experiments.effectiveness import run_figure5a, run_figure5b
 from repro.experiments.noise import PAPER_NOISE_LEVELS, run_noise_robustness
@@ -87,18 +93,7 @@ def _add_common(parser):
         metavar="DIR",
         help="also write the report into DIR as <figure>.txt",
     )
-    parser.add_argument(
-        "--trace",
-        default=None,
-        metavar="FILE",
-        dest="trace",
-        help="write a JSON-lines span/event trace of the run to FILE",
-    )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="print a per-span wall-time summary tree after the run",
-    )
+    _add_obs_flags(parser)
     parser.add_argument(
         "--mem",
         action="store_true",
@@ -111,6 +106,27 @@ def _add_common(parser):
         metavar="FILE",
         help="append the traced run, with its health verdicts, to this "
         "run-registry JSONL file",
+    )
+
+
+def _add_obs_flags(parser):
+    """The trace/profile pair shared by every workload subcommand.
+
+    Figure/align commands get these via :func:`_add_common`; ``serve``
+    and the ``store`` family attach just this pair (no ``--mem`` or
+    ``--registry``: neither maps onto a long-running server).
+    """
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        dest="trace",
+        help="write a JSON-lines span/event trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-span wall-time summary tree after the run",
     )
 
 
@@ -293,6 +309,39 @@ def build_parser():
         ".geoalign/registry.jsonl)",
     )
 
+    tail = obs_sub.add_parser(
+        "tail",
+        help="fetch a running server's tail-sampled request exemplars "
+        "(/debug/exemplars) and print their span trees",
+    )
+    tail.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="server address, e.g. 127.0.0.1:8732",
+    )
+    tail.add_argument(
+        "-n",
+        type=int,
+        default=10,
+        dest="count",
+        help="how many exemplars to show, newest first (default: 10)",
+    )
+    tail.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_out",
+        help="print the raw /debug/exemplars JSON instead of text",
+    )
+
+    prom = obs_sub.add_parser(
+        "prom",
+        help="render a trace file's counters and gauges as Prometheus "
+        "0.0.4 exposition text",
+    )
+    prom.add_argument(
+        "trace_file", metavar="FILE", help="trace JSONL written by --trace"
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run repro-lint, the numerical-correctness static analysis",
@@ -363,6 +412,7 @@ def build_parser():
             help="store directory (default: $REPRO_STORE or "
             ".geoalign/store)",
         )
+        _add_obs_flags(cmd)
 
     save = store_sub.add_parser(
         "save",
@@ -455,6 +505,7 @@ def build_parser():
         metavar="SECONDS",
         help="drain and exit after SECONDS (for smoke tests/CI)",
     )
+    _add_obs_flags(serve_cmd)
     return parser
 
 
@@ -591,6 +642,32 @@ def _run_lint(args, stream):
     return 1 if violations else 0
 
 
+@contextlib.contextmanager
+def _observed_session(name, args, stream, always=False, **attrs):
+    """An obs recording session gated on the ``--trace``/``--profile``
+    flags, exporting/printing on clean exit.
+
+    Yields ``None`` (and records nothing) when neither flag was given
+    and ``always`` is false -- the server/store paths must not pay for,
+    or grow, a span list nobody asked for.  With ``always=True`` the
+    session is opened regardless (``store save`` needs one to evaluate
+    model health) but the trace file and profile tree still appear only
+    on request.
+    """
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if not (always or trace_path or profile):
+        yield None
+        return
+    with obs.trace(name, **attrs) as session:
+        yield session
+    if trace_path:
+        obs.write_trace_jsonl(session, trace_path)
+        print(f"[trace written {trace_path}]", file=stream)
+    if profile:
+        print(obs.format_profile(session), file=stream)
+
+
 def _fit_world_model(universe, scale, seed):
     """The leave-one-dataset-out batch model for one universe.
 
@@ -623,8 +700,12 @@ def _run_store(args, stream):
     store = ModelStore(args.store)
     try:
         if args.store_command == "save":
-            with obs.trace(
-                f"store-save.{args.universe}", scale=args.scale
+            with _observed_session(
+                f"store-save.{args.universe}",
+                args,
+                stream,
+                always=True,
+                scale=args.scale,
             ) as session:
                 model = _fit_world_model(
                     args.universe, args.scale, args.seed
@@ -648,8 +729,9 @@ def _run_store(args, stream):
             )
             return 0
         if args.store_command == "load":
-            model, entry = store.load(args.key)
-            predictions = model.predict()
+            with _observed_session(f"store-load.{args.key}", args, stream):
+                model, entry = store.load(args.key)
+                predictions = model.predict()
             print(entry.summary_line(), file=stream)
             print(
                 f"[loaded {entry.key}: predictions "
@@ -658,11 +740,12 @@ def _run_store(args, stream):
             )
             return 0
         if args.store_command == "list":
-            if args.porcelain:
-                for key in store.keys():
-                    print(key, file=stream)
-            else:
-                print(store.to_text(), file=stream)
+            with _observed_session("store-list", args, stream):
+                if args.porcelain:
+                    for key in store.keys():
+                        print(key, file=stream)
+                else:
+                    print(store.to_text(), file=stream)
             return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -734,7 +817,11 @@ def _run_serve(args, stream):
             file=sys.stderr,
         )
     try:
-        with obs.trace("serve"):
+        # The session is opened only on request: an unconditional trace
+        # on a long-running server would accumulate spans without bound.
+        # When absent, per-request exemplar tracing still runs -- the
+        # tail sampler owns its own throwaway sessions.
+        with _observed_session("serve", args, stream):
             asyncio.run(_serve_async(server, args, stream))
     except KeyboardInterrupt:  # pragma: no cover - signal race
         return 0
@@ -755,6 +842,136 @@ def _record_for(spec, registry_path):
         session = obs.read_trace_jsonl(spec)[0]
         return obs.record_from_trace(session, obs.evaluate_health(session))
     return obs.RunRegistry(registry_path).get(spec)
+
+
+def _parse_address(address):
+    """``HOST:PORT`` split with validation (exit-2 errors on bad input)."""
+    host, sep, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not sep or not host or not 0 < port < 65536:
+        raise ValidationError(
+            f"address must look like HOST:PORT, got {address!r}"
+        )
+    return host, port
+
+
+def _fetch_exemplars(host, port):
+    """One GET /debug/exemplars over a short-lived ServeClient."""
+    import asyncio
+
+    from repro.serve import ServeClient
+
+    async def _go():
+        async with ServeClient(host, port) as client:
+            return await client.request("GET", "/debug/exemplars")
+
+    return asyncio.run(_go())
+
+
+def _format_exemplar(exemplar):
+    """One retained request as an indented span-tree text block."""
+    header = (
+        f"exemplar {exemplar.get('id')}  "
+        f"{exemplar.get('method')} {exemplar.get('endpoint')}  "
+        f"status={exemplar.get('status')}  "
+        f"{float(exemplar.get('seconds') or 0.0) * 1000.0:.2f} ms  "
+        f"reason={exemplar.get('reason')}"
+    )
+    p99 = exemplar.get("p99_seconds")
+    if isinstance(p99, (int, float)):
+        header += f"  (p99 {float(p99) * 1000.0:.2f} ms)"
+    lines = [header]
+    records = [
+        record
+        for record in (exemplar.get("records") or [])
+        if isinstance(record, dict)
+    ]
+    spans = [record for record in records if record.get("type") == "span"]
+    known = {span.get("id") for span in spans}
+    children = {}
+    for span in spans:
+        parent = span.get("parent")
+        # A span whose parent lives outside this per-request session
+        # (e.g. the server's own root trace) renders as a local root.
+        key = parent if parent in known else None
+        children.setdefault(key, []).append(span)
+
+    def _walk(parent, depth):
+        ordered = sorted(
+            children.get(parent, ()),
+            key=lambda span: (span.get("t0", 0.0), span.get("id", 0)),
+        )
+        for span in ordered:
+            status = span.get("status", "ok")
+            mark = "" if status == "ok" else f"  [{status}]"
+            lines.append(
+                f"{'  ' * depth}{span.get('name')}  "
+                f"{float(span.get('seconds') or 0.0) * 1000.0:.3f} ms"
+                f"{mark}"
+            )
+            _walk(span.get("id"), depth + 1)
+
+    _walk(None, 1)
+    for record in records:
+        if record.get("type") == "event":
+            lines.append(
+                f"  event {record.get('name')} {record.get('fields') or {}}"
+            )
+    return "\n".join(lines)
+
+
+def _trace_prometheus_text(sessions):
+    """Recorded sessions' counters/gauges as Prometheus 0.0.4 text.
+
+    The CLI side of the shared :mod:`repro.obs.promfmt` encoder: the
+    exact renderer behind the server's ``/metrics``, pointed at offline
+    trace files so recorded runs can feed the same scrape tooling.
+    Samples are labelled by session name (``all`` runs append several
+    sessions to one file).
+    """
+    from repro.obs.promfmt import (
+        MetricFamily,
+        render_prometheus_text,
+        sanitize_metric_name,
+    )
+
+    wall = MetricFamily(
+        name="geoalign_trace_wall_seconds",
+        kind="gauge",
+        help="Recorded session wall-clock seconds.",
+    )
+    counter_families = {}
+    gauge_families = {}
+    for session in sessions:
+        labels = (("trace", session.name),)
+        wall.add(session.wall_seconds, labels)
+        for name in sorted(session.counters):
+            family = counter_families.get(name)
+            if family is None:
+                family = counter_families[name] = MetricFamily(
+                    name=sanitize_metric_name(f"geoalign_trace_{name}"),
+                    kind="counter",
+                    help=f"Trace counter {name}.",
+                )
+            family.add(session.counters[name], labels)
+        for name in sorted(session.gauges):
+            family = gauge_families.get(name)
+            if family is None:
+                family = gauge_families[name] = MetricFamily(
+                    name=sanitize_metric_name(f"geoalign_trace_{name}"),
+                    kind="gauge",
+                    help=f"Trace gauge {name}.",
+                )
+            family.add(session.gauges[name], labels)
+    families = [wall]
+    families.extend(
+        counter_families[name] for name in sorted(counter_families)
+    )
+    families.extend(gauge_families[name] for name in sorted(gauge_families))
+    return render_prometheus_text(families)
 
 
 def _run_obs(args, stream):
@@ -802,6 +1019,38 @@ def _run_obs(args, stream):
                 json.dumps(record.to_dict(), indent=2, sort_keys=True),
                 file=stream,
             )
+            return 0
+        if args.obs_command == "tail":
+            host, port = _parse_address(args.address)
+            status, payload = _fetch_exemplars(host, port)
+            if status != 200:
+                print(
+                    f"error: /debug/exemplars returned {status}: {payload}",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.json_out:
+                print(
+                    json.dumps(payload, indent=2, sort_keys=True),
+                    file=stream,
+                )
+                return 0
+            stats = payload.get("stats") or {}
+            exemplars = payload.get("exemplars") or []
+            print(
+                f"[{args.address}: "
+                f"{stats.get('sampled_total', 0.0):.0f} sampled, "
+                f"{stats.get('retained', 0.0):.0f} retained "
+                f"({stats.get('retained_errors', 0.0):.0f} error, "
+                f"{stats.get('retained_slow', 0.0):.0f} slow)]",
+                file=stream,
+            )
+            for exemplar in exemplars[: args.count]:
+                print(_format_exemplar(exemplar), file=stream)
+            return 0
+        if args.obs_command == "prom":
+            sessions = obs.read_trace_jsonl(args.trace_file)
+            print(_trace_prometheus_text(sessions), file=stream, end="")
             return 0
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -53,6 +53,7 @@ carrying the shard id and phase, after draining the pool.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -72,8 +73,15 @@ from repro.core.batch import (
 from repro.core.reference import Reference
 from repro.core.sparse_stack import EntrySlice
 from repro.errors import ShardError, ValidationError
+from repro.obs.telemetry import (
+    SPANS_DROPPED,
+    SpanCapture,
+    stitch_capture,
+    worker_capture,
+)
 from repro.obs.trace import (
     event as _obs_event,
+    incr as _incr,
     set_gauge as _set_gauge,
     set_gauge_max as _gauge_max,
     span as _span,
@@ -309,18 +317,22 @@ def plan_shards(
 
 # ---------------------------------------------------------------------------
 # map-phase workers (module level: picklable into a process pool; pure:
-# results travel back as return values, never through shared state)
+# results travel back as return values, never through shared state;
+# instrumented: each records its spans/events/counters into a
+# :class:`~repro.obs.telemetry.SpanCapture` that rides back with the
+# partial and is stitched into the driver's trace)
 # ---------------------------------------------------------------------------
 
-#: (shard_id, design rows, rhs columns) -> (shard_id, Gram, A^T b, b^T b)
-_FitPayload = tuple[int, FloatArray, FloatArray]
-_FitPartial = tuple[int, FloatArray, FloatArray, FloatArray]
+#: (shard_id, design rows, rhs columns, capture telemetry?) ->
+#: (shard_id, Gram, A^T b, b^T b, span capture)
+_FitPayload = tuple[int, FloatArray, FloatArray, bool]
+_FitPartial = tuple[int, FloatArray, FloatArray, FloatArray, SpanCapture]
 
 #: (shard_id, blend weights, entry-value slice, local entry rows,
 #:  entry cols, objectives slice, source-vector slice or None,
-#:  denominator, n_rows).  The entry values travel as an
-#: :class:`~repro.core.sparse_stack.EntrySlice` -- CSR triplets for
-#: sparse-mode stacks -- so worker transfer volume scales with the
+#:  denominator, n_rows, capture telemetry?).  The entry values travel
+#: as an :class:`~repro.core.sparse_stack.EntrySlice` -- CSR triplets
+#: for sparse-mode stacks -- so worker transfer volume scales with the
 #: shard's *stored* entries, not ``k * n_entries``.
 _DisaggregatePayload = tuple[
     int,
@@ -332,13 +344,17 @@ _DisaggregatePayload = tuple[
     "FloatArray | None",
     str,
     int,
+    bool,
 ]
-#: (shard_id, covered rows, touched cols, partial sums).  The scaled
-#: entry values themselves stay inside the worker: the reduce only
-#: needs the partial column sums, and the merge check recomputes the
-#: disaggregation independently (see ``ShardedAligner.predict``), so
-#: the per-shard result transfer is column-sized, not entry-sized.
-_DisaggregatePartial = tuple[int, BoolArray, IntArray, FloatArray]
+#: (shard_id, covered rows, touched cols, partial sums, span capture).
+#: The scaled entry values themselves stay inside the worker: the
+#: reduce only needs the partial column sums, and the merge check
+#: recomputes the disaggregation independently (see
+#: ``ShardedAligner.predict``), so the per-shard result transfer is
+#: column-sized, not entry-sized.
+_DisaggregatePartial = tuple[
+    int, BoolArray, IntArray, FloatArray, SpanCapture
+]
 
 
 def _fit_shard_worker(payload: _FitPayload) -> _FitPartial:
@@ -349,12 +365,16 @@ def _fit_shard_worker(payload: _FitPayload) -> _FitPartial:
     same way, so summing partials over shards reproduces the monolithic
     ``A^T A`` / ``A^T b`` / ``b^T b`` up to addition order.
     """
-    shard_id, design_rows, rhs_rows = payload
-    _raise_injected_fault("fit", shard_id)
-    gram = design_rows.T @ design_rows
-    atb = design_rows.T @ rhs_rows.T
-    btb: FloatArray = np.einsum("ij,ij->i", rhs_rows, rhs_rows)
-    return shard_id, gram, atb, btb
+    shard_id, design_rows, rhs_rows, capture_on = payload
+    with worker_capture(
+        "shard.worker", enabled=capture_on, shard=shard_id, phase="fit"
+    ) as capture:
+        _raise_injected_fault("fit", shard_id)
+        with _span("shard.partials", rows=int(design_rows.shape[0])):
+            gram = design_rows.T @ design_rows
+            atb = design_rows.T @ rhs_rows.T
+            btb: FloatArray = np.einsum("ij,ij->i", rhs_rows, rhs_rows)
+    return shard_id, gram, atb, btb, capture
 
 
 def _disaggregate_shard_worker(
@@ -378,7 +398,40 @@ def _disaggregate_shard_worker(
         source_vectors,
         denominator,
         n_rows,
+        capture_on,
     ) = payload
+    with worker_capture(
+        "shard.worker",
+        enabled=capture_on,
+        shard=shard_id,
+        phase="disaggregate",
+    ) as capture:
+        partial_result = _disaggregate_shard_body(
+            shard_id,
+            blend_weights,
+            values,
+            entry_local_rows,
+            entry_cols,
+            objectives,
+            source_vectors,
+            denominator,
+            n_rows,
+        )
+    return partial_result + (capture,)
+
+
+def _disaggregate_shard_body(
+    shard_id: int,
+    blend_weights: FloatArray,
+    values: EntrySlice,
+    entry_local_rows: IntArray,
+    entry_cols: IntArray,
+    objectives: FloatArray,
+    source_vectors: "FloatArray | None",
+    denominator: str,
+    n_rows: int,
+) -> tuple[int, BoolArray, IntArray, FloatArray]:
+    """The blend / rescale / partial-sum arithmetic of one shard."""
     _raise_injected_fault("disaggregate", shard_id)
     blended = values.blend(blend_weights)
     if denominator == "source-vectors":
@@ -497,6 +550,16 @@ class ShardedAligner(BatchAligner):
         :class:`ShardError` naming the shard and phase, after cancelling
         queued work and draining the pool (no orphaned children, no
         hang).
+
+        Telemetry: every worker returns a
+        :class:`~repro.obs.telemetry.SpanCapture` as the last element of
+        its partial.  It is stitched into the driver's active sessions
+        here -- under the ``shard.map`` span, anchored at that shard's
+        submit time on the driver clock -- and stripped before the
+        partials reach the reducer.  Inline and pooled execution run
+        the identical capture-then-stitch path, so the stitched span
+        tree is the same either way (a worker crash loses its capture;
+        the ``telemetry.spans_dropped`` counter records that).
         """
         results: list[tuple[Any, ...]] = []
         with _span(
@@ -510,7 +573,10 @@ class ShardedAligner(BatchAligner):
                     max_workers=min(self.max_workers, len(payloads))
                 ) as pool:
                     futures = {
-                        pool.submit(worker, payload): int(payload[0])
+                        pool.submit(worker, payload): (
+                            int(payload[0]),
+                            time.perf_counter(),
+                        )
                         for payload in payloads
                     }
                     done, _pending = wait(
@@ -521,35 +587,40 @@ class ShardedAligner(BatchAligner):
                         None,
                     )
                     if failed is not None:
-                        shard_id = futures[failed]
+                        shard_id, _anchor = futures[failed]
                         # Drain before raising: queued shards are
                         # cancelled, running ones finish, children exit.
                         pool.shutdown(wait=True, cancel_futures=True)
                         exc = failed.exception()
+                        _incr(SPANS_DROPPED, 1.0)
                         raise ShardError(
                             f"shard {shard_id} failed during the "
                             f"{phase!r} map phase: {exc}",
                             shard_id=shard_id,
                             phase=phase,
                         ) from exc
-                    for future, shard_id in futures.items():
-                        results.append(future.result())
+                    for future, (shard_id, anchor) in futures.items():
+                        *partial, capture = future.result()
+                        stitch_capture(capture, anchor=anchor)
+                        results.append(tuple(partial))
                         _obs_event(
                             "shard.collect", shard=shard_id, phase=phase
                         )
             else:
                 for payload in payloads:
                     shard_id = int(payload[0])
-                    with _span("shard.worker", shard=shard_id, phase=phase):
-                        try:
-                            results.append(worker(payload))
-                        except Exception as exc:
-                            raise ShardError(
-                                f"shard {shard_id} failed during the "
-                                f"{phase!r} map phase: {exc}",
-                                shard_id=shard_id,
-                                phase=phase,
-                            ) from exc
+                    try:
+                        *partial, capture = worker(payload)
+                    except Exception as exc:
+                        _incr(SPANS_DROPPED, 1.0)
+                        raise ShardError(
+                            f"shard {shard_id} failed during the "
+                            f"{phase!r} map phase: {exc}",
+                            shard_id=shard_id,
+                            phase=phase,
+                        ) from exc
+                    stitch_capture(capture)
+                    results.append(tuple(partial))
         results.sort(key=lambda partial: int(partial[0]))
         return results
 
@@ -583,17 +654,18 @@ class ShardedAligner(BatchAligner):
             for payload in payloads:
                 shard_id = int(payload[0])
                 count += 1
-                with _span("shard.worker", shard=shard_id, phase=phase):
-                    try:
-                        result = worker(payload)
-                    except Exception as exc:
-                        raise ShardError(
-                            f"shard {shard_id} failed during the "
-                            f"{phase!r} map phase: {exc}",
-                            shard_id=shard_id,
-                            phase=phase,
-                        ) from exc
-                yield result
+                try:
+                    *partial, capture = worker(payload)
+                except Exception as exc:
+                    _incr(SPANS_DROPPED, 1.0)
+                    raise ShardError(
+                        f"shard {shard_id} failed during the "
+                        f"{phase!r} map phase: {exc}",
+                        shard_id=shard_id,
+                        phase=phase,
+                    ) from exc
+                stitch_capture(capture)
+                yield tuple(partial)
             if map_span is not None:
                 map_span.attrs["n_shards"] = count
 
@@ -644,6 +716,7 @@ class ShardedAligner(BatchAligner):
                         spec.shard_id,
                         stack.design[spec.rows],
                         rhs[:, spec.rows],
+                        _tracing_active(),
                     )
                     for spec in plan.shards
                     if spec.n_rows
@@ -717,6 +790,7 @@ class ShardedAligner(BatchAligner):
                 else None,
                 self.denominator,
                 spec.n_rows,
+                _tracing_active(),
             )
 
         with _span("shard.predict", n_shards=plan.n_shards):

@@ -53,7 +53,7 @@ from numpy.typing import NDArray
 from scipy import sparse
 
 from repro.errors import ShapeMismatchError, ValidationError
-from repro.obs.trace import span as _span
+from repro.obs.trace import incr as _obs_incr, span as _span
 
 __all__ = [
     "DENSE_DENSITY_THRESHOLD",
@@ -111,6 +111,7 @@ class EntrySlice:
 
     def blend(self, weights: FloatArray) -> FloatArray:
         """Dense ``(n_attrs, n_entries)`` blend of this slice."""
+        _obs_incr("kernel.slice_blends")
         if self.dense is not None:
             result: FloatArray = weights @ self.dense
             return result

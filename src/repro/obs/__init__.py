@@ -47,11 +47,25 @@ from repro.obs.trace import (
     trace,
     tracing_active,
 )
+from repro.obs.telemetry import (
+    SPANS_DROPPED,
+    SpanCapture,
+    stitch_capture,
+    worker_capture,
+)
 from repro.obs.export import (
     read_trace_jsonl,
     trace_to_jsonl,
     trace_to_records,
     write_trace_jsonl,
+)
+from repro.obs.promfmt import (
+    PROMETHEUS_CONTENT_TYPE,
+    Histogram,
+    MetricFamily,
+    Sample,
+    parse_prometheus_text,
+    render_prometheus_text,
 )
 from repro.obs.profile import format_profile, profile_coverage
 from repro.obs.health import (
@@ -88,6 +102,16 @@ __all__ = [
     "timed_span",
     "trace",
     "tracing_active",
+    "SPANS_DROPPED",
+    "SpanCapture",
+    "stitch_capture",
+    "worker_capture",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Histogram",
+    "MetricFamily",
+    "Sample",
+    "parse_prometheus_text",
+    "render_prometheus_text",
     "read_trace_jsonl",
     "trace_to_jsonl",
     "trace_to_records",

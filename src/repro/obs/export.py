@@ -32,6 +32,7 @@ registered — by another.
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 
@@ -122,10 +123,27 @@ def trace_to_jsonl(session: Trace) -> str:
 def write_trace_jsonl(
     session: Trace, path: str, append: bool = False
 ) -> str:
-    """Write (or append) the session's JSON-lines records to ``path``."""
-    mode = "a" if append else "w"
-    with open(path, mode) as handle:
-        handle.write(trace_to_jsonl(session))
+    """Write (or append) the session's JSON-lines records to ``path``.
+
+    Appends go through one ``os.write`` on an ``O_APPEND`` descriptor:
+    POSIX makes each such write land at the (current) end of file as a
+    unit, so concurrent writers -- shard workers or parallel CLI runs
+    tracing into one shared registry file -- interleave at *session*
+    granularity.  No torn lines, no half records, every session block
+    contiguous; buffered ``open(...).write`` gives none of that once
+    the text outgrows the stdio buffer.
+    """
+    data = trace_to_jsonl(session).encode("utf-8")
+    flags = os.O_WRONLY | os.O_CREAT | (
+        os.O_APPEND if append else os.O_TRUNC
+    )
+    descriptor = os.open(path, flags, 0o644)
+    try:
+        view = memoryview(data)
+        while view:  # pragma: no branch - regular files write whole
+            view = view[os.write(descriptor, view) :]
+    finally:
+        os.close(descriptor)
     return path
 
 

@@ -1,0 +1,535 @@
+"""Prometheus text exposition (format 0.0.4): encode, parse, histograms.
+
+A dependency-free encoder shared by the serving layer (``/metrics``
+content negotiation) and the CLI (``geoalign-repro obs prom``).  The
+model mirrors the exposition format directly:
+
+* :class:`Sample` — one ``name{labels} value`` line.
+* :class:`MetricFamily` — one ``# HELP`` / ``# TYPE`` header plus its
+  samples (for histograms: the ``_bucket``/``_sum``/``_count`` series).
+* :func:`render_prometheus_text` — families to wire text.
+* :func:`parse_prometheus_text` — wire text back to families, with the
+  structural validation a scraper performs (known types, escaped
+  labels, cumulative non-decreasing buckets ending in ``+Inf``).  The
+  round-trip ``parse(render(f)) == f`` is pinned by the test suite.
+
+:class:`Histogram` is the fixed-bucket observation store that replaces
+the sample-window percentiles in ``repro.serve.metrics``: O(#buckets)
+memory regardless of traffic, mergeable, and directly expositable.
+Quantiles are estimated by linear interpolation within the owning
+bucket and clamped to the observed maximum, so estimates never exceed
+a real observation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "MetricFamily",
+    "Sample",
+    "format_sample_value",
+    "parse_prometheus_text",
+    "render_prometheus_text",
+    "sanitize_metric_name",
+]
+
+#: Content-Type a 0.0.4 text exposition must be served under.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Latency bucket upper bounds (seconds).  Spans 100 µs – 10 s: the
+#: serve benchmark's warm ``/predict`` sits near 1 ms, cold fits and
+#: injected-fault retries near the top.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_VALID_TYPES = frozenset({"counter", "gauge", "histogram", "untyped"})
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal dotted metric name onto the Prometheus charset.
+
+    Dots (our namespace separator) and any other invalid character
+    become underscores; a leading digit gains an underscore prefix.
+    ``health.shard_merge_residual_max`` →
+    ``health_shard_merge_residual_max``.
+    """
+    cleaned = "".join(
+        ch if (ch.isalnum() and ch.isascii()) or ch in "_:" else "_"
+        for ch in name
+    )
+    if not cleaned:
+        raise ValidationError("metric name sanitised to empty string")
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def format_sample_value(value: float) -> str:
+    """Render one sample value per the exposition grammar.
+
+    Integral values print without an exponent or trailing ``.0`` (what
+    scrapers emit for counters); infinities use the required
+    ``+Inf``/``-Inf`` spelling.
+    """
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    name: str
+    value: float
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def render(self) -> str:
+        if not _NAME_RE.match(self.name):
+            raise ValidationError(
+                f"invalid Prometheus metric name {self.name!r}"
+            )
+        label_text = ""
+        if self.labels:
+            for key, _ in self.labels:
+                if not _LABEL_NAME_RE.match(key):
+                    raise ValidationError(
+                        f"invalid Prometheus label name {key!r}"
+                    )
+            inner = ",".join(
+                f'{key}="{_escape_label_value(str(val))}"'
+                for key, val in self.labels
+            )
+            label_text = "{" + inner + "}"
+        return f"{self.name}{label_text} {format_sample_value(self.value)}"
+
+
+@dataclass
+class MetricFamily:
+    """One ``# HELP``/``# TYPE`` block and its sample lines."""
+
+    name: str
+    kind: str
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def add(
+        self, value: float, labels: tuple[tuple[str, str], ...] = (),
+        suffix: str = "",
+    ) -> None:
+        self.samples.append(
+            Sample(name=self.name + suffix, value=value, labels=labels)
+        )
+
+
+def render_prometheus_text(families: list[MetricFamily]) -> str:
+    """Families to 0.0.4 wire text (trailing newline included)."""
+    lines: list[str] = []
+    for family in families:
+        if family.kind not in _VALID_TYPES:
+            raise ValidationError(
+                f"unknown Prometheus metric type {family.kind!r} "
+                f"for {family.name!r}"
+            )
+        if not _NAME_RE.match(family.name):
+            raise ValidationError(
+                f"invalid Prometheus metric name {family.name!r}"
+            )
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            lines.append(sample.render())
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Parsing (scraper-side validation; pins the round-trip contract)
+# ----------------------------------------------------------------------
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str, line_no: int) -> tuple[tuple[str, str], ...]:
+    labels: list[tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        match = re.match(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"', text[i:])
+        if match is None:
+            raise ValidationError(
+                f"line {line_no}: malformed label pair near {text[i:]!r}"
+            )
+        name = match.group(1)
+        i += match.end()
+        value_chars: list[str] = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\" and i + 1 < len(text):
+                value_chars.append(text[i : i + 2])
+                i += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            i += 1
+        else:
+            raise ValidationError(
+                f"line {line_no}: unterminated label value"
+            )
+        i += 1  # closing quote
+        labels.append((name, _unescape("".join(value_chars))))
+        rest = text[i:].lstrip()
+        if rest.startswith(","):
+            i = len(text) - len(rest) + 1
+            continue
+        if rest:
+            raise ValidationError(
+                f"line {line_no}: trailing garbage in label set: {rest!r}"
+            )
+        break
+    return tuple(labels)
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    token = text.strip().split()[0] if text.strip() else ""
+    if token in ("+Inf", "Inf"):
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError as exc:
+        raise ValidationError(
+            f"line {line_no}: invalid sample value {token!r}"
+        ) from exc
+
+
+def _family_of(sample_name: str, families: dict[str, MetricFamily]) -> str:
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base].kind == "histogram":
+                return base
+    return sample_name
+
+
+def _check_histogram(family: MetricFamily) -> None:
+    """Validate the cumulative-bucket invariants of one histogram family.
+
+    Buckets are grouped by their non-``le`` labels so one family may
+    carry several labelled series (one per endpoint)."""
+    series: dict[tuple[tuple[str, str], ...], list[tuple[float, float]]] = {}
+    counts: dict[tuple[tuple[str, str], ...], float] = {}
+    for sample in family.samples:
+        if sample.name == family.name + "_bucket":
+            rest = tuple(
+                (k, v) for k, v in sample.labels if k != "le"
+            )
+            le = dict(sample.labels).get("le")
+            if le is None:
+                raise ValidationError(
+                    f"{family.name}: bucket sample missing 'le' label"
+                )
+            bound = math.inf if le == "+Inf" else float(le)
+            series.setdefault(rest, []).append((bound, sample.value))
+        elif sample.name == family.name + "_count":
+            counts[sample.labels] = sample.value
+    for rest, buckets in series.items():
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            raise ValidationError(
+                f"{family.name}: bucket bounds not sorted for {rest!r}"
+            )
+        if not buckets or not math.isinf(buckets[-1][0]):
+            raise ValidationError(
+                f"{family.name}: histogram series {rest!r} lacks a "
+                "+Inf bucket"
+            )
+        values = [v for _, v in buckets]
+        if any(nxt < prev for prev, nxt in zip(values, values[1:])):
+            raise ValidationError(
+                f"{family.name}: bucket counts not cumulative for {rest!r}"
+            )
+        expected = counts.get(rest)
+        if expected is not None and values[-1] != expected:
+            raise ValidationError(
+                f"{family.name}: +Inf bucket {values[-1]} != _count "
+                f"{expected} for {rest!r}"
+            )
+
+
+def parse_prometheus_text(text: str) -> dict[str, MetricFamily]:
+    """Parse 0.0.4 exposition text back into metric families.
+
+    Performs the structural checks a scraper would: valid names and
+    types, well-formed label sets, parseable values, and (for
+    histograms) sorted cumulative buckets terminated by ``+Inf`` whose
+    total agrees with ``_count``.  Raises
+    :class:`~repro.errors.ValidationError` on any violation.
+    """
+    families: dict[str, MetricFamily] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(None, 1)
+            if not parts:
+                raise ValidationError(f"line {line_no}: bare HELP line")
+            name = parts[0]
+            help_text = _unescape(parts[1]) if len(parts) > 1 else ""
+            family = families.setdefault(
+                name, MetricFamily(name=name, kind="untyped")
+            )
+            family.help = help_text
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split()
+            if len(parts) != 2:
+                raise ValidationError(
+                    f"line {line_no}: malformed TYPE line {line!r}"
+                )
+            name, kind = parts
+            if kind not in _VALID_TYPES:
+                raise ValidationError(
+                    f"line {line_no}: unknown metric type {kind!r}"
+                )
+            family = families.setdefault(
+                name, MetricFamily(name=name, kind=kind)
+            )
+            family.kind = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)", line)
+        if match is None:
+            raise ValidationError(
+                f"line {line_no}: malformed sample line {line!r}"
+            )
+        sample_name = match.group(1)
+        rest = line[match.end() :]
+        labels: tuple[tuple[str, str], ...] = ()
+        if rest.startswith("{"):
+            end = _label_block_end(rest, line_no)
+            labels = _parse_labels(rest[1:end], line_no)
+            rest = rest[end + 1 :]
+        value = _parse_value(rest, line_no)
+        family_name = _family_of(sample_name, families)
+        family = families.setdefault(
+            family_name, MetricFamily(name=family_name, kind="untyped")
+        )
+        family.samples.append(
+            Sample(name=sample_name, value=value, labels=labels)
+        )
+    for family in families.values():
+        if family.kind == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def _label_block_end(text: str, line_no: int) -> int:
+    """Index of the ``}`` closing the label block opened at ``text[0]``."""
+    i = 1
+    in_quotes = False
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and in_quotes:
+            i += 2
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        elif ch == "}" and not in_quotes:
+            return i
+        i += 1
+    raise ValidationError(f"line {line_no}: unterminated label block")
+
+
+# ----------------------------------------------------------------------
+# Fixed-bucket histogram
+# ----------------------------------------------------------------------
+class Histogram:
+    """Cumulative fixed-bucket histogram (Prometheus semantics).
+
+    Stores one count per bucket plus sum/count/max: constant memory
+    under unbounded traffic, unlike the sample window it replaces.
+    Not internally locked — callers (``ServerMetrics``) serialise
+    access under their own lock.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "max_value")
+
+    def __init__(
+        self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValidationError(
+                "histogram bucket bounds must be strictly increasing"
+            )
+        if any(math.isinf(b) for b in bounds):
+            raise ValidationError(
+                "the +Inf bucket is implicit; do not pass an inf bound"
+            )
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.bucket_counts: list[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile, or ``None`` when empty.
+
+        Linear interpolation inside the owning bucket, clamped to the
+        observed maximum so the estimate never exceeds a real sample
+        (and ``p50 <= p95 <= p99 <= max`` always holds).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValidationError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[i]
+            if cumulative + in_bucket >= rank:
+                if in_bucket == 0:
+                    return min(bound, self.max_value)
+                fraction = (rank - cumulative) / in_bucket
+                estimate = lower + fraction * (bound - lower)
+                return min(estimate, self.max_value)
+            cumulative += in_bucket
+            lower = bound
+        return self.max_value  # rank lands in the +Inf bucket
+
+    def summary(self) -> dict[str, float]:
+        """JSON snapshot block.  Empty histograms report only the count
+        (a ``0.0`` percentile is indistinguishable from a true
+        zero-latency reading, so stats are omitted until data lands)."""
+        if self.count == 0:
+            return {"count": 0.0}
+        stats: dict[str, float] = {
+            "count": float(self.count),
+            "mean_seconds": self.mean,
+            "max_seconds": self.max_value,
+        }
+        quantile_keys = (
+            ("p50_seconds", 0.50),
+            ("p95_seconds", 0.95),
+            ("p99_seconds", 0.99),
+        )
+        for key, q in quantile_keys:
+            estimate = self.quantile(q)
+            if estimate is not None:
+                stats[key] = estimate
+        return stats
+
+    def bucket_samples(
+        self, name: str, labels: tuple[tuple[str, str], ...] = ()
+    ) -> list[Sample]:
+        """The ``_bucket``/``_sum``/``_count`` series for exposition."""
+        samples: list[Sample] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            samples.append(
+                Sample(
+                    name=name + "_bucket",
+                    value=float(cumulative),
+                    labels=labels
+                    + (("le", format_sample_value(bound)),),
+                )
+            )
+        samples.append(
+            Sample(
+                name=name + "_bucket",
+                value=float(self.count),
+                labels=labels + (("le", "+Inf"),),
+            )
+        )
+        samples.append(
+            Sample(name=name + "_sum", value=self.total, labels=labels)
+        )
+        samples.append(
+            Sample(
+                name=name + "_count", value=float(self.count), labels=labels
+            )
+        )
+        return samples

@@ -21,8 +21,9 @@ sessions.
 
 When *no* session is active, every instrumentation function returns
 after a single ``ContextVar.get()`` -- cheap enough for per-solve hot
-paths (the benchmark gate holds instrumentation overhead on the batch
-workload under 3 %).
+paths (``BENCH_obs.json`` prices every call the batch workload makes
+at the measured disabled-``span`` rate, and the regression gate holds
+the total under 1 % of the untraced wall time).
 
 Timestamps are monotonic ``time.perf_counter`` values (the ``wallclock``
 lint rule bans ``time.time()`` in measured paths); exported traces
@@ -146,6 +147,32 @@ class Trace:
     def _record_event(self, record: EventRecord) -> None:
         with self._lock:
             self.events.append(record)
+
+    def _add_counter(self, name: str, amount: float) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def _set_gauge(self, name: str, value: float, mode: str = "set") -> None:
+        """Apply one gauge write under the session lock.
+
+        ``mode`` is ``"set"``, ``"max"`` (high-water) or ``"min"``
+        (low-water).  Centralised here -- rather than inlined in the
+        module-level helpers -- so subclasses that ship across a process
+        boundary (:class:`repro.obs.telemetry.SpanCapture`) can record
+        the *operation*, not just the final value, and replay it with
+        identical semantics on the driver side.
+        """
+        with self._lock:
+            if mode == "max":
+                current = self.gauges.get(name)
+                if current is None or value > current:
+                    self.gauges[name] = float(value)
+            elif mode == "min":
+                current = self.gauges.get(name)
+                if current is None or value < current:
+                    self.gauges[name] = float(value)
+            else:
+                self.gauges[name] = float(value)
 
     # -- queries (used by tests, export and the profile tree) -----------
     @property
@@ -309,17 +336,13 @@ def incr(name: str, amount: float = 1.0) -> None:
     increments to interleaving.
     """
     for session in _ACTIVE.get():
-        with session._lock:
-            session.counters[name] = (
-                session.counters.get(name, 0.0) + amount
-            )
+        session._add_counter(name, amount)
 
 
 def set_gauge(name: str, value: float) -> None:
     """Set gauge ``name`` to ``value`` in every active session."""
     for session in _ACTIVE.get():
-        with session._lock:
-            session.gauges[name] = float(value)
+        session._set_gauge(name, float(value), "set")
 
 
 def set_gauge_max(name: str, value: float) -> None:
@@ -333,10 +356,7 @@ def set_gauge_max(name: str, value: float) -> None:
     water mark with a lower one.
     """
     for session in _ACTIVE.get():
-        with session._lock:
-            current = session.gauges.get(name)
-            if current is None or value > current:
-                session.gauges[name] = float(value)
+        session._set_gauge(name, float(value), "max")
 
 
 def set_gauge_min(name: str, value: float) -> None:
@@ -346,10 +366,7 @@ def set_gauge_min(name: str, value: float) -> None:
     (effective number of references under weight degeneracy).
     """
     for session in _ACTIVE.get():
-        with session._lock:
-            current = session.gauges.get(name)
-            if current is None or value < current:
-                session.gauges[name] = float(value)
+        session._set_gauge(name, float(value), "min")
 
 
 # ----------------------------------------------------------------------

@@ -27,10 +27,12 @@ from repro.serve.http import (
     read_request,
 )
 from repro.serve.metrics import LatencyWindow, ServerMetrics, percentile
+from repro.serve.sampler import Exemplar, TailSampler
 from repro.serve.server import AlignmentServer, ServingModel
 
 __all__ = [
     "AlignmentServer",
+    "Exemplar",
     "HttpRequest",
     "LatencyWindow",
     "REQUEST_HEADER_LIMIT",
@@ -38,6 +40,7 @@ __all__ = [
     "ServeClient",
     "ServerMetrics",
     "ServingModel",
+    "TailSampler",
     "encode_response",
     "percentile",
     "read_request",

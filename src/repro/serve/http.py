@@ -199,20 +199,31 @@ async def read_request(
 
 
 def encode_response(
-    status: int, payload: dict[str, object], keep_alive: bool
+    status: int,
+    payload: "dict[str, object] | str",
+    keep_alive: bool,
+    content_type: str | None = None,
 ) -> bytes:
-    """Serialize one JSON response, ready for ``writer.write``.
+    """Serialize one response, ready for ``writer.write``.
 
-    ``json.dumps`` uses shortest-roundtrip float repr, so numerical
-    results survive the wire bit-exactly -- the concurrency suite pins
-    served predictions ``==`` offline ones, not merely close.
+    A dict payload is JSON-encoded (``json.dumps`` uses
+    shortest-roundtrip float repr, so numerical results survive the
+    wire bit-exactly -- the concurrency suite pins served predictions
+    ``==`` offline ones, not merely close).  A string payload is sent
+    verbatim under ``content_type`` -- the Prometheus text exposition
+    path of ``/metrics``.
     """
-    body = json.dumps(payload).encode()
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        media = content_type or "text/plain; charset=utf-8"
+    else:
+        body = json.dumps(payload).encode()
+        media = content_type or "application/json"
     phrase = STATUS_PHRASES.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {media}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
         "\r\n"

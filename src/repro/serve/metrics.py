@@ -1,4 +1,4 @@
-"""Server-side request metrics: counters plus per-endpoint latencies.
+"""Server-side request metrics: counters, gauges, latency histograms.
 
 The serving loop is single-threaded asyncio, but metrics are read from
 other threads too (the CLI's signal handlers, tests polling a server
@@ -6,11 +6,21 @@ running in a background thread), so every mutation and snapshot runs
 under one lock -- the same discipline ``repro.obs``'s trace registries
 follow, and what the deep-lint thread-shared-state rule expects.
 
-Latencies are kept in a bounded ring per endpoint: the percentiles the
-``/metrics`` endpoint and the load harness report are over the most
-recent ``capacity`` observations, which is what an operator wants from
-a long-running server (current behaviour, not lifetime average), while
-``count``/``total_seconds`` still cover the full history.
+Latencies live in fixed-bucket cumulative histograms
+(:class:`~repro.obs.promfmt.Histogram`): constant memory under
+unbounded traffic, percentile estimates by bucket interpolation, and a
+direct mapping onto Prometheus exposition -- which is what
+:meth:`ServerMetrics.prometheus_families` produces for the
+content-negotiated ``/metrics`` endpoint.  The JSON ``snapshot`` keeps
+its historical shape (``counters`` + per-endpoint ``latency`` blocks
+with ``count``/``mean_seconds``/``p*_seconds``), with one deliberate
+change: an endpoint with *no* observations reports only
+``count: 0`` -- a fabricated ``0.0`` percentile is indistinguishable
+from a true zero-latency reading.
+
+:class:`LatencyWindow` (the sample-ring predecessor) remains for
+harness-side use -- the load benchmark aggregates its own client-side
+samples -- but the server no longer stores raw samples.
 """
 
 from __future__ import annotations
@@ -19,11 +29,20 @@ import threading
 from collections import deque
 
 from repro.errors import ValidationError
+from repro.obs.promfmt import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricFamily,
+    sanitize_metric_name,
+)
 
 __all__ = ["LatencyWindow", "ServerMetrics", "percentile"]
 
 #: Percentiles reported by :meth:`LatencyWindow.summary`.
 REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Prefix every exposed Prometheus metric carries.
+PROM_PREFIX = "geoalign"
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -37,7 +56,11 @@ def percentile(samples: list[float], q: float) -> float:
 
 
 class LatencyWindow:
-    """Bounded ring of request latencies with summary percentiles."""
+    """Bounded ring of raw latencies with summary percentiles.
+
+    Used by harnesses that own their samples client-side; the server's
+    own ``/metrics`` path uses histograms instead.
+    """
 
     __slots__ = ("_samples", "count", "total_seconds", "max_seconds")
 
@@ -59,29 +82,36 @@ class LatencyWindow:
             self.max_seconds = seconds
 
     def summary(self) -> dict[str, float]:
-        """Count, mean, max, and p50/p95/p99 over the recent window."""
+        """Count, mean, max, and p50/p95/p99 over the recent window.
+
+        An empty window reports only ``count: 0``: fabricating ``0.0``
+        for the mean/max/percentiles would be indistinguishable from a
+        genuinely instant request.
+        """
+        if self.count == 0:
+            return {"count": 0.0}
         out: dict[str, float] = {
             "count": float(self.count),
-            "mean_seconds": (
-                self.total_seconds / self.count if self.count else 0.0
-            ),
+            "mean_seconds": self.total_seconds / self.count,
             "max_seconds": self.max_seconds,
         }
         window = sorted(self._samples)
         for q in REPORTED_PERCENTILES:
-            key = f"p{int(q)}_seconds"
-            out[key] = percentile(window, q) if window else 0.0
+            out[f"p{int(q)}_seconds"] = percentile(window, q)
         return out
 
 
 class ServerMetrics:
-    """Lock-guarded counters and per-endpoint latency windows."""
+    """Lock-guarded counters, gauges and per-endpoint latency histograms."""
 
-    def __init__(self, window_capacity: int = 2048) -> None:
+    def __init__(
+        self, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
-        self._windows: dict[str, LatencyWindow] = {}
-        self._window_capacity = window_capacity
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._buckets = buckets
 
     def incr(self, name: str, amount: float = 1.0) -> None:
         with self._lock:
@@ -91,29 +121,117 @@ class ServerMetrics:
         with self._lock:
             return self._counters.get(name, 0.0)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
     def observe_latency(self, endpoint: str, seconds: float) -> None:
         with self._lock:
-            window = self._windows.get(endpoint)
-            if window is None:
-                window = self._windows[endpoint] = LatencyWindow(
-                    self._window_capacity
+            histogram = self._histograms.get(endpoint)
+            if histogram is None:
+                histogram = self._histograms[endpoint] = Histogram(
+                    self._buckets
                 )
-            window.observe(seconds)
+            histogram.observe(seconds)
+
+    def latency_quantile(self, endpoint: str, q: float) -> float | None:
+        """Current ``q``-quantile estimate for ``endpoint`` (``None``
+        until the first observation).  The tail sampler reads this
+        *before* observing a request to decide whether that request
+        lands in the slow tail of the traffic seen so far."""
+        with self._lock:
+            histogram = self._histograms.get(endpoint)
+            if histogram is None:
+                return None
+            return histogram.quantile(q)
 
     def snapshot(self) -> dict[str, object]:
-        """Point-in-time copy: counters plus latency summaries."""
+        """Point-in-time copy: counters, gauges, latency summaries."""
         with self._lock:
-            return {
+            snap: dict[str, object] = {
                 "counters": dict(self._counters),
                 "latency": {
-                    endpoint: window.summary()
-                    for endpoint, window in sorted(self._windows.items())
+                    endpoint: histogram.summary()
+                    for endpoint, histogram in sorted(
+                        self._histograms.items()
+                    )
                 },
             }
+            if self._gauges:
+                snap["gauges"] = dict(self._gauges)
+            return snap
+
+    def prometheus_families(
+        self, extra_gauges: dict[str, float] | None = None
+    ) -> list[MetricFamily]:
+        """The exposition-format view of everything this object holds.
+
+        * counters named ``responses_<code>`` fold into one
+          ``geoalign_responses_total`` family with a ``status`` label;
+        * other counters become ``geoalign_<name>`` counter families
+          (a ``_total`` suffix is preserved, not doubled);
+        * gauges (stored + ``extra_gauges``, e.g. the server's live
+          ``stack_*``/``health.*`` values) become gauge families;
+        * per-endpoint latency histograms fold into one
+          ``geoalign_request_seconds`` family with an ``endpoint``
+          label.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        if extra_gauges:
+            gauges.update(extra_gauges)
+        families: list[MetricFamily] = []
+
+        responses = MetricFamily(
+            name=f"{PROM_PREFIX}_responses_total",
+            kind="counter",
+            help="Responses by HTTP status code.",
+        )
+        for name in sorted(counters):
+            if name.startswith("responses_"):
+                responses.add(
+                    counters[name], (("status", name[len("responses_") :]),)
+                )
+                continue
+            metric = sanitize_metric_name(f"{PROM_PREFIX}_{name}")
+            family = MetricFamily(
+                name=metric,
+                kind="counter",
+                help=f"Server counter {name}.",
+            )
+            family.add(counters[name])
+            families.append(family)
+        if responses.samples:
+            families.append(responses)
+
+        for name in sorted(gauges):
+            metric = sanitize_metric_name(f"{PROM_PREFIX}_{name}")
+            family = MetricFamily(
+                name=metric, kind="gauge", help=f"Server gauge {name}."
+            )
+            family.add(gauges[name])
+            families.append(family)
+
+        latency = MetricFamily(
+            name=f"{PROM_PREFIX}_request_seconds",
+            kind="histogram",
+            help="Request handling latency by endpoint.",
+        )
+        for endpoint in sorted(histograms):
+            latency.samples.extend(
+                histograms[endpoint].bucket_samples(
+                    latency.name, (("endpoint", endpoint),)
+                )
+            )
+        if latency.samples:
+            families.append(latency)
+        return families
 
     def __repr__(self) -> str:
         with self._lock:
             return (
                 f"ServerMetrics(counters={len(self._counters)}, "
-                f"endpoints={len(self._windows)})"
+                f"endpoints={len(self._histograms)})"
             )

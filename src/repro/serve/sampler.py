@@ -1,0 +1,144 @@
+"""Tail-sampled request exemplars: keep the traces worth keeping.
+
+Always-on JSONL tracing of every request is too expensive for a hot
+``/predict`` path, and head sampling (keep 1-in-N) reliably misses the
+requests an operator actually investigates: the errors and the slow
+tail.  So the server traces *every* request into a cheap per-request
+session and decides **after** the response whether to retain it:
+
+* error responses (status >= 400) are always retained;
+* a request slower than the current p99 estimate of its endpoint's
+  latency histogram (read *before* the request is folded in, so it is
+  judged against the traffic that preceded it) is retained as a tail
+  exemplar;
+* everything else is dropped on the spot -- the session dies with the
+  request and no JSONL is written.
+
+Retained exemplars carry the full span tree in the JSONL record format
+of :mod:`repro.obs.export`, bounded by a ring buffer, and are exposed
+at ``/debug/exemplars`` and via ``geoalign-repro obs tail``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.obs.export import trace_to_records
+from repro.obs.trace import Trace
+
+__all__ = ["Exemplar", "TailSampler"]
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """One retained request trace, ready for JSON exposure."""
+
+    exemplar_id: int
+    endpoint: str
+    method: str
+    status: int
+    seconds: float
+    reason: str
+    p99_seconds: float | None
+    records: tuple[dict[str, object], ...]
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "id": self.exemplar_id,
+            "endpoint": self.endpoint,
+            "method": self.method,
+            "status": self.status,
+            "seconds": self.seconds,
+            "reason": self.reason,
+            "p99_seconds": self.p99_seconds,
+            "records": list(self.records),
+        }
+
+
+class TailSampler:
+    """Bounded ring of error/slow-tail request exemplars.
+
+    Lock-guarded for the same reason :class:`ServerMetrics` is: the
+    ring is written from the serving loop and read from other threads
+    (tests, the CLI polling ``/debug/exemplars``).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValidationError(
+                f"exemplar capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque[Exemplar] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self.sampled_total = 0
+        self.retained_errors = 0
+        self.retained_slow = 0
+
+    def retain_reason(
+        self, status: int, seconds: float, p99: float | None
+    ) -> str | None:
+        """Why this request should be kept, or ``None`` to drop it."""
+        if status >= 400:
+            return "error"
+        if p99 is not None and seconds >= p99:
+            return "slow"
+        return None
+
+    def observe(
+        self,
+        session: Trace,
+        *,
+        endpoint: str,
+        method: str,
+        status: int,
+        seconds: float,
+        p99: float | None,
+    ) -> str | None:
+        """Judge one finished request; retain its trace if it matters.
+
+        Returns the retention reason, or ``None`` when the trace was
+        dropped.  ``trace_to_records`` (the expensive part) runs only
+        for retained requests.
+        """
+        reason = self.retain_reason(status, seconds, p99)
+        with self._lock:
+            self.sampled_total += 1
+            if reason is None:
+                return None
+            if reason == "error":
+                self.retained_errors += 1
+            else:
+                self.retained_slow += 1
+            exemplar = Exemplar(
+                exemplar_id=next(self._ids),
+                endpoint=endpoint,
+                method=method,
+                status=status,
+                seconds=seconds,
+                reason=reason,
+                p99_seconds=p99,
+                records=tuple(trace_to_records(session)),
+            )
+            self._ring.append(exemplar)
+            return reason
+
+    def exemplars(self) -> list[Exemplar]:
+        """Retained exemplars, newest first."""
+        with self._lock:
+            return list(reversed(self._ring))
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "sampled_total": float(self.sampled_total),
+                "retained": float(len(self._ring)),
+                "retained_errors": float(self.retained_errors),
+                "retained_slow": float(self.retained_slow),
+                "capacity": float(self.capacity),
+            }

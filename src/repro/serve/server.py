@@ -12,7 +12,11 @@ endpoint   method  answers
 /align     POST    fit new objectives against a warm reference stack
 /disagg... POST    one attribute's estimated DM as COO triplets
 /healthz   GET     liveness + per-model health snapshot (503 draining)
-/metrics   GET     request counters and per-endpoint latency windows
+/metrics   GET     counters/gauges/latency histograms -- JSON by
+                   default, Prometheus 0.0.4 text when the Accept
+                   header asks for text/plain or openmetrics
+/debug/... GET     tail-sampled request exemplars (full span trees for
+                   error responses and the slowest p99 tail)
 ========== ======= ====================================================
 
 Design choices that make the hot path hot:
@@ -34,7 +38,10 @@ Observability: the tracing state active at :meth:`start` is captured
 (:func:`~repro.obs.trace.current_trace_context`) and re-activated per
 request task, so each request records its own ``serve.request`` span
 parented to the server's root -- concurrent requests never nest under
-one another (the concurrency suite asserts exactly this).
+one another (the concurrency suite asserts exactly this).  On top of
+that, every request runs under its own throwaway session feeding the
+:class:`~repro.serve.sampler.TailSampler`, which retains full span
+trees only for error responses and the slowest p99 tail.
 
 Shutdown drains: :meth:`shutdown` stops accepting, lets in-flight
 requests finish (bounded by ``drain_grace``), answers anything newly
@@ -53,7 +60,13 @@ from numpy.typing import NDArray
 
 from repro.core.batch import BatchAligner
 from repro.errors import ReproError, ServeError, StoreError
+from repro.obs.promfmt import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricFamily,
+    render_prometheus_text,
+)
 from repro.obs.trace import (
+    Trace,
     TraceContext,
     current_trace_context as _trace_context,
     event as _obs_event,
@@ -63,6 +76,7 @@ from repro.obs.trace import (
 )
 from repro.serve.http import HttpRequest, encode_response, read_request
 from repro.serve.metrics import ServerMetrics
+from repro.serve.sampler import TailSampler
 from repro.store.store import KEY_LENGTH, ModelStore, model_fingerprint
 
 __all__ = ["AlignmentServer", "ServingModel"]
@@ -73,7 +87,19 @@ FloatArray = NDArray[np.float64]
 _POST_ENDPOINTS = ("/predict", "/align", "/disaggregate")
 
 #: Endpoints answered on GET.
-_GET_ENDPOINTS = ("/healthz", "/metrics")
+_GET_ENDPOINTS = ("/healthz", "/metrics", "/debug/exemplars")
+
+#: Health-verdict encoding for the ``geoalign_health_status`` gauge
+#: family (0 = healthy, higher = worse; unknown verdicts read as warn).
+_HEALTH_VALUES = {"ok": 0.0, "info": 0.0, "warn": 1.0, "fail": 2.0}
+
+
+@dataclass(frozen=True)
+class _TextBody:
+    """A non-JSON response body (the Prometheus exposition path)."""
+
+    text: str
+    content_type: str
 
 
 @dataclass
@@ -142,6 +168,7 @@ class AlignmentServer:
         port: int = 0,
         max_body_bytes: int = 8 * 1024 * 1024,
         drain_grace: float = 5.0,
+        exemplar_capacity: int = 32,
     ) -> None:
         self.store = store
         self.host = host
@@ -149,6 +176,7 @@ class AlignmentServer:
         self.max_body_bytes = max_body_bytes
         self.drain_grace = drain_grace
         self.metrics = ServerMetrics()
+        self.tail = TailSampler(capacity=exemplar_capacity)
         self._models: dict[str, ServingModel] = {}
         self._server: asyncio.Server | None = None
         self._started_at: float | None = None
@@ -346,7 +374,15 @@ class AlignmentServer:
     async def _handle_request(
         self, request: HttpRequest, writer: asyncio.StreamWriter
     ) -> bool:
-        """Process one framed request; returns keep-alive."""
+        """Process one framed request; returns keep-alive.
+
+        Every accepted request runs under a throwaway per-request
+        :class:`~repro.obs.trace.Trace` session *in addition to* any
+        sessions captured at :meth:`start` -- the per-request session
+        feeds the tail sampler, which retains the full span tree only
+        for error responses and the slow p99 tail, so tracing every
+        request costs one small object, not unbounded JSONL.
+        """
         started = time.perf_counter()
         # Draining is decided at accept time: a request framed before
         # shutdown began runs to completion; one arriving after gets
@@ -356,6 +392,13 @@ class AlignmentServer:
         if self._idle is not None:
             self._idle.clear()
         obs_ctx = self._obs_ctx
+        base_sessions = obs_ctx.sessions if obs_ctx is not None else ()
+        base_parent = obs_ctx.parent_id if obs_ctx is not None else None
+        session = Trace(f"request {request.method} {request.path}")
+        request_ctx = TraceContext(
+            sessions=base_sessions + (session,), parent_id=base_parent
+        )
+        payload: "dict[str, object] | _TextBody"
         try:
             if self.request_delay > 0.0:
                 await asyncio.sleep(self.request_delay)
@@ -365,8 +408,8 @@ class AlignmentServer:
                     "the server is draining and no longer "
                     "accepts requests",
                 )
-            elif obs_ctx is not None:
-                with obs_ctx.activate():
+            else:
+                with request_ctx.activate():
                     with _span(
                         "serve.request",
                         method=request.method,
@@ -378,30 +421,51 @@ class AlignmentServer:
                     _obs_incr("serve.requests")
                     if status >= 400:
                         _obs_incr("serve.errors")
-            else:
-                status, payload = self._dispatch(request)
         finally:
             self._in_flight -= 1
             if self._in_flight == 0 and self._idle is not None:
                 self._idle.set()
         elapsed = time.perf_counter() - started
+        session.ended = time.perf_counter()
+        # The p99 estimate is read *before* this request's latency is
+        # folded in, so the tail verdict compares against prior traffic.
+        p99 = self.metrics.latency_quantile(request.path, 0.99)
         self.metrics.incr("requests_total")
         self.metrics.incr(f"responses_{status}")
         if status >= 400:
             self.metrics.incr("errors_total")
         self.metrics.observe_latency(request.path, elapsed)
+        if accepted:
+            self.tail.observe(
+                session,
+                endpoint=request.path,
+                method=request.method,
+                status=status,
+                seconds=elapsed,
+                p99=p99,
+            )
         if obs_ctx is not None:
             with obs_ctx.activate():
                 _gauge_max("serve.latency_max_seconds", elapsed)
         keep_alive = request.keep_alive and not self._draining
-        writer.write(encode_response(status, payload, keep_alive))
+        if isinstance(payload, _TextBody):
+            writer.write(
+                encode_response(
+                    status,
+                    payload.text,
+                    keep_alive,
+                    content_type=payload.content_type,
+                )
+            )
+        else:
+            writer.write(encode_response(status, payload, keep_alive))
         await writer.drain()
         return keep_alive
 
     # -- dispatch -------------------------------------------------------
     def _dispatch(
         self, request: HttpRequest
-    ) -> tuple[int, dict[str, object]]:
+    ) -> tuple[int, "dict[str, object] | _TextBody"]:
         """Route one request; every failure becomes an envelope."""
         try:
             if request.path == "/healthz":
@@ -409,7 +473,20 @@ class AlignmentServer:
                 return 200, self._healthz_payload()
             if request.path == "/metrics":
                 self._require_method(request, "GET")
+                # Content negotiation: Prometheus scrapers advertise
+                # text/plain (or openmetrics); everything else -- the
+                # ServeClient harness, the CI smoke curl -- keeps the
+                # historical JSON snapshot.
+                accept = request.headers.get("accept", "")
+                if "text/plain" in accept or "openmetrics" in accept:
+                    return 200, _TextBody(
+                        self._metrics_prometheus(),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
                 return 200, self._metrics_payload()
+            if request.path == "/debug/exemplars":
+                self._require_method(request, "GET")
+                return 200, self._exemplars_payload()
             if request.path == "/predict":
                 self._require_method(request, "POST")
                 return 200, self._predict(request.json_body())
@@ -462,18 +539,20 @@ class AlignmentServer:
             "uptime_seconds": self.uptime_seconds,
         }
 
-    def _metrics_payload(self) -> dict[str, object]:
-        snapshot = self.metrics.snapshot()
-        # Warm-stack residency: union-pattern size and bytes actually
-        # held by the CSR/aligned/dense value stacks, summed over every
-        # loaded model, so operators can see what the sparse layout buys
-        # (and catch a dense-fallback bisect inflating the fleet).
+    def _live_gauges(self) -> dict[str, float]:
+        """Current server gauges, shared by both /metrics renderings.
+
+        Warm-stack residency: union-pattern size and bytes actually
+        held by the CSR/aligned/dense value stacks, summed over every
+        loaded model, so operators can see what the sparse layout buys
+        (and catch a dense-fallback bisect inflating the fleet).
+        """
         stacks = [
             serving.model.stack_.dm_stack
             for serving in self._models.values()
             if serving.model.stack_ is not None
         ]
-        snapshot["gauges"] = {
+        return {
             "models": float(len(self._models)),
             "in_flight": float(self._in_flight),
             "uptime_seconds": self.uptime_seconds,
@@ -485,7 +564,64 @@ class AlignmentServer:
                 min(stack.density for stack in stacks) if stacks else 1.0
             ),
         }
+
+    def _metrics_payload(self) -> dict[str, object]:
+        snapshot = self.metrics.snapshot()
+        snapshot["gauges"] = self._live_gauges()
+        snapshot["exemplars"] = self.tail.stats()
         return snapshot
+
+    def _metrics_prometheus(self) -> str:
+        """The Prometheus 0.0.4 text rendering of ``/metrics``.
+
+        Counters and latency histograms come from
+        :meth:`ServerMetrics.prometheus_families`; the live ``stack_*``
+        gauges, per-model ``health.*`` verdicts and tail-sampler stats
+        are appended here because they are server state, not request
+        metrics.
+        """
+        families = self.metrics.prometheus_families(
+            extra_gauges=self._live_gauges()
+        )
+        health = MetricFamily(
+            name="geoalign_health_status",
+            kind="gauge",
+            help=(
+                "Model health verdicts (0 = ok/info, 1 = warn, "
+                "2 = fail)."
+            ),
+        )
+        for key, serving in sorted(self._models.items()):
+            for check, verdict in sorted(serving.health.items()):
+                health.add(
+                    _HEALTH_VALUES.get(verdict, 1.0),
+                    (("model", key), ("check", check)),
+                )
+        if health.samples:
+            families.append(health)
+        sampler_stats = self.tail.stats()
+        sampled = MetricFamily(
+            name="geoalign_exemplars_sampled_total",
+            kind="counter",
+            help="Requests judged by the tail sampler.",
+        )
+        sampled.add(sampler_stats["sampled_total"])
+        retained = MetricFamily(
+            name="geoalign_exemplars_retained",
+            kind="gauge",
+            help="Exemplar traces currently held in the ring buffer.",
+        )
+        retained.add(sampler_stats["retained"])
+        families.extend([sampled, retained])
+        return render_prometheus_text(families)
+
+    def _exemplars_payload(self) -> dict[str, object]:
+        return {
+            "exemplars": [
+                exemplar.to_json() for exemplar in self.tail.exemplars()
+            ],
+            "stats": self.tail.stats(),
+        }
 
     def _selected_attributes(
         self, serving: ServingModel, body: dict[str, object]

@@ -1,0 +1,30 @@
+"""Deep-lint fixture: parameter-valued process fan-out.
+
+The submit site below hands a *parameter* to the pool -- the classic
+generic phase-runner shape.  Resolving which workers actually run
+there requires the call graph's second pass over ``_run_phase``'s call
+sites (one of which forwards its own parameter, exercising the
+transitive step).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.workers import bare_worker, wrapped_worker
+
+
+def _run_phase(worker, payloads):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(worker, payload) for payload in payloads]
+        return [future.result() for future in futures]
+
+
+def _stream_phase(worker, payloads):
+    # Pass-through driver: the worker parameter is forwarded, so the
+    # resolution pass must follow it one level further up.
+    return _run_phase(worker, list(payloads))
+
+
+def run_both(payloads):
+    bare = _stream_phase(bare_worker, payloads)
+    wrapped = _run_phase(wrapped_worker, payloads)
+    return bare, wrapped

@@ -1,0 +1,25 @@
+"""Deep-lint fixture: obs records in process workers, bare vs captured.
+
+``bare_worker`` records a span and a counter straight into whatever
+sessions the pickled context copy carries -- both records are lost at
+the process boundary, so both lines fire.  ``wrapped_worker`` opens a
+``worker_capture`` first; its records ride the capture back to the
+driver and nothing fires.
+"""
+
+from repro.obs.telemetry import worker_capture
+from repro.obs.trace import incr, span
+
+
+def bare_worker(payload):
+    with span("shard.partials"):  # FIRE process-span-capture
+        incr("kernel.calls")  # FIRE process-span-capture
+    return payload
+
+
+def wrapped_worker(payload):
+    # No fire: records land in the shipped SpanCapture.
+    with worker_capture("shard.worker", shard=payload):
+        with span("shard.partials"):
+            incr("kernel.calls")
+    return payload

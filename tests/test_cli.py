@@ -664,3 +664,167 @@ class TestDenseFallback:
             ]
 
         assert table(plain) == table(dense)
+
+
+class TestTelemetryCli:
+    """PR-10 surface: serve/store trace flags, ``obs tail``/``obs prom``."""
+
+    def test_serve_and_store_accept_obs_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--trace", "t.jsonl", "--profile"]
+        )
+        assert args.trace == "t.jsonl" and args.profile is True
+        args = build_parser().parse_args(
+            ["store", "list", "--trace", "t.jsonl", "--profile"]
+        )
+        assert args.trace == "t.jsonl" and args.profile is True
+        args = build_parser().parse_args(["store", "save"])
+        assert args.trace is None and args.profile is False
+
+    def test_obs_tail_and_prom_flags(self):
+        args = build_parser().parse_args(
+            ["obs", "tail", "127.0.0.1:8732", "-n", "3", "--json"]
+        )
+        assert args.obs_command == "tail"
+        assert args.address == "127.0.0.1:8732"
+        assert args.count == 3 and args.json_out is True
+        args = build_parser().parse_args(["obs", "prom", "run.jsonl"])
+        assert args.obs_command == "prom"
+        assert args.trace_file == "run.jsonl"
+
+    def test_store_save_trace_and_profile(self, tmp_path):
+        root = str(tmp_path / "store")
+        trace_path = str(tmp_path / "save.jsonl")
+        code, out = _run(
+            [
+                "store", "save", "--store", root,
+                "--universe", "ny", "--scale", str(TEST_SCALE),
+                "--trace", trace_path, "--profile",
+            ]
+        )
+        assert code == 0
+        assert f"[trace written {trace_path}]" in out
+
+        from repro.obs import read_trace_jsonl
+
+        sessions = read_trace_jsonl(trace_path)
+        assert len(sessions) == 1
+        assert sessions[0].name == "store-save.ny"
+        assert sessions[0].spans
+
+    def test_store_list_traced(self, tmp_path):
+        root = str(tmp_path / "store")
+        assert _run(
+            [
+                "store", "save", "--store", root,
+                "--universe", "ny", "--scale", str(TEST_SCALE),
+            ]
+        )[0] == 0
+        trace_path = str(tmp_path / "list.jsonl")
+        code, out = _run(
+            ["store", "list", "--store", root, "--trace", trace_path]
+        )
+        assert code == 0
+        assert "1 model(s)" in out
+
+        from repro.obs import read_trace_jsonl
+
+        assert read_trace_jsonl(trace_path)[0].name == "store-list"
+
+    def test_obs_prom_renders_parseable_exposition(self, tmp_path):
+        trace_path = str(tmp_path / "run.jsonl")
+        assert _run(
+            [
+                "align", "--scale", str(TEST_SCALE),
+                "--trace", trace_path,
+            ]
+        )[0] == 0
+        code, out = _run(["obs", "prom", trace_path])
+        assert code == 0
+
+        from repro.obs import parse_prometheus_text
+
+        families = parse_prometheus_text(out)
+        wall = families["geoalign_trace_wall_seconds"]
+        assert wall.kind == "gauge"
+        assert all(
+            dict(s.labels)["trace"] == "cli.align" for s in wall.samples
+        )
+        # Counters ride along, labelled by their source session.
+        counter_families = [
+            f for f in families.values() if f.kind == "counter"
+        ]
+        assert counter_families
+
+    def test_obs_prom_missing_file_exits_two(self, tmp_path, capsys):
+        code, _ = _run(["obs", "prom", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert capsys.readouterr().err
+
+    def test_obs_tail_bad_address_exits_two(self, capsys):
+        code, _ = _run(["obs", "tail", "no-port-here"])
+        assert code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_obs_tail_unreachable_server_exits_two(self, capsys):
+        code, _ = _run(["obs", "tail", "127.0.0.1:1"])
+        assert code == 2
+        assert capsys.readouterr().err
+
+    def test_obs_tail_against_live_server(self, tmp_path):
+        """End to end: traced CLI server, error request, ``obs tail``."""
+        import asyncio
+        import threading
+        import time as _time
+
+        from repro.serve import ServeClient
+
+        root = str(tmp_path / "store")
+        assert _run(
+            [
+                "store", "save", "--store", root,
+                "--universe", "ny", "--scale", str(TEST_SCALE),
+            ]
+        )[0] == 0
+        ready = tmp_path / "ready.txt"
+        result = {}
+
+        def serve():
+            result["code"], result["out"] = _run(
+                [
+                    "serve", "--store", root, "--port", "0",
+                    "--ready-file", str(ready),
+                    "--shutdown-after", "4",
+                ]
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = _time.monotonic() + 5.0
+        while not ready.exists() and _time.monotonic() < deadline:
+            _time.sleep(0.02)
+        assert ready.exists(), "server never announced readiness"
+        host, port = ready.read_text().split()
+
+        async def provoke():
+            async with ServeClient(host, int(port)) as client:
+                await client.request("GET", "/missing")
+
+        asyncio.run(provoke())
+
+        address = f"{host}:{port}"
+        code, out = _run(["obs", "tail", address])
+        assert code == 0
+        assert f"[{address}:" in out
+        assert "reason=error" in out
+        assert "GET /missing" in out
+        assert "serve.request" in out
+
+        code, out = _run(["obs", "tail", address, "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["exemplars"][0]["endpoint"] == "/missing"
+
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert result["code"] == 0

@@ -43,6 +43,7 @@ EXPECTED_DEEP_RULE_IDS = {
     "missing-instrumentation",
     "cross-float-eq",
     "sparse-densify",
+    "process-span-capture",
 }
 
 #: (fixture case dir, rule expected to fire, file the violation anchors in).
@@ -56,6 +57,7 @@ DEEP_CASES = [
     ("spanmisuse", "thread-span-misuse", "repro/core/tracker.py"),
     ("floateq", "cross-float-eq", "repro/core/metricx.py"),
     ("densify", "sparse-densify", "repro/core/batch.py"),
+    ("proccapture", "process-span-capture", "repro/core/workers.py"),
 ]
 
 
@@ -145,6 +147,25 @@ class TestDeepFixtures:
         assert len(report.violations) == 2
         assert all(
             "silently lost" in v.message for v in report.violations
+        )
+
+    def test_parameter_fanout_counts_one_site(self):
+        # One generic submit site resolving to two workers is still one
+        # fan-out *site* in the stats.
+        report = _deep_case("proccapture")
+        assert report.stats["process_fanout_sites"] == 1
+        assert report.stats["thread_fanout_sites"] == 0
+
+    def test_captured_worker_not_flagged(self):
+        report = _deep_case("proccapture")
+        assert report.violations, "bare worker should fire"
+        assert all(
+            "wrapped_worker" not in violation.message
+            for violation in report.violations
+        )
+        assert all(
+            "bare_worker" in violation.message
+            for violation in report.violations
         )
 
     def test_process_rng_message_names_pickling(self):

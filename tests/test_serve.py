@@ -28,6 +28,7 @@ import pytest
 
 from repro.core.batch import BatchAligner
 from repro.errors import ServeError, ValidationError
+from repro.obs import PROMETHEUS_CONTENT_TYPE, parse_prometheus_text
 from repro.serve import (
     AlignmentServer,
     HttpRequest,
@@ -636,3 +637,211 @@ class TestLifecycle:
     def test_shutdown_without_start_is_typed(self):
         with pytest.raises(ServeError, match="not started"):
             asyncio.run(AlignmentServer().shutdown())
+
+
+# ---------------------------------------------------------------------------
+# telemetry endpoints: Prometheus exposition + tail-sampled exemplars
+
+
+async def _raw_get(host, port, path, accept=None):
+    """One GET over a raw socket; returns (status, headers, body text).
+
+    ``ServeClient`` is JSON-only by design, so the content-negotiated
+    Prometheus text path is exercised the way a scraper would: a plain
+    HTTP/1.1 request with an ``Accept`` header.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    head = f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+    if accept is not None:
+        head += f"Accept: {accept}\r\n"
+    head += "Connection: close\r\n\r\n"
+    writer.write(head.encode())
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    header_blob, _, body = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return status, headers, body.decode()
+
+
+class TestPrometheusExposition:
+    def test_metrics_text_round_trips_through_parser(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                for _ in range(3):
+                    status, _payload = await client.request(
+                        "POST", "/predict", {"model": key}
+                    )
+                    assert status == 200
+                await client.request("GET", "/nope")  # one 404
+            return await _raw_get(
+                server.host, server.port, "/metrics", accept="text/plain"
+            )
+
+        status, headers, text = run_with_server(fitted, body)
+        assert status == 200
+        assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+        # The parser applies scraper-side validation (types, labels,
+        # cumulative +Inf-terminated buckets), so a clean parse IS the
+        # format acceptance; the assertions below pin the content.
+        families = parse_prometheus_text(text)
+        requests = families["geoalign_requests_total"]
+        assert requests.kind == "counter"
+        assert requests.samples[0].value >= 4.0
+        responses = families["geoalign_responses_total"]
+        statuses = {dict(s.labels)["status"] for s in responses.samples}
+        assert {"200", "404"} <= statuses
+        latency = families["geoalign_request_seconds"]
+        assert latency.kind == "histogram"
+        endpoints = {
+            dict(s.labels).get("endpoint") for s in latency.samples
+        }
+        assert "/predict" in endpoints
+        sampled = families["geoalign_exemplars_sampled_total"]
+        assert sampled.samples[0].value >= 4.0
+        assert "geoalign_exemplars_retained" in families
+
+    def test_metrics_defaults_to_json_snapshot(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                await client.request("POST", "/predict", {"model": key})
+                return await client.request("GET", "/metrics")
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        counters = payload["counters"]
+        assert counters["requests_total"] >= 1
+        # Empty-window latency stats must be honest: every histogram
+        # block carries a count, and stats appear only with data.
+        for stats in payload["latency"].values():
+            assert stats["count"] >= 1.0
+
+    def test_openmetrics_accept_also_negotiates_text(self, fitted):
+        async def body(server, key):
+            return await _raw_get(
+                server.host,
+                server.port,
+                "/metrics",
+                accept="application/openmetrics-text",
+            )
+
+        status, headers, text = run_with_server(fitted, body)
+        assert status == 200
+        assert headers["content-type"] == PROMETHEUS_CONTENT_TYPE
+        parse_prometheus_text(text)  # must validate
+
+
+class TestTailExemplars:
+    def test_error_request_retained_with_full_trace(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                status, _ = await client.request("GET", "/missing")
+                assert status == 404
+                return await client.request("GET", "/debug/exemplars")
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        exemplars = payload["exemplars"]
+        assert len(exemplars) == 1
+        exemplar = exemplars[0]
+        assert exemplar["reason"] == "error"
+        assert exemplar["status"] == 404
+        assert exemplar["endpoint"] == "/missing"
+        stats = payload["stats"]
+        assert stats["retained_errors"] == 1.0
+        assert stats["sampled_total"] >= 1.0
+
+    def test_injected_slow_request_retained_with_span_tree(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                # Build latency history so the endpoint has a p99 to be
+                # slower than; fast requests are judged against it and
+                # dropped.
+                for _ in range(10):
+                    status, _ = await client.request(
+                        "POST", "/predict", {"model": key}
+                    )
+                    assert status == 200
+                server.request_delay = 0.05  # inject a slow one
+                status, _ = await client.request(
+                    "POST", "/predict", {"model": key}
+                )
+                assert status == 200
+                server.request_delay = 0.0
+                return await client.request("GET", "/debug/exemplars")
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        # Priming requests may occasionally set a new running-max and
+        # be retained too; the injected one is identified by its delay.
+        slow = [
+            e
+            for e in payload["exemplars"]
+            if e["reason"] == "slow" and e["seconds"] >= 0.05
+        ]
+        assert len(slow) == 1
+        exemplar = slow[0]
+        assert exemplar["endpoint"] == "/predict"
+        assert exemplar["status"] == 200
+        assert exemplar["p99_seconds"] is not None
+        assert exemplar["seconds"] >= exemplar["p99_seconds"]
+        # Full span tree in the JSONL record format: one trace header,
+        # a serve.request root, and every span parented inside the
+        # exemplar (so the tree is self-contained and renderable).
+        records = exemplar["records"]
+        assert records[0]["type"] == "trace"
+        spans = [r for r in records if r["type"] == "span"]
+        roots = [s for s in spans if s["parent"] is None]
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "serve.request"
+        assert root["attrs"]["endpoint"] == "/predict"
+        assert root["attrs"]["method"] == "POST"
+        assert root["attrs"]["status"] == 200
+        span_ids = {s["id"] for s in spans}
+        assert all(
+            s["parent"] in span_ids
+            for s in spans
+            if s["parent"] is not None
+        )
+
+    def test_first_clean_request_is_dropped(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                status, _ = await client.request(
+                    "POST", "/predict", {"model": key}
+                )
+                assert status == 200
+                return await client.request("GET", "/debug/exemplars")
+
+        status, payload = run_with_server(fitted, body)
+        assert status == 200
+        # No latency history means no p99 to be slower than, and the
+        # response was clean: deterministically dropped.
+        assert payload["exemplars"] == []
+        assert payload["stats"]["sampled_total"] >= 1.0
+
+    def test_ring_buffer_bounds_retention(self, fitted):
+        async def body(server, key):
+            async with ServeClient(server.host, server.port) as client:
+                for _ in range(6):
+                    await client.request("GET", "/missing")
+                return await client.request("GET", "/debug/exemplars")
+
+        status, payload = run_with_server(
+            fitted, body, exemplar_capacity=3
+        )
+        assert status == 200
+        exemplars = payload["exemplars"]
+        assert len(exemplars) == 3
+        # Newest first, oldest evicted.
+        ids = [e["id"] for e in exemplars]
+        assert ids == sorted(ids, reverse=True)
+        assert payload["stats"]["retained_errors"] == 6.0
+        assert payload["stats"]["capacity"] == 3.0

@@ -12,12 +12,14 @@ tolerance: the two differ only by float reassociation in the reduce.
 """
 
 import os
+from collections import Counter
 
 import numpy as np
 import pytest
 
 from repro.core.batch import BatchAligner
 from repro.core.shard import ShardedAligner
+from repro.obs import SPANS_DROPPED, trace
 from tests.test_golden import (
     ATOL,
     DENOMINATORS,
@@ -82,3 +84,48 @@ def test_merge_residual_negligible_on_golden(path):
     aligner.predict()
     assert aligner.merge_residual_ is not None
     assert aligner.merge_residual_ < 1e-12
+
+
+def _traced_shard_run(references, objectives, n_shards, max_workers):
+    """Fit + predict under a recording session; return the session."""
+    with trace("shard-run") as session:
+        aligner = ShardedAligner(
+            n_shards=n_shards, max_workers=max_workers
+        ).fit(references, objectives)
+        aligner.predict()
+    return session
+
+
+def test_pooled_run_stitches_one_trace_with_span_parity():
+    """Telemetry equivalence: pooled == inline span-for-span.
+
+    A ``max_workers > 1`` run records worker spans in child processes
+    and stitches the shipped captures back into the driver session; the
+    stitched tree must carry exactly the spans an inline run records
+    directly -- same names, same multiplicities, nothing dropped -- and
+    every worker root must hang off the driver's ``shard.map`` spans.
+    """
+    _spec, references, objectives = _load(GOLDEN_PATHS[0])
+    n_shards = 4
+    inline = _traced_shard_run(references, objectives, n_shards, 1)
+    pooled = _traced_shard_run(references, objectives, n_shards, 2)
+
+    assert Counter(s.name for s in pooled.spans) == Counter(
+        s.name for s in inline.spans
+    )
+    for session in (inline, pooled):
+        assert SPANS_DROPPED not in session.counters
+        workers = session.find_spans("shard.worker")
+        phases = Counter(str(s.attrs["phase"]) for s in workers)
+        assert phases == {"fit": n_shards, "disaggregate": n_shards}
+        map_ids = {s.span_id for s in session.find_spans("shard.map")}
+        assert map_ids
+        assert all(s.parent_id in map_ids for s in workers)
+    # Counters fold identically through the capture path.
+    pooled_shard_counters = {
+        k: v for k, v in pooled.counters.items() if k.startswith("kernel.")
+    }
+    inline_shard_counters = {
+        k: v for k, v in inline.counters.items() if k.startswith("kernel.")
+    }
+    assert pooled_shard_counters == inline_shard_counters
